@@ -1,0 +1,63 @@
+//! Simulator operator throughput (supports experiment X9): how fast the
+//! page-level operators run at various memory grants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lec_exec::datagen::{domain_for_selectivity, generate, DataGenSpec};
+use lec_exec::ops::{block_nested_loop_join, external_sort, grace_hash_join, sort_merge_join};
+use lec_exec::{BufferPool, Disk, RelId};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn setup() -> (Disk, RelId, RelId) {
+    let mut disk = Disk::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let domain = domain_for_selectivity(5e-4);
+    let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: 96, key_domain: domain });
+    let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: 32, key_domain: domain });
+    (disk, a, b)
+}
+
+fn operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_operators");
+    for m in [6usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("external_sort", m), &m, |bench, _| {
+            bench.iter_with_setup(setup, |(mut disk, a, _)| {
+                let mut pool = BufferPool::with_capacity(m);
+                external_sort(&mut disk, &mut pool, a, m).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sort_merge", m), &m, |bench, _| {
+            bench.iter_with_setup(setup, |(mut disk, a, b)| {
+                let mut pool = BufferPool::with_capacity(m);
+                sort_merge_join(&mut disk, &mut pool, a, b, m, false, false).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grace_hash", m), &m, |bench, _| {
+            bench.iter_with_setup(setup, |(mut disk, a, b)| {
+                let mut pool = BufferPool::with_capacity(m);
+                grace_hash_join(&mut disk, &mut pool, a, b, m).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("block_nl", m), &m, |bench, _| {
+            bench.iter_with_setup(setup, |(mut disk, a, b)| {
+                let mut pool = BufferPool::with_capacity(m);
+                block_nested_loop_join(&mut disk, &mut pool, a, b, m).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = operators
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Expected-cost kernel timing (experiment X7's timing half): the
+//! `O(b_M + b_A + b_B)` kernels of §3.6.1–3.6.2 vs the naive triple loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lec_cost::fast_expect::{expected_join_fast, expected_join_naive};
+use lec_cost::{JoinMethod, PaperCostModel};
+use lec_stats::Distribution;
+use rand_chacha::rand_core::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn random_dist(rng: &mut ChaCha8Rng, b: usize, scale: f64) -> Distribution {
+    Distribution::from_weights((0..b).map(|_| {
+        let v = 1.0 + (rng.next_u32() % 1_000_000) as f64 / 1e6 * scale;
+        let w = 0.05 + (rng.next_u32() % 1000) as f64 / 1000.0;
+        (v, w)
+    }))
+    .expect("positive weights")
+}
+
+fn kernels(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for method in JoinMethod::ALL {
+        let mut group = c.benchmark_group(format!("expected_{method}"));
+        for b in [8usize, 32, 128] {
+            let a = random_dist(&mut rng, b, 1e6);
+            let bd = random_dist(&mut rng, b, 1e6);
+            let m = random_dist(&mut rng, b, 2e3);
+            group.bench_with_input(BenchmarkId::new("naive", b), &b, |bench, _| {
+                bench.iter(|| {
+                    expected_join_naive(
+                        &PaperCostModel,
+                        method,
+                        black_box(&a),
+                        black_box(&bd),
+                        black_box(&m),
+                    )
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("fast", b), &b, |bench, _| {
+                bench.iter(|| {
+                    expected_join_fast(method, black_box(&a), black_box(&bd), black_box(&m))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! `xtable` — regenerate the experiment tables.
+//!
+//! ```text
+//! xtable x1          # one experiment
+//! xtable x3 x5       # several
+//! xtable all         # everything, in order (what EXPERIMENTS.md records)
+//! ```
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if args.is_empty() {
+        eprintln!("usage: xtable <x1..x13|all> ...");
+        eprintln!("experiments: {}", lec_bench::ALL_EXPERIMENTS.join(", "));
+        std::process::exit(2);
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        lec_bench::ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for id in &ids {
+        match lec_bench::run_experiment(id) {
+            Some(section) => {
+                writeln!(out, "{section}").expect("stdout");
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! X4 — Proposition 3.1: the frontier merge examines at most `c + c·ln c`
+//! of the `c²` combinations, with no loss of accuracy.
+
+use crate::table::{num, Table};
+use lec_core::topc::{frontier_bound, frontier_merge};
+
+/// Runs the experiment, returning a markdown section.
+pub fn run() -> String {
+    let mut t = Table::new(&[
+        "c", "examined", "bound c+c·ln c", "naive c^2", "saving", "top-c exact?",
+    ]);
+    for c in [1usize, 2, 4, 8, 16, 32, 64] {
+        // Worst-case-ish sorted lists of length c each.
+        let left: Vec<f64> = (0..c).map(|i| (i * i) as f64 + 0.25).collect();
+        let right: Vec<f64> = (0..c).map(|i| 7.0 * i as f64).collect();
+        let (fast, examined) = frontier_merge(&left, &right, c);
+        let mut naive: Vec<f64> = left
+            .iter()
+            .flat_map(|l| right.iter().map(move |r| l + r))
+            .collect();
+        naive.sort_by(f64::total_cmp);
+        naive.truncate(c);
+        let exact = fast == naive;
+        t.row(vec![
+            c.to_string(),
+            examined.to_string(),
+            num(frontier_bound(c)),
+            (c * c).to_string(),
+            format!("{:.1}%", 100.0 * (1.0 - examined as f64 / (c * c) as f64)),
+            if exact { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    format!(
+        "## X4 — Proposition 3.1: frontier merge combinations\n\n\
+         Merging two cost-sorted top-c lists: combinations examined by the \
+         `i·k ≤ c` frontier vs the proposition's bound and the naive count.\n\n{}\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn x4_frontier_always_exact_and_within_bound() {
+        let md = super::run();
+        assert!(!md.contains("NO"));
+        // The c = 64 row must show a large saving.
+        let row = md
+            .lines()
+            .find(|l| l.trim_start_matches('|').trim().starts_with("64 |"))
+            .unwrap();
+        let saving: f64 = row
+            .split('|')
+            .map(str::trim)
+            .nth(5)
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(saving > 85.0, "{row}");
+    }
+}

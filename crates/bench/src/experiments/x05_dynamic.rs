@@ -1,0 +1,161 @@
+//! X5 — dynamic memory (§3.5, Theorem 3.4).
+//!
+//! Memory changes *between join phases*. Two regimes are swept:
+//!
+//! * a symmetric random walk (volatility sweep) — memory jitters around
+//!   its starting level;
+//! * an upward **drift** (recovery sweep) — the query is admitted while
+//!   the system is busy and memory frees up as it runs, so later phases
+//!   see much more memory than phase 0.
+//!
+//! Three optimizers are scored under the *true* dynamics: Algorithm C with
+//! the evolved per-phase marginals (exact, Theorem 3.4), Algorithm C
+//! pretending the phase-0 distribution holds throughout ("static
+//! assumption"), and LSC at the initial mean. Drift is where the static
+//! assumption pays: it plans for starvation that will not last.
+
+use crate::fixtures::chain_query;
+use crate::fixtures::SEED;
+use lec_workload::queries::{QueryGen, Topology};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use crate::table::{num, ratio, Table};
+use lec_core::{alg_c, evaluate, exhaustive, lsc, MemoryModel};
+use lec_cost::PaperCostModel;
+use lec_stats::MarkovChain;
+use lec_workload::envs;
+
+struct Row {
+    label: String,
+    lec_dyn: f64,
+    static_e: f64,
+    lsc_e: f64,
+    verified: bool,
+}
+
+fn score(q: &lec_plan::JoinQuery, chain: MarkovChain, initial: Vec<f64>, label: String) -> Row {
+    let model = PaperCostModel;
+    let dynamic = MemoryModel::dynamic(chain, initial).expect("valid");
+    let phases = dynamic.table(q.n()).expect("valid");
+
+    let lec_dyn = alg_c::optimize(q, &model, &dynamic).expect("lec dyn");
+    let truth = exhaustive::exhaustive_lec(q, &model, &phases).expect("truth");
+    let verified = (lec_dyn.cost - truth.cost).abs() <= 1e-6 * truth.cost;
+
+    let initial_dist = dynamic.initial_distribution().expect("valid");
+    let lec_static =
+        alg_c::optimize(q, &model, &MemoryModel::Static(initial_dist.clone())).expect("lec");
+    let static_e = evaluate::expected_cost(q, &model, &lec_static.plan, &phases);
+
+    let lsc_plan = lsc::optimize_at_mean(q, &model, &initial_dist).expect("lsc");
+    let lsc_e = evaluate::expected_cost(q, &model, &lsc_plan.plan, &phases);
+
+    Row {
+        label,
+        lec_dyn: lec_dyn.cost,
+        static_e,
+        lsc_e,
+        verified,
+    }
+}
+
+fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&[
+        "environment",
+        "E[cost] LEC-dynamic",
+        "E[cost] static-assumption",
+        "E[cost] LSC(mean)",
+        "static penalty",
+        "lsc penalty",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            num(r.lec_dyn),
+            num(r.static_e),
+            num(r.lsc_e),
+            ratio(r.static_e / r.lec_dyn),
+            ratio(r.lsc_e / r.lec_dyn),
+        ]);
+    }
+    t.render()
+}
+
+/// Runs the experiment, returning a markdown section.
+pub fn run() -> String {
+    let q = chain_query(5, SEED + 5);
+    // A star query with very uneven relation sizes: the order in which the
+    // big relations are joined interacts with *when* memory is available,
+    // which is exactly what the drift regime probes.
+    let star = QueryGen {
+        topology: Topology::Star,
+        n: 5,
+        pages_range: (100.0, 80_000.0),
+        ..QueryGen::default()
+    }
+    .generate(&mut ChaCha8Rng::seed_from_u64(120));
+    let levels = 7;
+    let mut initial = vec![0.0; levels];
+    initial[1] = 1.0; // admitted while busy: second-lowest rung (24 pages)
+    let states: Vec<f64> = (0..levels).map(|i| 12.0 * 2f64.powi(i as i32)).collect();
+
+    let mut sym = Vec::new();
+    for vol in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let chain = envs::markov_ladder(12.0, levels, vol);
+        sym.push(score(&q, chain, initial.clone(), format!("walk p={vol:.2}")));
+    }
+
+    let mut drift = Vec::new();
+    for p_up in [0.0, 0.2, 0.4, 0.6, 0.8] {
+        let chain = MarkovChain::birth_death(states.clone(), 0.05, p_up).expect("chain");
+        drift.push(score(&star, chain, initial.clone(), format!("drift up={p_up:.1}")));
+    }
+
+    let verified = sym.iter().chain(&drift).all(|r| r.verified);
+    format!(
+        "## X5 — dynamic memory: Markov walks and drifts\n\n\
+         Memory ladder 12·2^k pages, admitted at 24 pages. Penalties are \
+         expected-cost ratios against the exact dynamic-aware LEC plan \
+         under the true dynamics.\n\n\
+         (a) Symmetric volatility (chain query, n = 5):\n\n{}\n\
+         (b) Upward drift (star query with uneven sizes, n = 5; \
+         p_down = 0.05). The dynamic-aware optimizer defers the memory-\
+         hungry joins to late, memory-rich phases; the static assumption \
+         cannot see why it should:\n\n{}\n\
+         Theorem 3.4 check (dynamic DP equals exhaustive in every \
+         environment): {}\n",
+        render(&sym),
+        render(&drift),
+        if verified { "PASS" } else { "FAIL" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn x5_theorem_verified_and_penalties_valid() {
+        let md = super::run();
+        assert!(md.contains("PASS"));
+        // The strong-drift row must show a substantial static-assumption
+        // penalty (this is the experiment's point).
+        let row = md.lines().find(|l| l.contains("drift up=0.8")).unwrap();
+        let pen: f64 = row
+            .split('|')
+            .map(str::trim)
+            .nth(5)
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!(pen > 1.3, "{row}");
+        // Every penalty cell is >= 1 (the dynamic-aware plan is optimal).
+        for line in md.lines().filter(|l| l.starts_with("|") && l.contains('x')) {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            for cell in cells.iter().filter(|c| c.ends_with('x')) {
+                if let Ok(v) = cell.trim_end_matches('x').parse::<f64>() {
+                    assert!(v >= 0.999, "{line}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared fixtures: the queries and environments the experiments and the
+//! Criterion benches both use.
+
+use lec_core::MemoryModel;
+use lec_plan::JoinQuery;
+use lec_stats::Distribution;
+use lec_workload::queries::{QueryGen, Topology};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The fixed master seed for all experiments (reproducibility).
+pub const SEED: u64 = 0x1EC0;
+
+/// A deterministic chain query with `n` relations.
+pub fn chain_query(n: usize, seed: u64) -> JoinQuery {
+    QueryGen {
+        topology: Topology::Chain,
+        n,
+        ..QueryGen::default()
+    }
+    .generate(&mut ChaCha8Rng::seed_from_u64(seed))
+}
+
+/// The spread memory environment used by the scaling experiments.
+pub fn spread_memory(buckets: usize) -> Distribution {
+    lec_workload::envs::lognormal(400.0, 1.0, buckets)
+}
+
+/// Static memory model from a distribution.
+pub fn static_mem(d: Distribution) -> MemoryModel {
+    MemoryModel::Static(d)
+}

@@ -1,0 +1,87 @@
+//! The named collection of tables.
+
+use crate::error::CatalogError;
+use crate::table::TableMeta;
+use std::collections::BTreeMap;
+
+/// A catalog: the DBMS's registry of table statistics.
+///
+/// Tables are kept in a `BTreeMap` so iteration order (and hence everything
+/// derived from it, like synthetic workload generation) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableMeta>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table; the name must be fresh.
+    pub fn register(&mut self, table: TableMeta) -> Result<(), CatalogError> {
+        if self.tables.contains_key(&table.name) {
+            return Err(CatalogError::DuplicateTable(table.name));
+        }
+        self.tables.insert(table.name.clone(), table);
+        Ok(())
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Result<&TableMeta, CatalogError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates tables in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &TableMeta> {
+        self.tables.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register(TableMeta::new("a", 10, 1).unwrap()).unwrap();
+        c.register(TableMeta::new("b", 20, 2).unwrap()).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.table("a").unwrap().rows, 10);
+        assert!(matches!(c.table("zz"), Err(CatalogError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut c = Catalog::new();
+        c.register(TableMeta::new("a", 10, 1).unwrap()).unwrap();
+        assert!(matches!(
+            c.register(TableMeta::new("a", 99, 9).unwrap()),
+            Err(CatalogError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Catalog::new();
+        for name in ["zeta", "alpha", "mid"] {
+            c.register(TableMeta::new(name, 1, 1).unwrap()).unwrap();
+        }
+        let names: Vec<&str> = c.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

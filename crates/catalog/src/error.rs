@@ -1,0 +1,56 @@
+//! Error type for the catalog substrate.
+
+use std::fmt;
+
+/// Errors raised by catalog construction and lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogError {
+    /// A table with this name is already registered.
+    DuplicateTable(String),
+    /// No table with this name exists.
+    UnknownTable(String),
+    /// The named table has no column with this name.
+    UnknownColumn {
+        /// Table that was searched.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+    /// A statistic was non-positive or non-finite where that is meaningless
+    /// (e.g. zero rows per page).
+    InvalidStatistic(String),
+    /// A histogram was built from no values or malformed boundaries.
+    MalformedHistogram(String),
+    /// An underlying distribution operation failed.
+    Stats(lec_stats::StatsError),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateTable(t) => write!(f, "table `{t}` already registered"),
+            CatalogError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            CatalogError::UnknownColumn { table, column } => {
+                write!(f, "table `{table}` has no column `{column}`")
+            }
+            CatalogError::InvalidStatistic(msg) => write!(f, "invalid statistic: {msg}"),
+            CatalogError::MalformedHistogram(msg) => write!(f, "malformed histogram: {msg}"),
+            CatalogError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lec_stats::StatsError> for CatalogError {
+    fn from(e: lec_stats::StatsError) -> Self {
+        CatalogError::Stats(e)
+    }
+}

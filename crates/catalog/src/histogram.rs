@@ -1,0 +1,234 @@
+//! Column histograms for selectivity estimation.
+//!
+//! Equality and range selectivities are estimated from bucketed value
+//! frequencies, following the classic histogram line of work the paper cites
+//! (\[PHS96\]). Buckets assume uniform value spread *within* a bucket (the
+//! "continuous values" assumption), which is the standard estimation model.
+
+use crate::error::CatalogError;
+
+/// A histogram over a numeric column: `boundaries.len() == fractions.len() + 1`,
+/// bucket `i` covers `[boundaries[i], boundaries[i+1])` (the last bucket is
+/// closed on the right) and holds `fractions[i]` of the rows. Each bucket
+/// also records its number of distinct values for equality estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    boundaries: Vec<f64>,
+    fractions: Vec<f64>,
+    distinct: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds an equi-width histogram with `buckets` buckets from raw values.
+    pub fn equi_width(values: &[f64], buckets: usize) -> Result<Self, CatalogError> {
+        Self::build(values, buckets, false)
+    }
+
+    /// Builds an equi-depth histogram with `buckets` buckets from raw values.
+    pub fn equi_depth(values: &[f64], buckets: usize) -> Result<Self, CatalogError> {
+        Self::build(values, buckets, true)
+    }
+
+    fn build(values: &[f64], buckets: usize, depth: bool) -> Result<Self, CatalogError> {
+        if values.is_empty() {
+            return Err(CatalogError::MalformedHistogram("no values".into()));
+        }
+        if buckets == 0 {
+            return Err(CatalogError::MalformedHistogram("zero buckets".into()));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(CatalogError::MalformedHistogram("non-finite value".into()));
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let (lo, hi) = (sorted[0], *sorted.last().expect("non-empty"));
+
+        let boundaries: Vec<f64> = if depth {
+            // Quantile boundaries; duplicates collapse buckets below.
+            let mut b: Vec<f64> = (0..=buckets)
+                .map(|i| {
+                    let pos = (i * (sorted.len() - 1)) / buckets;
+                    sorted[pos]
+                })
+                .collect();
+            b.dedup();
+            if b.len() < 2 {
+                // All values identical: one degenerate bucket.
+                vec![lo, hi]
+            } else {
+                b
+            }
+        } else if lo == hi {
+            vec![lo, hi]
+        } else {
+            let width = (hi - lo) / buckets as f64;
+            (0..=buckets).map(|i| lo + width * i as f64).collect()
+        };
+
+        let nb = boundaries.len() - 1;
+        let mut counts = vec![0u64; nb];
+        let mut uniques: Vec<std::collections::BTreeSet<u64>> =
+            vec![std::collections::BTreeSet::new(); nb];
+        for &v in &sorted {
+            let b = bucket_of(&boundaries, v);
+            counts[b] += 1;
+            uniques[b].insert(v.to_bits());
+        }
+        let n = sorted.len() as f64;
+        Ok(Self {
+            boundaries,
+            fractions: counts.iter().map(|&c| c as f64 / n).collect(),
+            distinct: uniques.iter().map(|u| u.len() as u64).collect(),
+        })
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.fractions.len()
+    }
+
+    /// Bucket boundaries (length `buckets() + 1`).
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Row fractions per bucket (sum to 1).
+    pub fn fractions(&self) -> &[f64] {
+        &self.fractions
+    }
+
+    /// Total number of distinct values across buckets.
+    pub fn distinct_total(&self) -> u64 {
+        self.distinct.iter().sum()
+    }
+
+    /// Estimated selectivity of `column = value`: the bucket's row fraction
+    /// spread uniformly over its distinct values.
+    pub fn selectivity_eq(&self, value: f64) -> f64 {
+        let lo = self.boundaries[0];
+        let hi = *self.boundaries.last().expect("non-empty");
+        if value < lo || value > hi {
+            return 0.0;
+        }
+        let b = bucket_of(&self.boundaries, value);
+        let d = self.distinct[b].max(1) as f64;
+        self.fractions[b] / d
+    }
+
+    /// Estimated selectivity of `lo <= column <= hi` under the uniform-
+    /// within-bucket assumption.
+    pub fn selectivity_range(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for i in 0..self.buckets() {
+            let (bl, bh) = (self.boundaries[i], self.boundaries[i + 1]);
+            let width = bh - bl;
+            let overlap_lo = lo.max(bl);
+            let overlap_hi = hi.min(bh);
+            if overlap_hi <= overlap_lo && width > 0.0 {
+                continue;
+            }
+            let frac_of_bucket = if width <= 0.0 {
+                // Degenerate single-value bucket.
+                if lo <= bl && bl <= hi {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                ((overlap_hi - overlap_lo) / width).clamp(0.0, 1.0)
+            };
+            total += self.fractions[i] * frac_of_bucket;
+        }
+        total.clamp(0.0, 1.0)
+    }
+}
+
+/// Index of the bucket containing `v` (clamped to the ends).
+fn bucket_of(boundaries: &[f64], v: f64) -> usize {
+    let nb = boundaries.len() - 1;
+    // partition_point over inner boundaries [1..nb]: first bucket whose
+    // upper boundary is > v.
+    let mut idx = boundaries[1..nb].partition_point(|&b| b <= v);
+    if idx >= nb {
+        idx = nb - 1;
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_values(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn equi_width_fractions_sum_to_one() {
+        let h = Histogram::equi_width(&uniform_values(1000), 8).unwrap();
+        assert_eq!(h.buckets(), 8);
+        assert!((h.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equi_depth_balances_rows() {
+        // Skewed data: equi-depth buckets should still hold ~equal fractions.
+        let mut vals: Vec<f64> = uniform_values(900);
+        vals.extend(std::iter::repeat_n(5.0, 100));
+        let h = Histogram::equi_depth(&vals, 4).unwrap();
+        for &f in h.fractions() {
+            assert!(f > 0.1, "bucket fraction {f} too small");
+        }
+    }
+
+    #[test]
+    fn range_selectivity_uniform_data() {
+        let h = Histogram::equi_width(&uniform_values(10_000), 16).unwrap();
+        // Query covering ~30% of the domain.
+        let s = h.selectivity_range(1000.0, 4000.0);
+        assert!((s - 0.3).abs() < 0.02, "selectivity {s}");
+        // Full domain.
+        assert!((h.selectivity_range(-1.0, 1e9) - 1.0).abs() < 1e-9);
+        // Empty range.
+        assert_eq!(h.selectivity_range(5.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn eq_selectivity_uniform_data() {
+        let vals = uniform_values(1000);
+        let h = Histogram::equi_width(&vals, 10).unwrap();
+        let s = h.selectivity_eq(500.0);
+        assert!((s - 0.001).abs() < 2e-4, "selectivity {s}");
+        assert_eq!(h.selectivity_eq(-5.0), 0.0);
+        assert_eq!(h.selectivity_eq(1e9), 0.0);
+    }
+
+    #[test]
+    fn degenerate_single_value_column() {
+        let vals = vec![7.0; 64];
+        let h = Histogram::equi_width(&vals, 4).unwrap();
+        assert!((h.selectivity_eq(7.0) - 1.0).abs() < 1e-12);
+        assert!((h.selectivity_range(7.0, 7.0) - 1.0).abs() < 1e-12);
+        assert_eq!(h.selectivity_range(8.0, 9.0), 0.0);
+        assert_eq!(h.distinct_total(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Histogram::equi_width(&[], 4).is_err());
+        assert!(Histogram::equi_width(&[1.0], 0).is_err());
+        assert!(Histogram::equi_width(&[f64::NAN], 2).is_err());
+    }
+
+    #[test]
+    fn distinct_counts_drive_eq_estimates() {
+        // Two distinct values in one bucket: eq selectivity halves.
+        let vals = vec![1.0, 1.0, 2.0, 2.0];
+        let h = Histogram::equi_width(&vals, 1).unwrap();
+        assert_eq!(h.distinct_total(), 2);
+        assert!((h.selectivity_eq(1.0) - 0.5).abs() < 1e-12);
+    }
+}

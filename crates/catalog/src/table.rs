@@ -1,0 +1,123 @@
+//! Table and column metadata.
+
+use crate::error::CatalogError;
+use crate::histogram::Histogram;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Estimated number of distinct values.
+    pub distinct: u64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Optional value histogram for finer selectivity estimates.
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnMeta {
+    /// A column with only the coarse statistics (no histogram).
+    pub fn new(name: impl Into<String>, distinct: u64, min: f64, max: f64) -> Self {
+        Self {
+            name: name.into(),
+            distinct,
+            min,
+            max,
+            histogram: None,
+        }
+    }
+
+    /// Attaches a histogram, also refreshing the distinct count from it.
+    pub fn with_histogram(mut self, histogram: Histogram) -> Self {
+        self.distinct = histogram.distinct_total();
+        self.histogram = Some(histogram);
+        self
+    }
+}
+
+/// Statistics for one stored table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMeta {
+    /// Table name, unique within the catalog.
+    pub name: String,
+    /// Row count.
+    pub rows: u64,
+    /// Page count (the unit every cost formula works in).
+    pub pages: u64,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnMeta>,
+}
+
+impl TableMeta {
+    /// Creates table metadata; `rows` and `pages` must both be positive.
+    pub fn new(name: impl Into<String>, rows: u64, pages: u64) -> Result<Self, CatalogError> {
+        if rows == 0 || pages == 0 {
+            return Err(CatalogError::InvalidStatistic(format!(
+                "table must have positive rows and pages (rows={rows}, pages={pages})"
+            )));
+        }
+        Ok(Self {
+            name: name.into(),
+            rows,
+            pages,
+            columns: Vec::new(),
+        })
+    }
+
+    /// Adds a column (builder style).
+    pub fn with_column(mut self, column: ColumnMeta) -> Self {
+        self.columns.push(column);
+        self
+    }
+
+    /// Average tuples per page.
+    pub fn tuples_per_page(&self) -> f64 {
+        self.rows as f64 / self.pages as f64
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Result<&ColumnMeta, CatalogError> {
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| CatalogError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_construction_and_lookup() {
+        let t = TableMeta::new("orders", 1_000_000, 10_000)
+            .unwrap()
+            .with_column(ColumnMeta::new("o_id", 1_000_000, 0.0, 1e6))
+            .with_column(ColumnMeta::new("o_cust", 50_000, 0.0, 5e4));
+        assert_eq!(t.tuples_per_page(), 100.0);
+        assert_eq!(t.column("o_cust").unwrap().distinct, 50_000);
+        assert!(matches!(
+            t.column("nope"),
+            Err(CatalogError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_stats_rejected() {
+        assert!(TableMeta::new("t", 0, 10).is_err());
+        assert!(TableMeta::new("t", 10, 0).is_err());
+    }
+
+    #[test]
+    fn histogram_refreshes_distinct() {
+        let h = Histogram::equi_width(&[1.0, 2.0, 3.0], 2).unwrap();
+        let c = ColumnMeta::new("x", 999, 1.0, 3.0).with_histogram(h);
+        assert_eq!(c.distinct, 3);
+    }
+}

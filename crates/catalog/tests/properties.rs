@@ -1,0 +1,86 @@
+//! Property tests for the catalog substrate: histogram estimates behave
+//! like probabilities and agree with brute-force counting.
+
+use lec_catalog::{Histogram, SelectivityBelief};
+use proptest::prelude::*;
+
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10_000.0, 1..400)
+}
+
+proptest! {
+    #[test]
+    fn fractions_sum_to_one(values in arb_values(), b in 1usize..20) {
+        for h in [
+            Histogram::equi_width(&values, b).unwrap(),
+            Histogram::equi_depth(&values, b).unwrap(),
+        ] {
+            let sum: f64 = h.fractions().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(h.boundaries().windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn range_selectivity_is_a_probability_and_monotone(
+        values in arb_values(),
+        b in 1usize..16,
+        lo in 0.0f64..10_000.0,
+        width in 0.0f64..10_000.0,
+    ) {
+        let h = Histogram::equi_width(&values, b).unwrap();
+        let s = h.selectivity_range(lo, lo + width);
+        prop_assert!((0.0..=1.0).contains(&s));
+        // Widening the range can only grow the estimate.
+        let wider = h.selectivity_range(lo, lo + width * 2.0 + 1.0);
+        prop_assert!(wider >= s - 1e-12);
+        // The full domain is certain.
+        let full = h.selectivity_range(f64::MIN, f64::MAX);
+        prop_assert!((full - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_estimate_tracks_true_fraction_on_uniform_data(
+        n in 100usize..2000,
+        lo_frac in 0.0f64..0.8,
+        width_frac in 0.05f64..0.2,
+    ) {
+        // Uniform integer data: the histogram estimate must track the true
+        // count within a few percent.
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let h = Histogram::equi_width(&values, 16).unwrap();
+        let lo = lo_frac * n as f64;
+        let hi = (lo_frac + width_frac) * n as f64;
+        let truth = values.iter().filter(|&&v| v >= lo && v <= hi).count() as f64 / n as f64;
+        let est = h.selectivity_range(lo, hi);
+        prop_assert!((est - truth).abs() < 0.05, "est {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn eq_selectivity_sums_to_at_most_one_over_distincts(
+        values in prop::collection::vec(0i32..40, 1..200),
+    ) {
+        let vals: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+        let h = Histogram::equi_width(&vals, 8).unwrap();
+        let mut distinct: Vec<f64> = vals.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        let total: f64 = distinct.iter().map(|&v| h.selectivity_eq(v)).sum();
+        // Summing equality selectivities over all distinct values recovers
+        // (approximately) the whole table.
+        prop_assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn uncertain_beliefs_stay_valid(point in 1e-6f64..1.0, cv in 0.0f64..3.0, b in 1usize..12) {
+        let belief = SelectivityBelief::uncertain(point, cv, b).unwrap();
+        let d = belief.distribution();
+        prop_assert!(d.min() > 0.0);
+        prop_assert!(d.max() <= 1.0);
+        prop_assert!((d.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The mean matches the point except when the (0,1] clamp bites.
+        if point * (1.0 + 3.0 * cv) < 1.0 {
+            prop_assert!((d.mean() - point).abs() < 1e-6 * point.max(1e-9));
+        }
+    }
+}

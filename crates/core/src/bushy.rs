@@ -1,0 +1,281 @@
+//! Bushy-tree LEC optimization (§4's future-work direction).
+//!
+//! The paper's algorithms inherit System R's left-deep restriction; §4
+//! lists bushy join trees as the main un-handled generalization. The
+//! expected-cost objective doesn't care about tree shape — Theorem 3.3's
+//! proof only uses additivity — so the same idea extends to the full
+//! DPsub-style dynamic program: for every relation subset, try every
+//! 2-partition into smaller subsets, pricing the join step in expectation.
+//!
+//! Phases: a bushy plan's joins still execute in post-order; under *static*
+//! memory every phase shares one distribution and the DP below is exact
+//! (verified against bushy exhaustive enumeration). Under *dynamic* memory
+//! a subtree's phase indices depend on where it lands in the final plan, so
+//! subset-DP state is insufficient; [`optimize`] therefore rejects dynamic
+//! models rather than silently approximating.
+
+use crate::dp::Optimized;
+use crate::env::MemoryModel;
+use crate::error::CoreError;
+use crate::evaluate::{access_choices, access_step, join_step, sort_step};
+use lec_cost::{CostModel, JoinMethod};
+use lec_plan::{JoinQuery, Plan, RelSet};
+
+/// Computes the least-expected-cost *bushy* plan under static memory.
+pub fn optimize<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+) -> Result<Optimized, CoreError> {
+    let MemoryModel::Static(mem) = memory else {
+        return Err(CoreError::BadParameter(
+            "bushy LEC optimization supports static memory only \
+             (phase indices are shape-dependent in bushy trees)"
+                .into(),
+        ));
+    };
+    let n = query.n();
+    let full = query.all();
+
+    #[derive(Clone, Copy)]
+    enum Choice {
+        Access(lec_cost::AccessMethod),
+        Join {
+            left: RelSet,
+            method: JoinMethod,
+            /// Join orientation: when false the split's complement is the
+            /// left input (matters for the asymmetric nested loop).
+            left_first: bool,
+        },
+    }
+    struct Entry {
+        cost: f64,
+        choice: Choice,
+    }
+    let mut table: Vec<Option<Entry>> = (0..=full.bits()).map(|_| None).collect();
+
+    for i in 0..n {
+        let rel = query.relation(i);
+        let (cost, method) = access_choices(rel)
+            .into_iter()
+            .map(|m| (access_step(rel, m).0, m))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("at least the full scan");
+        table[RelSet::single(i).bits() as usize] = Some(Entry {
+            cost,
+            choice: Choice::Access(method),
+        });
+    }
+
+    let mut best_ordered: Option<Entry> = None;
+    for set in RelSet::all_subsets(n) {
+        if set.len() < 2 {
+            continue;
+        }
+        let out = query.result_pages(set);
+        let mut best: Option<Entry> = None;
+        // Enumerate 2-partitions: submasks containing the lowest member
+        // (each unordered split once); both orientations are priced.
+        let lowest = set.iter().next().expect("non-empty");
+        let bits = set.bits();
+        let rest = set.remove(lowest).bits();
+        let mut sub = rest;
+        loop {
+            let left = RelSet::from_bits(sub | (1 << lowest));
+            let right = RelSet::from_bits(bits & !left.bits());
+            if !right.is_empty() {
+                let le = table[left.bits() as usize].as_ref().expect("computed");
+                let re = table[right.bits() as usize].as_ref().expect("computed");
+                let (lp, rp) = (query.result_pages(left), query.result_pages(right));
+                let key = query.join_key_between(left, right);
+                for method in JoinMethod::ALL {
+                    for left_first in [true, false] {
+                        let (a, b) = if left_first { (lp, rp) } else { (rp, lp) };
+                        let step = mem.expect(|m| join_step(model, method, a, b, out, m));
+                        let cost = le.cost + re.cost + step;
+                        if best.as_ref().is_none_or(|e| cost < e.cost) {
+                            best = Some(Entry {
+                                cost,
+                                choice: Choice::Join { left, method, left_first },
+                            });
+                        }
+                        if set == full
+                            && method == JoinMethod::SortMerge
+                            && query.required_order().is_some()
+                            && key == query.required_order()
+                            && best_ordered.as_ref().is_none_or(|e| cost < e.cost)
+                        {
+                            best_ordered = Some(Entry {
+                                cost,
+                                choice: Choice::Join { left, method, left_first },
+                            });
+                        }
+                    }
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+        table[set.bits() as usize] = best;
+    }
+
+    // Plan reconstruction.
+    fn plan_for(
+        query: &JoinQuery,
+        table: &[Option<Entry>],
+        set: RelSet,
+        override_root: Option<&Entry>,
+    ) -> Plan {
+        let entry = override_root
+            .or(table[set.bits() as usize].as_ref())
+            .expect("entry exists");
+        match entry.choice {
+            Choice::Access(method) => Plan::Access {
+                rel: set.iter().next().expect("singleton"),
+                method,
+            },
+            Choice::Join { left, method, left_first } => {
+                let right = RelSet::from_bits(set.bits() & !left.bits());
+                let lp = plan_for(query, table, left, None);
+                let rp = plan_for(query, table, right, None);
+                let key = query.join_key_between(left, right);
+                if left_first {
+                    Plan::join(lp, rp, method, key)
+                } else {
+                    Plan::join(rp, lp, method, key)
+                }
+            }
+        }
+    }
+
+    let root = table[full.bits() as usize]
+        .as_ref()
+        .ok_or(CoreError::NoPlanFound)?;
+    if query.required_order().is_some() {
+        let out = query.result_pages(full);
+        let sorted_cost = root.cost + mem.expect(|m| sort_step(model, out, m));
+        match &best_ordered {
+            Some(ord) if ord.cost <= sorted_cost => {
+                return Ok(Optimized {
+                    plan: plan_for(query, &table, full, Some(ord)),
+                    cost: ord.cost,
+                });
+            }
+            _ => {
+                let key = query.required_order().expect("checked");
+                return Ok(Optimized {
+                    plan: Plan::sort(plan_for(query, &table, full, None), key),
+                    cost: sorted_cost,
+                });
+            }
+        }
+    }
+    Ok(Optimized {
+        plan: plan_for(query, &table, full, None),
+        cost: root.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::expected_cost;
+    use crate::{alg_c, exhaustive};
+    use lec_cost::PaperCostModel;
+    use lec_plan::{JoinPred, KeyId, Relation};
+    use lec_stats::{Distribution, MarkovChain};
+
+    fn query(n: usize, seed: u64, star: bool) -> JoinQuery {
+        let mut state = seed.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(7);
+        let mut next = || {
+            state = state
+                .wrapping_mul(0x5851F42D4C957F2D)
+                .wrapping_add(0x14057B7EF767814F);
+            ((state >> 33) % 9000 + 40) as f64
+        };
+        let relations = (0..n)
+            .map(|i| Relation::new(format!("r{i}"), next(), 1e5))
+            .collect();
+        let predicates = (0..n - 1)
+            .map(|i| JoinPred {
+                left: if star { 0 } else { i },
+                right: i + 1,
+                selectivity: 1e-3,
+                key: KeyId(i),
+            })
+            .collect();
+        JoinQuery::new(relations, predicates, Some(KeyId(n - 2))).unwrap()
+    }
+
+    fn memory() -> MemoryModel {
+        MemoryModel::Static(
+            Distribution::new([(15.0, 0.3), (90.0, 0.4), (1200.0, 0.3)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn bushy_dp_matches_bushy_exhaustive() {
+        for seed in 0..5 {
+            for star in [false, true] {
+                let q = query(4, seed, star);
+                let mem = memory();
+                let dp = optimize(&q, &PaperCostModel, &mem).unwrap();
+                let phases = mem.table(q.n()).unwrap();
+                let truth =
+                    exhaustive::exhaustive_lec_bushy(&q, &PaperCostModel, &phases).unwrap();
+                assert!(
+                    (dp.cost - truth.cost).abs() <= 1e-6 * truth.cost,
+                    "seed {seed} star {star}: dp {} vs exhaustive {}",
+                    dp.cost,
+                    truth.cost
+                );
+                dp.plan.validate(&q).unwrap();
+                // DP cost is self-consistent with the evaluator.
+                let scored = expected_cost(&q, &PaperCostModel, &dp.plan, &phases);
+                assert!((dp.cost - scored).abs() <= 1e-6 * scored.max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn bushy_never_worse_than_left_deep() {
+        for seed in 0..6 {
+            let q = query(5, 100 + seed, seed % 2 == 0);
+            let mem = memory();
+            let bushy = optimize(&q, &PaperCostModel, &mem).unwrap();
+            let left_deep = alg_c::optimize(&q, &PaperCostModel, &mem).unwrap();
+            assert!(
+                bushy.cost <= left_deep.cost + 1e-9 * left_deep.cost,
+                "seed {seed}: bushy {} vs left-deep {}",
+                bushy.cost,
+                left_deep.cost
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_dynamic_memory() {
+        let q = query(3, 0, false);
+        let chain = MarkovChain::random_walk(vec![10.0, 100.0], 0.5).unwrap();
+        let mem = MemoryModel::dynamic(chain, vec![0.5, 0.5]).unwrap();
+        assert!(matches!(
+            optimize(&q, &PaperCostModel, &mem),
+            Err(CoreError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn single_relation_and_pair() {
+        let q = JoinQuery::new(vec![Relation::new("only", 50.0, 1e3)], vec![], None).unwrap();
+        let opt = optimize(&q, &PaperCostModel, &memory()).unwrap();
+        assert_eq!(opt.plan, Plan::scan(0));
+        // For two relations, bushy == left-deep by construction.
+        let q2 = query(2, 3, false);
+        let mem = memory();
+        let b = optimize(&q2, &PaperCostModel, &mem).unwrap();
+        let l = alg_c::optimize(&q2, &PaperCostModel, &mem).unwrap();
+        assert!((b.cost - l.cost).abs() <= 1e-9 * l.cost);
+    }
+}

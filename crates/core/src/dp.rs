@@ -1,0 +1,377 @@
+//! The generic left-deep dynamic program (§2.2's dag walk).
+//!
+//! System R's LSC optimizer (Theorem 2.1) and the LEC Algorithm C
+//! (Theorems 3.3/3.4) are the *same* dynamic program instantiated with
+//! different step costers: LSC costs each join step at one fixed memory
+//! value, Algorithm C costs it in expectation over the phase's memory
+//! distribution. Correctness of the DP only needs the step cost to be
+//! additive across the plan — which expectations are, by linearity (that is
+//! the entire content of the Theorem 3.3 proof).
+//!
+//! ### Interesting orders
+//!
+//! Only a final sort-merge join on the required key can satisfy an ORDER BY
+//! without an explicit sort (no other operator produces or preserves
+//! order in our model, and the paper's SM formula takes no discount for
+//! pre-sorted inputs). The DP therefore keeps one best entry per subset and
+//! additionally tracks, at the full set, the best plan whose *final* join
+//! is a sort-merge on the required key; the root then compares that
+//! against best-unordered-plus-sort. Disabling this via
+//! [`DpOptions::ignore_orders`] is the X1 ablation.
+
+use crate::env::PhaseDists;
+use crate::error::CoreError;
+use crate::evaluate::{access_choices, access_step, join_step, sort_step};
+use lec_cost::{AccessMethod, CostModel, JoinMethod};
+use lec_plan::{JoinQuery, Plan, RelSet};
+
+/// An optimized plan with its (expected) cost under the optimizing
+/// objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Optimized {
+    /// The chosen plan.
+    pub plan: Plan,
+    /// Its cost under the objective the algorithm minimized (specific cost
+    /// for LSC, expected cost for the LEC algorithms).
+    pub cost: f64,
+}
+
+/// Prices one plan *step* for the dynamic program. The phase index follows
+/// §3.5: the join forming a `k`-relation result is phase `k - 2`; a final
+/// sort is the last phase.
+pub trait StepCoster {
+    /// Cost of a join step, including output materialization.
+    fn join(
+        &self,
+        phase: usize,
+        method: JoinMethod,
+        left_pages: f64,
+        right_pages: f64,
+        out_pages: f64,
+    ) -> f64;
+
+    /// Cost of a sort step, including output materialization.
+    fn sort(&self, phase: usize, pages: f64) -> f64;
+}
+
+/// Step coster for a single fixed memory value (the LSC world).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedMemoryCoster<'a, M: ?Sized> {
+    model: &'a M,
+    memory: f64,
+}
+
+impl<'a, M: CostModel + ?Sized> FixedMemoryCoster<'a, M> {
+    /// Prices steps at the given memory value.
+    pub fn new(model: &'a M, memory: f64) -> Self {
+        Self { model, memory }
+    }
+}
+
+impl<M: CostModel + ?Sized> StepCoster for FixedMemoryCoster<'_, M> {
+    fn join(&self, _phase: usize, method: JoinMethod, l: f64, r: f64, out: f64) -> f64 {
+        join_step(self.model, method, l, r, out, self.memory)
+    }
+
+    fn sort(&self, _phase: usize, pages: f64) -> f64 {
+        sort_step(self.model, pages, self.memory)
+    }
+}
+
+/// Step coster taking expectations over per-phase memory distributions
+/// (Algorithm C; with a static table every phase shares one distribution).
+#[derive(Debug, Clone, Copy)]
+pub struct ExpectedCoster<'a, M: ?Sized> {
+    model: &'a M,
+    phases: &'a PhaseDists,
+}
+
+impl<'a, M: CostModel + ?Sized> ExpectedCoster<'a, M> {
+    /// Prices steps in expectation over `phases`.
+    pub fn new(model: &'a M, phases: &'a PhaseDists) -> Self {
+        Self { model, phases }
+    }
+}
+
+impl<M: CostModel + ?Sized> StepCoster for ExpectedCoster<'_, M> {
+    fn join(&self, phase: usize, method: JoinMethod, l: f64, r: f64, out: f64) -> f64 {
+        self.phases
+            .at(phase)
+            .expect(|m| join_step(self.model, method, l, r, out, m))
+    }
+
+    fn sort(&self, phase: usize, pages: f64) -> f64 {
+        self.phases
+            .at(phase)
+            .expect(|m| sort_step(self.model, pages, m))
+    }
+}
+
+/// Options for the dynamic program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DpOptions {
+    /// Ablation: drop order tracking and always sort at the root when the
+    /// query requires an order.
+    pub ignore_orders: bool,
+}
+
+/// One DP table entry: best cost plus the backpointer to reconstruct the
+/// plan (`j` joined last with `method`).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    cost: f64,
+    choice: Choice,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Choice {
+    Access(AccessMethod),
+    Join { last: usize, method: JoinMethod },
+}
+
+/// Runs the left-deep dynamic program with the given step coster.
+pub fn optimize_left_deep<C: StepCoster>(
+    query: &JoinQuery,
+    coster: &C,
+    options: DpOptions,
+) -> Result<Optimized, CoreError> {
+    let n = query.n();
+    let full = query.all();
+    let mut table: Vec<Option<Entry>> = vec![None; (full.bits() + 1) as usize];
+
+    // Depth 1: best access path per relation.
+    for i in 0..n {
+        let rel = query.relation(i);
+        let best = access_choices(rel)
+            .into_iter()
+            .map(|m| (access_step(rel, m).0, m))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("at least the full scan");
+        table[RelSet::single(i).bits() as usize] = Some(Entry {
+            cost: best.0,
+            choice: Choice::Access(best.1),
+        });
+    }
+
+    // The best full-set plan whose final join is a sort-merge on the
+    // required key (satisfies the ORDER BY for free).
+    let required = if options.ignore_orders {
+        None
+    } else {
+        query.required_order()
+    };
+    let mut best_ordered: Option<Entry> = None;
+
+    // Depths 2..n: masks enumerate with every subset before its supersets.
+    for set in RelSet::all_subsets(n) {
+        if set.len() < 2 {
+            continue;
+        }
+        let out = query.result_pages(set);
+        let phase = set.len() - 2;
+        let mut best: Option<Entry> = None;
+        for j in set.iter() {
+            let sub = set.remove(j);
+            let left = table[sub.bits() as usize].expect("subset computed earlier");
+            let left_out = query.result_pages(sub);
+            let rel = query.relation(j);
+            let (acc_cost, acc_out) = access_choices(rel)
+                .into_iter()
+                .map(|m| access_step(rel, m))
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("at least the full scan");
+            let key = query.join_key_between(sub, RelSet::single(j));
+            for method in JoinMethod::ALL {
+                let cost =
+                    left.cost + acc_cost + coster.join(phase, method, left_out, acc_out, out);
+                let entry = Entry {
+                    cost,
+                    choice: Choice::Join { last: j, method },
+                };
+                if best.is_none_or(|b| cost < b.cost) {
+                    best = Some(entry);
+                }
+                if set == full
+                    && method == JoinMethod::SortMerge
+                    && required.is_some()
+                    && key == required
+                    && best_ordered.is_none_or(|b| cost < b.cost)
+                {
+                    best_ordered = Some(entry);
+                }
+            }
+        }
+        table[set.bits() as usize] = best;
+    }
+
+    let root = table[full.bits() as usize].ok_or(CoreError::NoPlanFound)?;
+
+    // Root: satisfy a required order either through the final join or
+    // through an explicit sort.
+    if query.required_order().is_some() {
+        let out = query.result_pages(full);
+        let sorted_cost = root.cost + coster.sort(n.saturating_sub(1), out);
+        match best_ordered {
+            Some(ord) if ord.cost <= sorted_cost => {
+                let plan = reconstruct(query, &table, full, Some(ord));
+                return Ok(Optimized {
+                    plan,
+                    cost: ord.cost,
+                });
+            }
+            _ => {
+                let inner = reconstruct(query, &table, full, None);
+                let key = query.required_order().expect("checked above");
+                return Ok(Optimized {
+                    plan: Plan::sort(inner, key),
+                    cost: sorted_cost,
+                });
+            }
+        }
+    }
+
+    let plan = reconstruct(query, &table, full, None);
+    Ok(Optimized {
+        plan,
+        cost: root.cost,
+    })
+}
+
+/// Rebuilds the plan tree from backpointers; `override_root` substitutes a
+/// different final-join choice (the ordered alternative).
+fn reconstruct(
+    query: &JoinQuery,
+    table: &[Option<Entry>],
+    set: RelSet,
+    override_root: Option<Entry>,
+) -> Plan {
+    let entry = override_root.unwrap_or_else(|| table[set.bits() as usize].expect("entry exists"));
+    match entry.choice {
+        Choice::Access(method) => {
+            let rel = set.iter().next().expect("singleton");
+            Plan::Access { rel, method }
+        }
+        Choice::Join { last, method } => {
+            let sub = set.remove(last);
+            let left = reconstruct(query, table, sub, None);
+            // The right child re-derives its best access path.
+            let rel = query.relation(last);
+            let access = access_choices(rel)
+                .into_iter()
+                .map(|m| (access_step(rel, m).0, m))
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("at least the full scan")
+                .1;
+            let key = query.join_key_between(sub, RelSet::single(last));
+            Plan::join(
+                left,
+                Plan::Access { rel: last, method: access },
+                method,
+                key,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::plan_cost_at;
+    use lec_cost::PaperCostModel;
+    use lec_plan::{JoinPred, KeyId, Relation};
+
+    fn chain_query(n: usize) -> JoinQuery {
+        let relations = (0..n)
+            .map(|i| Relation::new(format!("r{i}"), 100.0 * (i + 1) as f64, 1000.0))
+            .collect();
+        let predicates = (0..n - 1)
+            .map(|i| JoinPred {
+                left: i,
+                right: i + 1,
+                selectivity: 0.001,
+                key: KeyId(i),
+            })
+            .collect();
+        JoinQuery::new(relations, predicates, None).unwrap()
+    }
+
+    #[test]
+    fn dp_cost_matches_evaluator() {
+        let q = chain_query(4);
+        let model = PaperCostModel;
+        for memory in [5.0, 50.0, 500.0] {
+            let coster = FixedMemoryCoster::new(&model, memory);
+            let opt = optimize_left_deep(&q, &coster, DpOptions::default()).unwrap();
+            let evaluated = plan_cost_at(&q, &model, &opt.plan, memory);
+            assert!(
+                (opt.cost - evaluated).abs() < 1e-6 * evaluated.max(1.0),
+                "DP says {}, evaluator says {evaluated}",
+                opt.cost
+            );
+            assert!(opt.plan.is_left_deep());
+            opt.plan.validate(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_relation_query() {
+        let q = JoinQuery::new(vec![Relation::new("only", 50.0, 500.0)], vec![], None).unwrap();
+        let model = PaperCostModel;
+        let coster = FixedMemoryCoster::new(&model, 100.0);
+        let opt = optimize_left_deep(&q, &coster, DpOptions::default()).unwrap();
+        assert_eq!(opt.plan, Plan::scan(0));
+        assert_eq!(opt.cost, 0.0);
+    }
+
+    #[test]
+    fn order_requirement_adds_sort_or_picks_sort_merge() {
+        let q = JoinQuery::new(
+            vec![
+                Relation::new("a", 1000.0, 1e4),
+                Relation::new("b", 800.0, 8e3),
+            ],
+            vec![JoinPred {
+                left: 0,
+                right: 1,
+                selectivity: 1e-4,
+                key: KeyId(0),
+            }],
+            Some(KeyId(0)),
+        )
+        .unwrap();
+        let model = PaperCostModel;
+        let coster = FixedMemoryCoster::new(&model, 50.0);
+        let opt = optimize_left_deep(&q, &coster, DpOptions::default()).unwrap();
+        // Whatever the winner, it must produce the required order.
+        assert_eq!(opt.plan.output_order(), Some(KeyId(0)));
+    }
+
+    #[test]
+    fn ignore_orders_ablation_always_sorts() {
+        let q = JoinQuery::new(
+            vec![
+                Relation::new("a", 1000.0, 1e4),
+                Relation::new("b", 800.0, 8e3),
+            ],
+            vec![JoinPred {
+                left: 0,
+                right: 1,
+                selectivity: 1e-4,
+                key: KeyId(0),
+            }],
+            Some(KeyId(0)),
+        )
+        .unwrap();
+        let model = PaperCostModel;
+        let coster = FixedMemoryCoster::new(&model, 50.0);
+        let opt = optimize_left_deep(
+            &q,
+            &coster,
+            DpOptions {
+                ignore_orders: true,
+            },
+        )
+        .unwrap();
+        assert!(matches!(opt.plan, Plan::Sort { .. }));
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for the optimizer crate.
+
+use std::fmt;
+
+/// Errors raised by the optimizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A plan-substrate error (malformed query or plan).
+    Plan(lec_plan::PlanError),
+    /// A probability-substrate error (malformed distribution or chain).
+    Stats(lec_stats::StatsError),
+    /// An algorithm parameter was invalid (e.g. `c = 0` for top-c).
+    BadParameter(String),
+    /// The search produced no plan (internal invariant violation).
+    NoPlanFound,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Plan(e) => write!(f, "plan error: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            CoreError::NoPlanFound => write!(f, "optimizer produced no plan"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Plan(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lec_plan::PlanError> for CoreError {
+    fn from(e: lec_plan::PlanError) -> Self {
+        CoreError::Plan(e)
+    }
+}
+
+impl From<lec_stats::StatsError> for CoreError {
+    fn from(e: lec_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}

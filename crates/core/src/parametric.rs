@@ -1,0 +1,226 @@
+//! Parametric LEC optimization: precompute at compile time, pick at
+//! start-up time (§3.2/§3.4 meets \[INSS92\]/\[GC94\]).
+//!
+//! "We can precompute the best expected plan under a number of possible
+//! distributions (ones that give good coverage of what we expect to
+//! encounter at run-time), and store these expected plans, for use at
+//! query execution time." At start-up the observed memory distribution is
+//! usually sharper than the compile-time one; instead of re-running the
+//! optimizer, re-*cost* the stored plans under the observed distribution —
+//! plan costing is linear in plan size, optimization is exponential in the
+//! join count — and run the cheapest.
+
+use crate::alg_c;
+use crate::dp::Optimized;
+use crate::env::MemoryModel;
+use crate::error::CoreError;
+use crate::evaluate::expected_cost;
+use lec_cost::CostModel;
+use lec_plan::{JoinQuery, Plan};
+use lec_stats::Distribution;
+
+/// A compile-time-precomputed set of LEC plans, one per anticipated
+/// environment scenario.
+///
+/// # Examples
+///
+/// ```
+/// use lec_core::parametric::ParametricPlans;
+/// use lec_cost::PaperCostModel;
+/// use lec_plan::{JoinPred, JoinQuery, KeyId, Relation};
+/// use lec_stats::Distribution;
+///
+/// let query = JoinQuery::new(
+///     vec![Relation::new("a", 5_000.0, 2.5e5), Relation::new("b", 800.0, 4e4)],
+///     vec![JoinPred { left: 0, right: 1, selectivity: 1e-4, key: KeyId(0) }],
+///     None,
+/// )?;
+/// // Compile time: one LEC plan per anticipated scenario.
+/// let scenarios = vec![
+///     Distribution::new([(20.0, 0.7), (200.0, 0.3)])?,
+///     Distribution::new([(20.0, 0.1), (200.0, 0.9)])?,
+/// ];
+/// let set = ParametricPlans::precompute(&query, &PaperCostModel, &scenarios)?;
+///
+/// // Start-up: re-cost stored plans under what was actually observed.
+/// let observed = Distribution::new([(20.0, 0.5), (200.0, 0.5)])?;
+/// let choice = set.pick(&query, &PaperCostModel, &observed)?;
+/// assert!(choice.expected_cost > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParametricPlans {
+    scenarios: Vec<(Distribution, Optimized)>,
+}
+
+/// What the start-up-time lookup chose.
+#[derive(Debug, Clone)]
+pub struct StartupChoice {
+    /// Index of the winning scenario's plan.
+    pub scenario: usize,
+    /// The plan to run.
+    pub plan: Plan,
+    /// Its expected cost under the *observed* distribution.
+    pub expected_cost: f64,
+}
+
+impl ParametricPlans {
+    /// Compile-time phase: run the (expensive) LEC optimizer once per
+    /// scenario distribution.
+    pub fn precompute<M: CostModel + ?Sized>(
+        query: &JoinQuery,
+        model: &M,
+        scenarios: &[Distribution],
+    ) -> Result<Self, CoreError> {
+        if scenarios.is_empty() {
+            return Err(CoreError::BadParameter(
+                "need at least one scenario".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(scenarios.len());
+        for s in scenarios {
+            let opt = alg_c::optimize(query, model, &MemoryModel::Static(s.clone()))?;
+            out.push((s.clone(), opt));
+        }
+        Ok(Self { scenarios: out })
+    }
+
+    /// Number of stored scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Never true: precompute rejects empty scenario sets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The stored scenarios and their plans.
+    pub fn scenarios(&self) -> &[(Distribution, Optimized)] {
+        &self.scenarios
+    }
+
+    /// Start-up phase: re-cost every stored plan under the observed
+    /// distribution (cheap — no plan search) and return the best.
+    pub fn pick<M: CostModel + ?Sized>(
+        &self,
+        query: &JoinQuery,
+        model: &M,
+        observed: &Distribution,
+    ) -> Result<StartupChoice, CoreError> {
+        let phases = MemoryModel::Static(observed.clone()).table(query.n().max(2))?;
+        let mut best: Option<StartupChoice> = None;
+        // Deduplicate identical plans across scenarios before costing.
+        let mut seen: Vec<&Plan> = Vec::new();
+        for (idx, (_, opt)) in self.scenarios.iter().enumerate() {
+            if seen.iter().any(|p| **p == opt.plan) {
+                continue;
+            }
+            seen.push(&opt.plan);
+            let e = expected_cost(query, model, &opt.plan, &phases);
+            if best.as_ref().is_none_or(|b| e < b.expected_cost) {
+                best = Some(StartupChoice {
+                    scenario: idx,
+                    plan: opt.plan.clone(),
+                    expected_cost: e,
+                });
+            }
+        }
+        best.ok_or(CoreError::NoPlanFound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_cost::{CountingModel, PaperCostModel};
+    use lec_plan::{JoinPred, KeyId, Relation};
+
+    fn query() -> JoinQuery {
+        JoinQuery::new(
+            vec![
+                Relation::new("A", 1_000_000.0, 5e7),
+                Relation::new("B", 400_000.0, 2e7),
+            ],
+            vec![JoinPred {
+                left: 0,
+                right: 1,
+                selectivity: 3000.0 / 4e11,
+                key: KeyId(0),
+            }],
+            Some(KeyId(0)),
+        )
+        .unwrap()
+    }
+
+    fn scenarios() -> Vec<Distribution> {
+        vec![
+            // Roomy environment.
+            Distribution::new([(1800.0, 0.7), (2500.0, 0.3)]).unwrap(),
+            // The paper's 80/20 mix.
+            Distribution::new([(700.0, 0.2), (2000.0, 0.8)]).unwrap(),
+            // Starved environment.
+            Distribution::new([(400.0, 0.6), (900.0, 0.4)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn picking_a_stored_scenario_matches_fresh_optimization() {
+        let q = query();
+        let model = PaperCostModel;
+        let set = ParametricPlans::precompute(&q, &model, &scenarios()).unwrap();
+        assert_eq!(set.len(), 3);
+        for s in scenarios() {
+            let choice = set.pick(&q, &model, &s).unwrap();
+            let fresh = alg_c::optimize(&q, &model, &MemoryModel::Static(s)).unwrap();
+            assert!(
+                (choice.expected_cost - fresh.cost).abs() <= 1e-9 * fresh.cost,
+                "stored {} vs fresh {}",
+                choice.expected_cost,
+                fresh.cost
+            );
+        }
+    }
+
+    #[test]
+    fn interpolated_observations_have_bounded_regret() {
+        let q = query();
+        let model = PaperCostModel;
+        let set = ParametricPlans::precompute(&q, &model, &scenarios()).unwrap();
+        // An observed distribution between the stored scenarios.
+        let observed = Distribution::new([(600.0, 0.3), (2100.0, 0.7)]).unwrap();
+        let choice = set.pick(&q, &model, &observed).unwrap();
+        let fresh = alg_c::optimize(&q, &model, &MemoryModel::Static(observed)).unwrap();
+        // Never better than fresh, and on this family the stored plans
+        // cover the space, so it should tie.
+        assert!(choice.expected_cost >= fresh.cost - 1e-9);
+        assert!(choice.expected_cost <= fresh.cost * 1.2);
+    }
+
+    #[test]
+    fn startup_costing_is_much_cheaper_than_reoptimizing() {
+        let q = query();
+        let model = CountingModel::new(PaperCostModel);
+        let set = ParametricPlans::precompute(&q, &model, &scenarios()).unwrap();
+        let observed = Distribution::new([(500.0, 0.5), (1500.0, 0.5)]).unwrap();
+        model.reset();
+        set.pick(&q, &model, &observed).unwrap();
+        let pick_evals = model.evaluations();
+        model.reset();
+        alg_c::optimize(&q, &model, &MemoryModel::Static(observed)).unwrap();
+        let fresh_evals = model.evaluations();
+        assert!(
+            pick_evals < fresh_evals,
+            "pick {pick_evals} vs fresh {fresh_evals}"
+        );
+    }
+
+    #[test]
+    fn rejects_empty_scenarios() {
+        let q = query();
+        assert!(matches!(
+            ParametricPlans::precompute(&q, &PaperCostModel, &[]),
+            Err(CoreError::BadParameter(_))
+        ));
+    }
+}

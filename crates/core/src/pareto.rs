@@ -1,0 +1,498 @@
+//! Expected *utility* optimization (the PODS 2002 extension).
+//!
+//! For the linear utility, expectation distributes over cost addition and
+//! the scalar DP of Algorithm C is exact (Theorem 3.3). For any other
+//! utility the scalar principle of optimality fails: the best plan for a
+//! subquery *by utility score* need not extend to the best overall plan,
+//! because `E[u(c₁ + c₂)] ≠ f(E[u(c₁)], E[u(c₂)])` when costs share the
+//! random parameter. Two remedies are implemented here:
+//!
+//! * [`optimize`] — a **Pareto-frontier DP** over cost *profiles* (the
+//!   vector of plan costs, one per memory value). A subplan is kept unless
+//!   some other subplan is at least as cheap at *every* memory value;
+//!   since plan cost is componentwise monotone in subplan profiles, the
+//!   frontier retains an optimal subplan for every monotone utility. This
+//!   is exact, at the price of a frontier that can grow with the bucket
+//!   count (this is essentially parametric query optimization \[INSS92\]
+//!   with the discrete parameter space).
+//! * [`scalar_dp`] — the naive "Algorithm C with `E[u(·)]` in place of
+//!   `E[·]`". Provably unsound for non-linear utilities; kept as the
+//!   counterexample generator (experiment X11 exhibits a deadline-utility
+//!   instance where it returns a strictly worse plan).
+//!
+//! Ground truth for both comes from [`exhaustive_utility`].
+
+use crate::dp::Optimized;
+use crate::error::CoreError;
+use crate::evaluate::{access_choices, access_step, cost_distribution_static, join_step, sort_step};
+use crate::exhaustive::enumerate_left_deep;
+use lec_cost::{CostModel, JoinMethod};
+use lec_plan::{JoinQuery, Plan, RelSet};
+use lec_stats::{Distribution, Utility};
+
+/// Result of a utility optimization.
+#[derive(Debug, Clone)]
+pub struct UtilityResult {
+    /// The chosen plan; `cost` holds the utility *score* (lower is better;
+    /// for `Linear` this is the expected cost, for `Exponential` a
+    /// certainty equivalent, for `Deadline` a miss probability).
+    pub best: Optimized,
+    /// The chosen plan's full cost distribution.
+    pub cost_distribution: Distribution,
+    /// Largest Pareto frontier encountered at any dag node (1 for the
+    /// scalar DP); a measure of the extra work exactness costs.
+    pub max_frontier: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ProfEntry {
+    profile: Vec<f64>,
+    plan: Plan,
+}
+
+/// `a` dominates `b` when it is at least as cheap at every parameter value.
+fn dominates(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| *x <= y + 1e-12)
+}
+
+fn insert_frontier(frontier: &mut Vec<ProfEntry>, entry: ProfEntry) {
+    if frontier.iter().any(|e| dominates(&e.profile, &entry.profile)) {
+        return;
+    }
+    frontier.retain(|e| !dominates(&entry.profile, &e.profile));
+    frontier.push(entry);
+}
+
+/// Exact expected-utility optimization over left-deep plans via the
+/// Pareto-frontier DP. Static memory only (profiles are per-value costs).
+///
+/// # Examples
+///
+/// ```
+/// use lec_core::pareto;
+/// use lec_cost::PaperCostModel;
+/// use lec_plan::{JoinPred, JoinQuery, KeyId, Relation};
+/// use lec_stats::{Distribution, Utility};
+///
+/// let query = JoinQuery::new(
+///     vec![
+///         Relation::new("a", 5_000.0, 2.5e5),
+///         Relation::new("b", 800.0, 4e4),
+///     ],
+///     vec![JoinPred { left: 0, right: 1, selectivity: 1e-4, key: KeyId(0) }],
+///     None,
+/// )?;
+/// let memory = Distribution::new([(30.0, 0.4), (300.0, 0.6)])?;
+/// let averse = pareto::optimize(
+///     &query,
+///     &PaperCostModel,
+///     &memory,
+///     Utility::Exponential { gamma: 1e-4 },
+/// )?;
+/// // The score is a certainty equivalent, at least the mean cost.
+/// assert!(averse.best.cost >= averse.cost_distribution.mean() - 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimize<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &Distribution,
+    utility: Utility,
+) -> Result<UtilityResult, CoreError> {
+    let n = query.n();
+    let full = query.all();
+    let values = memory.values();
+    let b = values.len();
+    let mut table: Vec<Vec<ProfEntry>> = vec![Vec::new(); (full.bits() + 1) as usize];
+    let mut max_frontier = 1usize;
+
+    for i in 0..n {
+        let rel = query.relation(i);
+        // Access cost is memory-independent: a single cheapest entry.
+        let (cost, method) = access_choices(rel)
+            .into_iter()
+            .map(|m| (access_step(rel, m).0, m))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("at least the full scan");
+        table[RelSet::single(i).bits() as usize] = vec![ProfEntry {
+            profile: vec![cost; b],
+            plan: Plan::Access { rel: i, method },
+        }];
+    }
+
+    for set in RelSet::all_subsets(n) {
+        if set.len() < 2 {
+            continue;
+        }
+        let out = query.result_pages(set);
+        let is_root = set == full;
+        let mut frontier: Vec<ProfEntry> = Vec::new();
+        for j in set.iter() {
+            let sub = set.remove(j);
+            let left_out = query.result_pages(sub);
+            let rel = query.relation(j);
+            let (acc_cost, acc_out, acc_method) = access_choices(rel)
+                .into_iter()
+                .map(|m| {
+                    let (c, o) = access_step(rel, m);
+                    (c, o, m)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("at least the full scan");
+            let key = query.join_key_between(sub, RelSet::single(j));
+            let left_list = table[sub.bits() as usize].clone();
+            for method in JoinMethod::ALL {
+                let step: Vec<f64> = values
+                    .iter()
+                    .map(|&m| join_step(model, method, left_out, acc_out, out, m))
+                    .collect();
+                for left in &left_list {
+                    let mut profile: Vec<f64> = left
+                        .profile
+                        .iter()
+                        .zip(&step)
+                        .map(|(l, s)| l + acc_cost + s)
+                        .collect();
+                    let mut plan = Plan::join(
+                        left.plan.clone(),
+                        Plan::Access { rel: j, method: acc_method },
+                        method,
+                        key,
+                    );
+                    // At the root, complete plans that miss a required order
+                    // *before* dominance pruning, so that ordered and sorted
+                    // alternatives compete fairly.
+                    if is_root {
+                        if let Some(required) = query.required_order() {
+                            if plan.output_order() != Some(required) {
+                                for (p, &m) in profile.iter_mut().zip(values) {
+                                    *p += sort_step(model, out, m);
+                                }
+                                plan = Plan::sort(plan, required);
+                            }
+                        }
+                    }
+                    insert_frontier(&mut frontier, ProfEntry { profile, plan });
+                }
+            }
+        }
+        max_frontier = max_frontier.max(frontier.len());
+        table[set.bits() as usize] = frontier;
+    }
+
+    let roots = &table[full.bits() as usize];
+    let best = roots
+        .iter()
+        .map(|e| {
+            let dist = Distribution::new(
+                memory
+                    .probs()
+                    .iter()
+                    .zip(e.profile.iter())
+                    .map(|(&p, &c)| (c, p)),
+            )
+            .expect("profile costs are finite");
+            (e, utility.score(&dist), dist)
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .ok_or(CoreError::NoPlanFound)?;
+
+    Ok(UtilityResult {
+        best: Optimized {
+            plan: best.0.plan.clone(),
+            cost: best.1,
+        },
+        cost_distribution: best.2,
+        max_frontier,
+    })
+}
+
+/// The unsound scalar utility DP: keeps, at every dag node, the single
+/// subplan with the best utility score of its own cost distribution.
+/// Exact only for [`Utility::Linear`] (where it *is* Algorithm C).
+pub fn scalar_dp<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &Distribution,
+    utility: Utility,
+) -> Result<UtilityResult, CoreError> {
+    let n = query.n();
+    let full = query.all();
+    let values = memory.values();
+    let b = values.len();
+    let score_of = |profile: &[f64]| -> f64 {
+        let dist = Distribution::new(
+            profile
+                .iter()
+                .zip(memory.probs())
+                .map(|(&c, &p)| (c, p)),
+        )
+        .expect("finite costs");
+        utility.score(&dist)
+    };
+    let mut table: Vec<Option<ProfEntry>> = vec![None; (full.bits() + 1) as usize];
+
+    for i in 0..n {
+        let rel = query.relation(i);
+        let (cost, method) = access_choices(rel)
+            .into_iter()
+            .map(|m| (access_step(rel, m).0, m))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("at least the full scan");
+        table[RelSet::single(i).bits() as usize] = Some(ProfEntry {
+            profile: vec![cost; b],
+            plan: Plan::Access { rel: i, method },
+        });
+    }
+
+    for set in RelSet::all_subsets(n) {
+        if set.len() < 2 {
+            continue;
+        }
+        let out = query.result_pages(set);
+        let is_root = set == full;
+        let mut best: Option<(f64, ProfEntry)> = None;
+        for j in set.iter() {
+            let sub = set.remove(j);
+            let left = table[sub.bits() as usize].clone().expect("subset computed");
+            let left_out = query.result_pages(sub);
+            let rel = query.relation(j);
+            let (acc_cost, acc_out, acc_method) = access_choices(rel)
+                .into_iter()
+                .map(|m| {
+                    let (c, o) = access_step(rel, m);
+                    (c, o, m)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("at least the full scan");
+            let key = query.join_key_between(sub, RelSet::single(j));
+            for method in JoinMethod::ALL {
+                let mut profile: Vec<f64> = values
+                    .iter()
+                    .zip(&left.profile)
+                    .map(|(&m, l)| l + acc_cost + join_step(model, method, left_out, acc_out, out, m))
+                    .collect();
+                let mut plan = Plan::join(
+                    left.plan.clone(),
+                    Plan::Access { rel: j, method: acc_method },
+                    method,
+                    key,
+                );
+                if is_root {
+                    if let Some(required) = query.required_order() {
+                        if plan.output_order() != Some(required) {
+                            for (p, &m) in profile.iter_mut().zip(values) {
+                                *p += sort_step(model, out, m);
+                            }
+                            plan = Plan::sort(plan, required);
+                        }
+                    }
+                }
+                let score = score_of(&profile);
+                if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                    best = Some((score, ProfEntry { profile, plan }));
+                }
+            }
+        }
+        table[set.bits() as usize] = best.map(|(_, e)| e);
+    }
+
+    let root = table[full.bits() as usize]
+        .clone()
+        .ok_or(CoreError::NoPlanFound)?;
+    let dist = Distribution::new(
+        root.profile
+            .iter()
+            .zip(memory.probs())
+            .map(|(&c, &p)| (c, p)),
+    )?;
+    let score = utility.score(&dist);
+    Ok(UtilityResult {
+        best: Optimized {
+            plan: root.plan,
+            cost: score,
+        },
+        cost_distribution: dist,
+        max_frontier: 1,
+    })
+}
+
+/// Brute-force expected-utility optimum over all left-deep plans.
+pub fn exhaustive_utility<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &Distribution,
+    utility: Utility,
+) -> Result<UtilityResult, CoreError> {
+    enumerate_left_deep(query)
+        .into_iter()
+        .map(|plan| {
+            let dist = cost_distribution_static(query, model, &plan, memory);
+            let score = utility.score(&dist);
+            UtilityResult {
+                best: Optimized { plan, cost: score },
+                cost_distribution: dist,
+                max_frontier: 0,
+            }
+        })
+        .min_by(|a, b| a.best.cost.total_cmp(&b.best.cost))
+        .ok_or(CoreError::NoPlanFound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg_c;
+    use crate::env::MemoryModel;
+    use lec_cost::PaperCostModel;
+    use lec_plan::{JoinPred, KeyId, Relation};
+
+    fn query(n: usize, seed: u64) -> JoinQuery {
+        // Deterministic pseudo-random sizes from a tiny LCG.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 5000 + 50) as f64
+        };
+        let relations = (0..n)
+            .map(|i| Relation::new(format!("r{i}"), next(), 1e4))
+            .collect();
+        let predicates = (0..n - 1)
+            .map(|i| JoinPred {
+                left: i,
+                right: i + 1,
+                selectivity: 0.001,
+                key: KeyId(i),
+            })
+            .collect();
+        JoinQuery::new(relations, predicates, Some(KeyId(n - 2))).unwrap()
+    }
+
+    fn memory() -> Distribution {
+        Distribution::new([(15.0, 0.25), (70.0, 0.35), (450.0, 0.25), (2200.0, 0.15)]).unwrap()
+    }
+
+    #[test]
+    fn linear_utility_matches_algorithm_c() {
+        for seed in 0..5 {
+            let q = query(4, seed);
+            let mem = memory();
+            let p = optimize(&q, &PaperCostModel, &mem, Utility::Linear).unwrap();
+            let c = alg_c::optimize(&q, &PaperCostModel, &MemoryModel::Static(mem)).unwrap();
+            assert!(
+                (p.best.cost - c.cost).abs() < 1e-6 * c.cost.max(1.0),
+                "seed {seed}: pareto {} vs C {}",
+                p.best.cost,
+                c.cost
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_matches_exhaustive_for_all_utilities() {
+        let utilities = [
+            Utility::Linear,
+            Utility::Exponential { gamma: 1e-5 },
+            Utility::Exponential { gamma: -1e-5 },
+        ];
+        for seed in 0..4 {
+            let q = query(4, seed);
+            let mem = memory();
+            for u in utilities {
+                let p = optimize(&q, &PaperCostModel, &mem, u).unwrap();
+                let e = exhaustive_utility(&q, &PaperCostModel, &mem, u).unwrap();
+                assert!(
+                    (p.best.cost - e.best.cost).abs() <= 1e-6 * e.best.cost.abs().max(1e-9),
+                    "seed {seed}, {u:?}: pareto {} vs exhaustive {}",
+                    p.best.cost,
+                    e.best.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_matches_exhaustive_for_deadline_utility() {
+        for seed in 0..4 {
+            let q = query(4, seed);
+            let mem = memory();
+            // Put the deadline between the best plan's min and max cost so
+            // the miss probability is non-trivial.
+            let probe = exhaustive_utility(&q, &PaperCostModel, &mem, Utility::Linear).unwrap();
+            let t = probe.cost_distribution.mean();
+            let u = Utility::Deadline { threshold: t };
+            let p = optimize(&q, &PaperCostModel, &mem, u).unwrap();
+            let e = exhaustive_utility(&q, &PaperCostModel, &mem, u).unwrap();
+            assert!(
+                (p.best.cost - e.best.cost).abs() <= 1e-9,
+                "seed {seed}: pareto {} vs exhaustive {}",
+                p.best.cost,
+                e.best.cost
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_dp_is_exact_for_linear_but_not_in_general() {
+        // Soundness half: for Linear, scalar DP equals the exhaustive
+        // optimum on every instance.
+        let mut strict_gap = false;
+        for seed in 0..30 {
+            let q = query(4, seed);
+            let mem = memory();
+            let lin_scalar = scalar_dp(&q, &PaperCostModel, &mem, Utility::Linear).unwrap();
+            let lin_truth =
+                exhaustive_utility(&q, &PaperCostModel, &mem, Utility::Linear).unwrap();
+            assert!(
+                (lin_scalar.best.cost - lin_truth.best.cost).abs()
+                    <= 1e-6 * lin_truth.best.cost.max(1.0),
+                "seed {seed}: linear scalar DP must be exact"
+            );
+            // Unsoundness half: for a deadline utility, scalar DP is
+            // sometimes strictly worse than the true optimum.
+            let probe = lin_truth.cost_distribution.quantile(0.6).unwrap();
+            let u = Utility::Deadline { threshold: probe };
+            let scal = scalar_dp(&q, &PaperCostModel, &mem, u).unwrap();
+            let truth = exhaustive_utility(&q, &PaperCostModel, &mem, u).unwrap();
+            assert!(scal.best.cost >= truth.best.cost - 1e-12);
+            if scal.best.cost > truth.best.cost + 1e-9 {
+                strict_gap = true;
+            }
+        }
+        assert!(
+            strict_gap,
+            "expected at least one instance where the scalar deadline DP is strictly suboptimal"
+        );
+    }
+
+    #[test]
+    fn risk_averse_utility_prefers_lower_variance() {
+        // Example 1.1 again: the LEC winner (hash+sort) is *constant* in
+        // cost, so any risk-averse utility likes it even more.
+        let q = JoinQuery::new(
+            vec![
+                Relation::new("A", 1_000_000.0, 5e7),
+                Relation::new("B", 400_000.0, 2e7),
+            ],
+            vec![JoinPred {
+                left: 0,
+                right: 1,
+                selectivity: 3000.0 / 4e11,
+                key: KeyId(0),
+            }],
+            Some(KeyId(0)),
+        )
+        .unwrap();
+        let mem = Distribution::new([(700.0, 0.2), (2000.0, 0.8)]).unwrap();
+        let averse = optimize(
+            &q,
+            &PaperCostModel,
+            &mem,
+            Utility::Exponential { gamma: 1e-5 },
+        )
+        .unwrap();
+        assert!(averse.cost_distribution.is_point());
+        assert!(matches!(averse.best.plan, Plan::Sort { .. }));
+        assert!(averse.max_frontier >= 1);
+    }
+}

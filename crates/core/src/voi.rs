@@ -1,0 +1,260 @@
+//! Value of information: when is it worth *reducing* the uncertainty?
+//!
+//! §2.3 and §3.6 point at \[SBM93\]: some uncertainty (notably predicate
+//! selectivities) can be reduced by sampling, which itself costs I/O —
+//! "they use decision-theoretic methods to pre-compute scenarios where it
+//! may be worthwhile to do sampling". The decision-theoretic quantity
+//! behind that is the **expected value of perfect information (EVPI)**:
+//!
+//! ```text
+//! EVPI = E[ cost of committing to one plan under uncertainty ]
+//!      − E_v[ cost of the best plan for each realized v ]
+//! ```
+//!
+//! i.e. how much cheaper execution gets, on average, if the optimizer could
+//! learn the parameters' true values before choosing a plan. Sampling (or
+//! any other uncertainty-reducing measurement) is worthwhile exactly when
+//! its cost is below the (partial) EVPI of the parameter it measures.
+//!
+//! This module computes the exact EVPI for the multi-parameter model by
+//! joint enumeration (exponential; experiment scale), both for learning
+//! *everything* and for learning one parameter at a time — the per-
+//! parameter numbers tell you *which* predicate deserves a sample.
+
+use crate::alg_d::SizeModel;
+use crate::env::MemoryModel;
+use crate::error::CoreError;
+use crate::evaluate::expected_cost_joint;
+use crate::exhaustive::enumerate_left_deep;
+use lec_cost::CostModel;
+use lec_plan::{JoinQuery, Plan};
+use lec_stats::Distribution;
+
+/// The EVPI analysis of one query under a size/selectivity model.
+#[derive(Debug, Clone)]
+pub struct VoiReport {
+    /// Expected cost of the best *single* plan committed to under full
+    /// uncertainty (the exact joint LEC plan).
+    pub committed_cost: f64,
+    /// The committed plan itself.
+    pub committed_plan: Plan,
+    /// Expected cost when the true parameter values are revealed before
+    /// planning (a fresh optimization per realization).
+    pub informed_cost: f64,
+    /// `committed_cost - informed_cost` (≥ 0): the most any oracle —
+    /// sampling, statistics refresh, run-time feedback — can be worth.
+    pub evpi: f64,
+    /// Per-parameter EVPI: `partial[k]` is the value of learning only
+    /// parameter `k` (relation sizes first, then predicate selectivities,
+    /// in index order), the others staying uncertain.
+    pub partial: Vec<f64>,
+}
+
+impl VoiReport {
+    /// True when a measurement of the given cost pays for itself against
+    /// the full-information bound.
+    pub fn sampling_worthwhile(&self, sampling_cost: f64) -> bool {
+        self.evpi > sampling_cost
+    }
+}
+
+/// Number of uncertain parameters in a size model.
+fn n_params(sizes: &SizeModel) -> usize {
+    sizes.rel_sizes.len() + sizes.selectivities.len()
+}
+
+/// The `k`-th parameter's distribution.
+fn param(sizes: &SizeModel, k: usize) -> &Distribution {
+    let n = sizes.rel_sizes.len();
+    if k < n {
+        &sizes.rel_sizes[k]
+    } else {
+        &sizes.selectivities[k - n]
+    }
+}
+
+/// A copy of the size model with parameter `k` collapsed to `value`.
+fn condition(sizes: &SizeModel, k: usize, value: f64) -> Result<SizeModel, CoreError> {
+    let mut out = sizes.clone();
+    let n = out.rel_sizes.len();
+    let point = Distribution::point(value)?;
+    if k < n {
+        out.rel_sizes[k] = point;
+    } else {
+        out.selectivities[k - n] = point;
+    }
+    Ok(out)
+}
+
+/// Best single plan under joint uncertainty: exact minimum of
+/// [`expected_cost_joint`] over all left-deep plans. Exponential; the
+/// ground-truth counterpart of Algorithm D.
+pub fn joint_lec(
+    query: &JoinQuery,
+    model: &(impl CostModel + ?Sized),
+    memory: &MemoryModel,
+    sizes: &SizeModel,
+) -> Result<(Plan, f64), CoreError> {
+    let phases = memory.table(query.n().max(2))?;
+    enumerate_left_deep(query)
+        .into_iter()
+        .map(|plan| {
+            let cost = expected_cost_joint(query, model, &plan, sizes, &phases);
+            (plan, cost)
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .ok_or(CoreError::NoPlanFound)
+}
+
+/// Computes the full EVPI analysis. Cost grows as the product of all
+/// parameter bucket counts; intended for small queries (`n ≤ 4`, few
+/// buckets), where it is exact.
+pub fn analyze(
+    query: &JoinQuery,
+    model: &(impl CostModel + ?Sized),
+    memory: &MemoryModel,
+    sizes: &SizeModel,
+) -> Result<VoiReport, CoreError> {
+    let (committed_plan, committed_cost) = joint_lec(query, model, memory, sizes)?;
+
+    // Full information: for each joint assignment, re-optimize.
+    let informed_cost = expected_over_assignments(sizes, &mut |conditioned| {
+        joint_lec(query, model, memory, conditioned).map(|(_, c)| c)
+    })?;
+
+    // Partial information, one parameter at a time.
+    let mut partial = Vec::with_capacity(n_params(sizes));
+    for k in 0..n_params(sizes) {
+        let dist = param(sizes, k).clone();
+        let mut with_k = 0.0;
+        for (v, p) in dist.iter() {
+            let conditioned = condition(sizes, k, v)?;
+            let (_, best) = joint_lec(query, model, memory, &conditioned)?;
+            with_k += p * best;
+        }
+        partial.push((committed_cost - with_k).max(0.0));
+    }
+
+    Ok(VoiReport {
+        evpi: (committed_cost - informed_cost).max(0.0),
+        committed_cost,
+        committed_plan,
+        informed_cost,
+        partial,
+    })
+}
+
+/// Iterates all joint assignments of the size model's parameters, calling
+/// `f` with a fully conditioned model and probability-weighting the result.
+fn expected_over_assignments(
+    sizes: &SizeModel,
+    f: &mut impl FnMut(&SizeModel) -> Result<f64, CoreError>,
+) -> Result<f64, CoreError> {
+    let dims: Vec<Distribution> = sizes
+        .rel_sizes
+        .iter()
+        .chain(sizes.selectivities.iter())
+        .cloned()
+        .collect();
+    let mut idx = vec![0usize; dims.len()];
+    let mut total = 0.0;
+    loop {
+        let mut prob = 1.0;
+        let mut conditioned = sizes.clone();
+        for (k, (d, &i)) in dims.iter().zip(&idx).enumerate() {
+            prob *= d.probs()[i];
+            conditioned = condition(&conditioned, k, d.values()[i])?;
+        }
+        total += prob * f(&conditioned)?;
+
+        let mut k = 0;
+        loop {
+            if k == dims.len() {
+                return Ok(total);
+            }
+            idx[k] += 1;
+            if idx[k] < dims[k].len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_cost::PaperCostModel;
+    use lec_plan::{JoinPred, KeyId, Relation};
+
+    fn query() -> JoinQuery {
+        JoinQuery::new(
+            vec![
+                Relation::new("a", 2_000.0, 1e5),
+                Relation::new("b", 150.0, 7.5e3),
+                Relation::new("c", 5_000.0, 2.5e5),
+            ],
+            vec![
+                JoinPred { left: 0, right: 1, selectivity: 1e-3, key: KeyId(0) },
+                JoinPred { left: 1, right: 2, selectivity: 5e-4, key: KeyId(1) },
+            ],
+            None,
+        )
+        .unwrap()
+    }
+
+    fn memory() -> MemoryModel {
+        MemoryModel::Static(Distribution::new([(30.0, 0.5), (400.0, 0.5)]).unwrap())
+    }
+
+    #[test]
+    fn certain_parameters_have_zero_evpi() {
+        let q = query();
+        let sizes = SizeModel::certain(&q).unwrap();
+        let r = analyze(&q, &PaperCostModel, &memory(), &sizes).unwrap();
+        assert!(r.evpi.abs() < 1e-9 * r.committed_cost.max(1.0), "evpi {}", r.evpi);
+        for p in &r.partial {
+            assert!(p.abs() < 1e-9 * r.committed_cost.max(1.0));
+        }
+        assert!(!r.sampling_worthwhile(1.0));
+    }
+
+    #[test]
+    fn evpi_nonnegative_and_bounds_partials() {
+        let q = query();
+        let sizes = SizeModel::with_uncertainty(&q, 0.6, 1.0, 2).unwrap();
+        let r = analyze(&q, &PaperCostModel, &memory(), &sizes).unwrap();
+        assert!(r.evpi >= 0.0);
+        assert!(r.informed_cost <= r.committed_cost + 1e-9);
+        // Learning one parameter can never beat learning everything.
+        for (k, p) in r.partial.iter().enumerate() {
+            assert!(*p <= r.evpi + 1e-6 * r.committed_cost, "param {k}: {p} > {}", r.evpi);
+        }
+    }
+
+    #[test]
+    fn committed_plan_is_the_joint_optimum() {
+        let q = query();
+        let sizes = SizeModel::with_uncertainty(&q, 0.0, 1.5, 3).unwrap();
+        let mem = memory();
+        let r = analyze(&q, &PaperCostModel, &mem, &sizes).unwrap();
+        let phases = mem.table(q.n()).unwrap();
+        for plan in enumerate_left_deep(&q) {
+            let c = expected_cost_joint(&q, &PaperCostModel, &plan, &sizes, &phases);
+            assert!(r.committed_cost <= c + 1e-6 * c.max(1.0));
+        }
+        r.committed_plan.validate(&q).unwrap();
+    }
+
+    #[test]
+    fn sampling_decision_threshold() {
+        let q = query();
+        let sizes = SizeModel::with_uncertainty(&q, 0.8, 1.5, 2).unwrap();
+        let r = analyze(&q, &PaperCostModel, &memory(), &sizes).unwrap();
+        if r.evpi > 0.0 {
+            assert!(r.sampling_worthwhile(r.evpi / 2.0));
+            assert!(!r.sampling_worthwhile(r.evpi * 2.0));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! A cost-model wrapper that counts formula evaluations.
+//!
+//! The paper's complexity claims are stated in cost-formula evaluations
+//! ("this computation requires b evaluations of the cost formula", §3.4;
+//! "b times the cost of a single optimizer invocation", §3.2). Experiments
+//! X3/X7 use this wrapper as the work meter.
+
+use crate::methods::JoinMethod;
+use crate::CostModel;
+use std::cell::Cell;
+
+/// Wraps a [`CostModel`], counting every `join_cost` / `sort_cost` call.
+#[derive(Debug, Clone, Default)]
+pub struct CountingModel<M> {
+    inner: M,
+    evals: Cell<u64>,
+}
+
+impl<M: CostModel> CountingModel<M> {
+    /// Wraps `inner` with a zeroed counter.
+    pub fn new(inner: M) -> Self {
+        Self {
+            inner,
+            evals: Cell::new(0),
+        }
+    }
+
+    /// Number of cost-formula evaluations so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evals.get()
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.evals.set(0);
+    }
+
+    /// Returns the wrapped model.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: CostModel> CostModel for CountingModel<M> {
+    fn join_cost(&self, method: JoinMethod, l: f64, r: f64, m: f64) -> f64 {
+        self.evals.set(self.evals.get() + 1);
+        self.inner.join_cost(method, l, r, m)
+    }
+
+    fn sort_cost(&self, pages: f64, memory: f64) -> f64 {
+        self.evals.set(self.evals.get() + 1);
+        self.inner.sort_cost(pages, memory)
+    }
+
+    fn join_breakpoints(&self, method: JoinMethod, l: f64, r: f64) -> Vec<f64> {
+        self.inner.join_breakpoints(method, l, r)
+    }
+
+    fn sort_breakpoints(&self, pages: f64) -> Vec<f64> {
+        self.inner.sort_breakpoints(pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::PaperCostModel;
+
+    #[test]
+    fn counts_and_resets() {
+        let m = CountingModel::new(PaperCostModel);
+        assert_eq!(m.evaluations(), 0);
+        let direct = PaperCostModel.join_cost(JoinMethod::SortMerge, 100.0, 50.0, 20.0);
+        let wrapped = m.join_cost(JoinMethod::SortMerge, 100.0, 50.0, 20.0);
+        assert_eq!(direct, wrapped);
+        m.sort_cost(100.0, 10.0);
+        assert_eq!(m.evaluations(), 2);
+        // Breakpoint queries are not formula evaluations.
+        m.join_breakpoints(JoinMethod::GraceHash, 100.0, 50.0);
+        assert_eq!(m.evaluations(), 2);
+        m.reset();
+        assert_eq!(m.evaluations(), 0);
+    }
+}

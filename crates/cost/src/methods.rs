@@ -1,0 +1,77 @@
+//! Physical operator identifiers.
+
+use std::fmt;
+
+/// Binary join algorithms considered by the optimizer (the System R
+/// heuristic restricts the search to binary joins, §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JoinMethod {
+    /// Sort-merge join; output is sorted on the join key.
+    SortMerge,
+    /// Grace hash join (partition both inputs, then build/probe).
+    GraceHash,
+    /// Page nested-loop join with the left input as the outer.
+    NestedLoop,
+}
+
+impl JoinMethod {
+    /// All join methods, in a fixed order.
+    pub const ALL: [JoinMethod; 3] = [
+        JoinMethod::SortMerge,
+        JoinMethod::GraceHash,
+        JoinMethod::NestedLoop,
+    ];
+
+    /// True iff this method's output is physically sorted on the join key.
+    pub fn output_sorted(self) -> bool {
+        matches!(self, JoinMethod::SortMerge)
+    }
+}
+
+impl fmt::Display for JoinMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinMethod::SortMerge => "sort-merge",
+            JoinMethod::GraceHash => "grace-hash",
+            JoinMethod::NestedLoop => "nested-loop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Access paths for base relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMethod {
+    /// Sequential scan of all pages.
+    FullScan,
+    /// Index lookup; only applicable when a local selection exists.
+    IndexScan,
+}
+
+impl fmt::Display for AccessMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessMethod::FullScan => "scan",
+            AccessMethod::IndexScan => "index",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_sort_merge_produces_order() {
+        assert!(JoinMethod::SortMerge.output_sorted());
+        assert!(!JoinMethod::GraceHash.output_sorted());
+        assert!(!JoinMethod::NestedLoop.output_sorted());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(JoinMethod::SortMerge.to_string(), "sort-merge");
+        assert_eq!(AccessMethod::FullScan.to_string(), "scan");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: the fast expectation kernels agree exactly with the
+//! naive triple loop for arbitrary bucketed distributions, and both cost
+//! models behave monotonically in memory.
+
+use lec_cost::fast_expect::{expected_join_fast, expected_join_naive};
+use lec_cost::{CostModel, DetailedCostModel, JoinMethod, PaperCostModel};
+use lec_stats::Distribution;
+use proptest::prelude::*;
+
+/// Page-size distributions with supports that can collide across relations
+/// (values snapped to a coarse grid to force ties).
+fn arb_pages_dist() -> impl Strategy<Value = Distribution> {
+    prop::collection::vec((1u32..2000, 0.05f64..1.0), 1..=10).prop_map(|pts| {
+        Distribution::from_weights(pts.into_iter().map(|(v, w)| (f64::from(v) * 8.0, w)))
+            .expect("positive weights")
+    })
+}
+
+/// Memory distributions, including values likely to hit √n-style thresholds.
+fn arb_mem_dist() -> impl Strategy<Value = Distribution> {
+    prop::collection::vec((2u32..5000, 0.05f64..1.0), 1..=10).prop_map(|pts| {
+        Distribution::from_weights(pts.into_iter().map(|(v, w)| (f64::from(v), w)))
+            .expect("positive weights")
+    })
+}
+
+proptest! {
+    #[test]
+    fn fast_equals_naive_for_all_methods(
+        a in arb_pages_dist(),
+        b in arb_pages_dist(),
+        mem in arb_mem_dist(),
+    ) {
+        for method in JoinMethod::ALL {
+            let naive = expected_join_naive(&PaperCostModel, method, &a, &b, &mem);
+            let fast = expected_join_fast(method, &a, &b, &mem);
+            let scale = naive.abs().max(1.0);
+            prop_assert!(
+                (naive - fast).abs() <= 1e-9 * scale,
+                "{method}: naive {naive} vs fast {fast}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_costs_monotone_nonincreasing_in_memory(
+        a in 1.0f64..1e6,
+        b in 1.0f64..1e6,
+        m1 in 3.0f64..1e6,
+        m2 in 3.0f64..1e6,
+    ) {
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        for method in JoinMethod::ALL {
+            let paper = PaperCostModel;
+            prop_assert!(paper.join_cost(method, a, b, hi) <= paper.join_cost(method, a, b, lo));
+            let detailed = DetailedCostModel;
+            prop_assert!(
+                detailed.join_cost(method, a, b, hi) <= detailed.join_cost(method, a, b, lo)
+            );
+        }
+    }
+
+    #[test]
+    fn join_costs_positive_and_finite(
+        a in 1.0f64..1e6,
+        b in 1.0f64..1e6,
+        m in 3.0f64..1e6,
+    ) {
+        for method in JoinMethod::ALL {
+            for model in [&PaperCostModel as &dyn CostModel, &DetailedCostModel] {
+                let c = model.join_cost(method, a, b, m);
+                prop_assert!(c.is_finite() && c > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn join_cost_constant_between_breakpoints(
+        a in 10.0f64..1e6,
+        b in 10.0f64..1e6,
+        t in 0.01f64..0.99,
+    ) {
+        // Probe a random point within each open interval between paper-model
+        // breakpoints: the cost there must equal the cost at the interval
+        // midpoint (i.e., the formula is a step function of memory).
+        let model = PaperCostModel;
+        for method in JoinMethod::ALL {
+            let mut edges = vec![3.0];
+            edges.extend(model.join_breakpoints(method, a, b));
+            edges.push(2e6);
+            edges.retain(|&e| e >= 3.0);
+            edges.dedup();
+            for w in edges.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                if hi - lo < 1e-6 {
+                    continue;
+                }
+                let eps = ((hi - lo) * 1e-6).max(1e-9);
+                let probe = lo + (hi - lo) * t;
+                let mid = (lo + hi) / 2.0;
+                let c_probe = model.join_cost(method, a, b, probe.clamp(lo + eps, hi - eps));
+                let c_mid = model.join_cost(method, a, b, mid);
+                prop_assert_eq!(c_probe, c_mid, "{} on ({}, {})", method, lo, hi);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_cost_zero_iff_fits(n in 1.0f64..1e6, m in 3.0f64..1e6) {
+        let paper = PaperCostModel.sort_cost(n, m);
+        if n <= m {
+            prop_assert_eq!(paper, 0.0);
+        } else {
+            prop_assert!(paper > 0.0);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! A pin-capable LRU buffer pool with I/O accounting.
+//!
+//! Every accounted page movement goes through here: a read is free on a
+//! cache hit and costs one I/O on a miss; a write always costs one I/O
+//! (write-through, uncached — freshly written runs and partitions are read
+//! back later through the normal miss path, which is exactly what the cost
+//! formulas charge for). Pinned frames cannot be evicted; operators pin the
+//! working set the cost model says they hold (e.g. a block nested-loop
+//! join's outer block) and the pool errors out if an operator overcommits
+//! its memory grant — the enforcement that keeps operators honest.
+
+use crate::disk::{Disk, RelId};
+use crate::error::ExecError;
+use crate::tuple::Page;
+use std::collections::{BTreeMap, HashMap};
+
+/// Read/write counters, in pages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoCounters {
+    /// Pages read from disk (buffer misses).
+    pub reads: u64,
+    /// Pages written to disk.
+    pub writes: u64,
+}
+
+impl IoCounters {
+    /// Total page I/Os.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl std::ops::Sub for IoCounters {
+    type Output = IoCounters;
+    fn sub(self, rhs: IoCounters) -> IoCounters {
+        IoCounters {
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+        }
+    }
+}
+
+type PageKey = (RelId, usize);
+
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    pins: u32,
+    stamp: u64,
+}
+
+/// The buffer pool.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    frames: HashMap<PageKey, Frame>,
+    recency: BTreeMap<u64, PageKey>,
+    tick: u64,
+    io: IoCounters,
+}
+
+impl BufferPool {
+    /// A pool with `capacity` frames (pages).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            frames: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            io: IoCounters::default(),
+        }
+    }
+
+    /// Current capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Frames currently cached.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// I/O counters so far.
+    pub fn counters(&self) -> IoCounters {
+        self.io
+    }
+
+    /// Empties the cache and sets a new capacity (a fresh memory grant at a
+    /// phase boundary). Counters are preserved.
+    pub fn regrant(&mut self, capacity: usize) {
+        self.frames.clear();
+        self.recency.clear();
+        self.capacity = capacity.max(1);
+    }
+
+    /// Reads a page through the pool: free on hit, one read I/O on miss.
+    pub fn read<'a>(&'a mut self, disk: &Disk, rel: RelId, idx: usize) -> Result<&'a Page, ExecError> {
+        let key = (rel, idx);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(frame) = self.frames.get_mut(&key) {
+            self.recency.remove(&frame.stamp);
+            frame.stamp = tick;
+            self.recency.insert(tick, key);
+        } else {
+            let page = disk.page(rel, idx)?.clone();
+            self.io.reads += 1;
+            self.make_room()?;
+            self.frames.insert(
+                key,
+                Frame {
+                    page,
+                    pins: 0,
+                    stamp: tick,
+                },
+            );
+            self.recency.insert(tick, key);
+        }
+        Ok(&self.frames[&key].page)
+    }
+
+    /// Reads and pins a page: it will not be evicted until unpinned.
+    pub fn read_pinned(&mut self, disk: &Disk, rel: RelId, idx: usize) -> Result<&Page, ExecError> {
+        self.read(disk, rel, idx)?;
+        let frame = self.frames.get_mut(&(rel, idx)).expect("just read");
+        frame.pins += 1;
+        Ok(&self.frames[&(rel, idx)].page)
+    }
+
+    /// Releases one pin on a page.
+    pub fn unpin(&mut self, rel: RelId, idx: usize) {
+        if let Some(frame) = self.frames.get_mut(&(rel, idx)) {
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+
+    /// Appends a page to a relation: one write I/O, write-through,
+    /// uncached. Returns the page index.
+    pub fn append(&mut self, disk: &mut Disk, rel: RelId, page: Page) -> Result<usize, ExecError> {
+        self.io.writes += 1;
+        disk.append(rel, page)
+    }
+
+    /// Evicts the least recently used unpinned frame if the pool is full.
+    fn make_room(&mut self) -> Result<(), ExecError> {
+        while self.frames.len() >= self.capacity {
+            let victim = self
+                .recency
+                .iter()
+                .map(|(stamp, key)| (*stamp, *key))
+                .find(|(_, key)| self.frames[key].pins == 0);
+            match victim {
+                Some((stamp, key)) => {
+                    self.recency.remove(&stamp);
+                    self.frames.remove(&key);
+                }
+                None => {
+                    return Err(ExecError::OutOfFrames {
+                        capacity: self.capacity,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    fn disk_with(pages: usize) -> (Disk, RelId) {
+        let mut d = Disk::new();
+        let n = pages * crate::tuple::PAGE_CAPACITY;
+        let r = d.load((0..n as u64).map(|k| Tuple { key: k, payload: 0 }));
+        (d, r)
+    }
+
+    #[test]
+    fn hits_are_free_misses_cost_one() {
+        let (disk, r) = disk_with(4);
+        let mut pool = BufferPool::with_capacity(8);
+        pool.read(&disk, r, 0).unwrap();
+        pool.read(&disk, r, 1).unwrap();
+        assert_eq!(pool.counters().reads, 2);
+        pool.read(&disk, r, 0).unwrap(); // hit
+        assert_eq!(pool.counters().reads, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_unpinned() {
+        let (disk, r) = disk_with(4);
+        let mut pool = BufferPool::with_capacity(2);
+        pool.read(&disk, r, 0).unwrap();
+        pool.read(&disk, r, 1).unwrap();
+        pool.read(&disk, r, 2).unwrap(); // evicts page 0
+        assert_eq!(pool.resident(), 2);
+        pool.read(&disk, r, 1).unwrap(); // still cached: hit
+        assert_eq!(pool.counters().reads, 3);
+        pool.read(&disk, r, 0).unwrap(); // was evicted: miss
+        assert_eq!(pool.counters().reads, 4);
+    }
+
+    #[test]
+    fn pinned_frames_survive_and_exhaust() {
+        let (disk, r) = disk_with(4);
+        let mut pool = BufferPool::with_capacity(2);
+        pool.read_pinned(&disk, r, 0).unwrap();
+        pool.read_pinned(&disk, r, 1).unwrap();
+        // Every frame pinned: next miss cannot make room.
+        assert!(matches!(
+            pool.read(&disk, r, 2),
+            Err(ExecError::OutOfFrames { capacity: 2 })
+        ));
+        pool.unpin(r, 0);
+        pool.read(&disk, r, 2).unwrap(); // now page 0 can go
+        assert_eq!(pool.resident(), 2);
+    }
+
+    #[test]
+    fn writes_always_count_and_bypass_cache() {
+        let (mut disk, _) = disk_with(1);
+        let out = disk.create();
+        let mut pool = BufferPool::with_capacity(2);
+        let mut p = Page::new();
+        p.push(Tuple { key: 7, payload: 7 });
+        pool.append(&mut disk, out, p).unwrap();
+        assert_eq!(pool.counters().writes, 1);
+        assert_eq!(pool.resident(), 0);
+        // Reading it back is a miss.
+        pool.read(&disk, out, 0).unwrap();
+        assert_eq!(pool.counters().reads, 1);
+    }
+
+    #[test]
+    fn regrant_clears_cache_but_keeps_counters() {
+        let (disk, r) = disk_with(2);
+        let mut pool = BufferPool::with_capacity(4);
+        pool.read(&disk, r, 0).unwrap();
+        pool.regrant(8);
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.capacity(), 8);
+        assert_eq!(pool.counters().reads, 1);
+        pool.read(&disk, r, 0).unwrap(); // cold again
+        assert_eq!(pool.counters().reads, 2);
+    }
+
+    #[test]
+    fn resident_never_exceeds_capacity() {
+        let (disk, r) = disk_with(16);
+        let mut pool = BufferPool::with_capacity(3);
+        for i in 0..16 {
+            pool.read(&disk, r, i).unwrap();
+            assert!(pool.resident() <= 3);
+        }
+    }
+}

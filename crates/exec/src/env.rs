@@ -1,0 +1,170 @@
+//! Memory environments: where each phase's memory grant comes from.
+
+use lec_stats::{Distribution, MarkovChain};
+use rand_chacha::rand_core::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A source of per-phase memory grants (pages). Matches the paper's two
+/// worlds: a value drawn once per execution and held (static, §3.4), or a
+/// value that walks a Markov chain between phases (dynamic, §3.5).
+#[derive(Debug, Clone)]
+pub enum ExecMemoryEnv {
+    /// The same grant at every phase.
+    Fixed(usize),
+    /// One draw from a distribution at phase 0, then held constant — the
+    /// static-parameter world, sampled per execution.
+    DrawOnce {
+        /// Memory distribution.
+        dist: Distribution,
+        /// Seeded RNG.
+        rng: ChaCha8Rng,
+        /// The value drawn for the current execution.
+        current: Option<usize>,
+    },
+    /// A fresh independent draw every phase (an extreme dynamic world).
+    Iid {
+        /// Memory distribution.
+        dist: Distribution,
+        /// Seeded RNG.
+        rng: ChaCha8Rng,
+    },
+    /// A Markov walk over memory states (§3.5).
+    Markov {
+        /// The chain.
+        chain: MarkovChain,
+        /// Initial state probabilities.
+        initial: Vec<f64>,
+        /// Seeded RNG.
+        rng: ChaCha8Rng,
+        /// Current state index, once the walk has started.
+        state: Option<usize>,
+    },
+}
+
+impl ExecMemoryEnv {
+    /// A draw-once environment with the given seed.
+    pub fn draw_once(dist: Distribution, seed: u64) -> Self {
+        ExecMemoryEnv::DrawOnce {
+            dist,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            current: None,
+        }
+    }
+
+    /// An i.i.d.-per-phase environment with the given seed.
+    pub fn iid(dist: Distribution, seed: u64) -> Self {
+        ExecMemoryEnv::Iid {
+            dist,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// A Markov environment with the given seed.
+    pub fn markov(chain: MarkovChain, initial: Vec<f64>, seed: u64) -> Self {
+        ExecMemoryEnv::Markov {
+            chain,
+            initial,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            state: None,
+        }
+    }
+
+    /// Resets per-execution state (a new query execution begins; the RNG
+    /// continues, so successive executions see fresh draws).
+    pub fn next_execution(&mut self) {
+        match self {
+            ExecMemoryEnv::DrawOnce { current, .. } => *current = None,
+            ExecMemoryEnv::Markov { state, .. } => *state = None,
+            _ => {}
+        }
+    }
+
+    /// The memory grant for the next phase, in pages (at least 3, the
+    /// minimum any operator can run with).
+    pub fn grant(&mut self) -> usize {
+        let m = match self {
+            ExecMemoryEnv::Fixed(m) => *m as f64,
+            ExecMemoryEnv::DrawOnce { dist, rng, current } => {
+                if current.is_none() {
+                    *current = Some(dist.sample(rng).round().max(0.0) as usize);
+                }
+                current.expect("just set") as f64
+            }
+            ExecMemoryEnv::Iid { dist, rng } => dist.sample(rng),
+            ExecMemoryEnv::Markov {
+                chain,
+                initial,
+                rng,
+                state,
+            } => {
+                let weights: Vec<f64> = match state {
+                    None => initial.clone(),
+                    Some(i) => chain.rows()[*i].clone(),
+                };
+                let mut u = (rng.next_u64() as f64) / (u64::MAX as f64);
+                let mut chosen = weights.len() - 1;
+                for (j, &w) in weights.iter().enumerate() {
+                    if u < w {
+                        chosen = j;
+                        break;
+                    }
+                    u -= w;
+                }
+                *state = Some(chosen);
+                chain.states()[chosen]
+            }
+        };
+        (m.round() as usize).max(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_env_is_constant() {
+        let mut env = ExecMemoryEnv::Fixed(50);
+        assert_eq!(env.grant(), 50);
+        assert_eq!(env.grant(), 50);
+    }
+
+    #[test]
+    fn draw_once_holds_within_execution_and_varies_across() {
+        let dist = Distribution::new([(10.0, 0.5), (1000.0, 0.5)]).unwrap();
+        let mut env = ExecMemoryEnv::draw_once(dist, 1);
+        let mut saw_different_executions = false;
+        let mut last = None;
+        for _ in 0..20 {
+            env.next_execution();
+            let a = env.grant();
+            let b = env.grant();
+            assert_eq!(a, b, "grant must be constant within an execution");
+            if let Some(prev) = last {
+                if prev != a {
+                    saw_different_executions = true;
+                }
+            }
+            last = Some(a);
+        }
+        assert!(saw_different_executions);
+    }
+
+    #[test]
+    fn markov_walks_between_neighbor_states() {
+        let chain = MarkovChain::random_walk(vec![10.0, 20.0, 40.0], 1.0).unwrap();
+        let mut env = ExecMemoryEnv::markov(chain, vec![0.0, 1.0, 0.0], 7);
+        let first = env.grant();
+        assert_eq!(first, 20);
+        for _ in 0..10 {
+            let next = env.grant();
+            assert!([10, 20, 40].contains(&next));
+        }
+    }
+
+    #[test]
+    fn grants_floor_at_three() {
+        let mut env = ExecMemoryEnv::Fixed(0);
+        assert_eq!(env.grant(), 3);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the execution simulator.
+
+use std::fmt;
+
+/// Errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A relation id does not exist on the disk.
+    UnknownRelation(usize),
+    /// A page index is out of range for its relation.
+    PageOutOfRange {
+        /// Relation id.
+        rel: usize,
+        /// Requested page index.
+        page: usize,
+        /// Relation length.
+        len: usize,
+    },
+    /// The buffer pool is full and every frame is pinned.
+    OutOfFrames {
+        /// Pool capacity in frames.
+        capacity: usize,
+    },
+    /// The memory grant is too small for the operator to run at all
+    /// (operators need a few pages of workspace).
+    InsufficientMemory {
+        /// Granted pages.
+        granted: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// The plan uses a feature the executor does not support (e.g. joins
+    /// over distinct attributes).
+    Unsupported(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownRelation(r) => write!(f, "unknown relation id {r}"),
+            ExecError::PageOutOfRange { rel, page, len } => {
+                write!(f, "page {page} out of range for relation {rel} (len {len})")
+            }
+            ExecError::OutOfFrames { capacity } => {
+                write!(f, "buffer pool exhausted: all {capacity} frames pinned")
+            }
+            ExecError::InsufficientMemory { granted, required } => {
+                write!(f, "memory grant {granted} below operator minimum {required}")
+            }
+            ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

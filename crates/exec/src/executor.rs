@@ -1,0 +1,289 @@
+//! The plan interpreter: walks a physical [`Plan`], granting memory per
+//! phase from an [`ExecMemoryEnv`] and dispatching to the page-level
+//! operators. Phases are post-order over join and sort operators, matching
+//! the optimizer's §3.5 phase numbering exactly.
+
+use crate::bufferpool::{BufferPool, IoCounters};
+use crate::disk::{Disk, RelId};
+use crate::env::ExecMemoryEnv;
+use crate::error::ExecError;
+use crate::ops::{block_nested_loop_join, external_sort, grace_hash_join, sort_merge_join};
+use lec_cost::JoinMethod;
+use lec_plan::Plan;
+
+/// Per-phase execution record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Memory granted for the phase (pages).
+    pub memory: usize,
+    /// I/O charged during the phase.
+    pub io: IoCounters,
+}
+
+/// The result of executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReport {
+    /// The materialized result relation.
+    pub output: RelId,
+    /// Total I/O across all phases.
+    pub total: IoCounters,
+    /// Per-phase breakdown, in phase order.
+    pub phases: Vec<PhaseReport>,
+}
+
+/// Executes `plan` over the base relations `base` (indexed by the plan's
+/// relation indices). Every join and sort runs as its own phase with a
+/// fresh memory grant; scans carry no phase (their reads are charged to the
+/// consuming operator, mirroring the cost model's accounting).
+///
+/// # Examples
+///
+/// ```
+/// use lec_exec::datagen::{generate, DataGenSpec};
+/// use lec_exec::{execute_plan, Disk, ExecMemoryEnv};
+/// use lec_cost::JoinMethod;
+/// use lec_plan::{KeyId, Plan};
+/// use rand_chacha::rand_core::SeedableRng;
+///
+/// let mut disk = Disk::new();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: 12, key_domain: 200 });
+/// let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: 6, key_domain: 200 });
+///
+/// let plan = Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::GraceHash, Some(KeyId(0)));
+/// let mut env = ExecMemoryEnv::Fixed(8);
+/// let report = execute_plan(&plan, &[a, b], &mut disk, &mut env)?;
+/// assert_eq!(report.phases.len(), 1);          // one join phase
+/// assert!(report.total.reads >= 18);           // both inputs were read
+/// # Ok::<(), lec_exec::ExecError>(())
+/// ```
+pub fn execute_plan(
+    plan: &Plan,
+    base: &[RelId],
+    disk: &mut Disk,
+    env: &mut ExecMemoryEnv,
+) -> Result<ExecReport, ExecError> {
+    let selections = vec![1.0; base.len()];
+    execute_plan_with_selections(plan, base, &selections, disk, env)
+}
+
+/// [`execute_plan`] with per-relation local-selection selectivities
+/// (aligned with `base`): a relation with selectivity below 1 is filtered
+/// and materialized before its first join, charged `pages + out` I/O —
+/// the same accounting the optimizer's access path uses. The filter
+/// predicate is a uniform hash of the tuple payload.
+pub fn execute_plan_with_selections(
+    plan: &Plan,
+    base: &[RelId],
+    selections: &[f64],
+    disk: &mut Disk,
+    env: &mut ExecMemoryEnv,
+) -> Result<ExecReport, ExecError> {
+    if selections.len() != base.len() {
+        return Err(ExecError::Unsupported(
+            "selections must align with base relations".into(),
+        ));
+    }
+    env.next_execution();
+    let mut pool = BufferPool::with_capacity(8);
+    let mut phases = Vec::new();
+    let (output, _) = walk(plan, base, selections, disk, &mut pool, env, &mut phases)?;
+    Ok(ExecReport {
+        output,
+        total: pool.counters(),
+        phases,
+    })
+}
+
+/// Recursive execution; returns the result relation and whether it is
+/// physically sorted by the join key.
+fn walk(
+    plan: &Plan,
+    base: &[RelId],
+    selections: &[f64],
+    disk: &mut Disk,
+    pool: &mut BufferPool,
+    env: &mut ExecMemoryEnv,
+    phases: &mut Vec<PhaseReport>,
+) -> Result<(RelId, bool), ExecError> {
+    match plan {
+        Plan::Access { rel, .. } => {
+            let id = *base
+                .get(*rel)
+                .ok_or(ExecError::UnknownRelation(*rel))?;
+            let sel = selections[*rel];
+            if sel < 1.0 {
+                let filtered = crate::ops::filtered_scan(disk, pool, id, sel)?;
+                Ok((filtered, false))
+            } else {
+                Ok((id, false))
+            }
+        }
+        Plan::Join {
+            left,
+            right,
+            method,
+            ..
+        } => {
+            let (l, l_sorted) = walk(left, base, selections, disk, pool, env, phases)?;
+            let (r, r_sorted) = walk(right, base, selections, disk, pool, env, phases)?;
+            let m = env.grant();
+            pool.regrant(m);
+            let before = pool.counters();
+            let (out, sorted) = match method {
+                JoinMethod::SortMerge => (
+                    sort_merge_join(disk, pool, l, r, m, l_sorted, r_sorted)?,
+                    true,
+                ),
+                JoinMethod::GraceHash => (grace_hash_join(disk, pool, l, r, m)?, false),
+                JoinMethod::NestedLoop => {
+                    (block_nested_loop_join(disk, pool, l, r, m)?, false)
+                }
+            };
+            phases.push(PhaseReport {
+                memory: m,
+                io: pool.counters() - before,
+            });
+            Ok((out, sorted))
+        }
+        Plan::Sort { input, .. } => {
+            let (rel, sorted) = walk(input, base, selections, disk, pool, env, phases)?;
+            let m = env.grant();
+            pool.regrant(m);
+            let before = pool.counters();
+            let out = if sorted {
+                rel
+            } else {
+                external_sort(disk, pool, rel, m)?
+            };
+            phases.push(PhaseReport {
+                memory: m,
+                io: pool.counters() - before,
+            });
+            Ok((out, true))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, DataGenSpec};
+    use crate::ops::oracle::{multisets_equal, oracle_join};
+    use lec_plan::KeyId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn two_table_setup(seed: u64) -> (Disk, Vec<RelId>) {
+        let mut disk = Disk::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let domain = crate::datagen::domain_for_selectivity(0.01);
+        let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: 20, key_domain: domain });
+        let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: 12, key_domain: domain });
+        (disk, vec![a, b])
+    }
+
+    #[test]
+    fn all_join_methods_agree_with_oracle() {
+        for method in JoinMethod::ALL {
+            let (mut disk, base) = two_table_setup(31);
+            let expect = oracle_join(&disk, base[0], base[1]).unwrap();
+            let plan = Plan::join(Plan::scan(0), Plan::scan(1), method, Some(KeyId(0)));
+            let mut env = ExecMemoryEnv::Fixed(8);
+            let report = execute_plan(&plan, &base, &mut disk, &mut env).unwrap();
+            let got = disk.all_tuples(report.output).unwrap();
+            assert!(multisets_equal(got, expect), "{method}");
+            assert_eq!(report.phases.len(), 1);
+            assert!(report.total.total() > 0);
+        }
+    }
+
+    #[test]
+    fn sort_after_hash_join_equals_sort_merge_output_order() {
+        let (mut disk, base) = two_table_setup(32);
+        let sm = Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0)));
+        let gh_sorted = Plan::sort(
+            Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::GraceHash, Some(KeyId(0))),
+            KeyId(0),
+        );
+        let mut env = ExecMemoryEnv::Fixed(10);
+        let r1 = execute_plan(&sm, &base, &mut disk, &mut env).unwrap();
+        let r2 = execute_plan(&gh_sorted, &base, &mut disk, &mut env).unwrap();
+        let t1 = disk.all_tuples(r1.output).unwrap();
+        let t2 = disk.all_tuples(r2.output).unwrap();
+        assert!(t1.windows(2).all(|w| w[0].key <= w[1].key));
+        assert!(t2.windows(2).all(|w| w[0].key <= w[1].key));
+        assert!(multisets_equal(t1, t2));
+        // The hash plan has two phases (join + sort).
+        assert_eq!(r2.phases.len(), 2);
+    }
+
+    #[test]
+    fn sort_over_already_sorted_input_is_free() {
+        let (mut disk, base) = two_table_setup(33);
+        let plan = Plan::sort(
+            Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0))),
+            KeyId(0),
+        );
+        let mut env = ExecMemoryEnv::Fixed(10);
+        let report = execute_plan(&plan, &base, &mut disk, &mut env).unwrap();
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases[1].io, IoCounters::default());
+    }
+
+    #[test]
+    fn three_way_same_key_join() {
+        let mut disk = Disk::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        let domain = 400;
+        let base: Vec<RelId> = [6usize, 8, 4]
+            .iter()
+            .map(|&pages| {
+                generate(&mut disk, &mut rng, &DataGenSpec { pages, key_domain: domain })
+            })
+            .collect();
+        let plan = Plan::join(
+            Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::GraceHash, Some(KeyId(0))),
+            Plan::scan(2),
+            JoinMethod::SortMerge,
+            Some(KeyId(0)),
+        );
+        let mut env = ExecMemoryEnv::Fixed(16);
+        let report = execute_plan(&plan, &base, &mut disk, &mut env).unwrap();
+        assert_eq!(report.phases.len(), 2);
+        // Oracle: join (0,1) then join with 2.
+        let o01 = oracle_join(&disk, base[0], base[1]).unwrap();
+        let tmp = disk.load(o01);
+        let expect = oracle_join(&disk, tmp, base[2]).unwrap();
+        let got = disk.all_tuples(report.output).unwrap();
+        assert!(multisets_equal(got, expect));
+    }
+
+    #[test]
+    fn more_memory_never_costs_more_io() {
+        let mut last = u64::MAX;
+        for m in [4, 6, 10, 24, 64] {
+            let (mut disk, base) = two_table_setup(35);
+            let plan = Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0)));
+            let mut env = ExecMemoryEnv::Fixed(m);
+            let report = execute_plan(&plan, &base, &mut disk, &mut env).unwrap();
+            assert!(
+                report.total.total() <= last,
+                "m={m}: {} > {last}",
+                report.total.total()
+            );
+            last = report.total.total();
+        }
+    }
+
+    #[test]
+    fn unknown_base_relation_errors() {
+        let (mut disk, base) = two_table_setup(36);
+        let plan = Plan::scan(9);
+        let mut env = ExecMemoryEnv::Fixed(8);
+        assert!(matches!(
+            execute_plan(&plan, &base, &mut disk, &mut env),
+            Err(ExecError::UnknownRelation(9))
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+//! Physical operators: honest page-at-a-time implementations whose I/O
+//! behavior tracks their memory grant.
+
+pub mod block_nl;
+pub mod grace_hash;
+pub mod oracle;
+pub mod select;
+pub mod sort;
+pub mod sort_merge;
+
+pub use block_nl::block_nested_loop_join;
+pub use grace_hash::grace_hash_join;
+pub use select::filtered_scan;
+pub use sort::external_sort;
+pub use sort_merge::sort_merge_join;
+
+use crate::tuple::Tuple;
+
+/// The tuple a join emits for a matching pair. The payload mixes both
+/// provenances asymmetrically so that multiset comparison against the
+/// oracle catches wrong, missing and duplicated matches — and even swapped
+/// join sides.
+pub fn join_tuple(a: Tuple, b: Tuple) -> Tuple {
+    Tuple {
+        key: a.key,
+        payload: a
+            .payload
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(b.payload.rotate_left(17)),
+    }
+}
+
+/// Minimum memory grant any operator runs with.
+pub const MIN_MEMORY: usize = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_tuple_is_asymmetric() {
+        let a = Tuple { key: 5, payload: 100 };
+        let b = Tuple { key: 5, payload: 200 };
+        assert_ne!(join_tuple(a, b), join_tuple(b, a));
+        assert_eq!(join_tuple(a, b).key, 5);
+    }
+}

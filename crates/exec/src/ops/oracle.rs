@@ -1,0 +1,61 @@
+//! In-memory join oracle for correctness checks.
+
+use crate::disk::{Disk, RelId};
+use crate::error::ExecError;
+use crate::ops::join_tuple;
+use crate::tuple::Tuple;
+
+/// Brute-force equi-join of two relations (unaccounted; test-only path).
+pub fn oracle_join(disk: &Disk, a: RelId, b: RelId) -> Result<Vec<Tuple>, ExecError> {
+    let ta = disk.all_tuples(a)?;
+    let tb = disk.all_tuples(b)?;
+    let mut by_key: std::collections::HashMap<u64, Vec<Tuple>> = std::collections::HashMap::new();
+    for t in &tb {
+        by_key.entry(t.key).or_default().push(*t);
+    }
+    let mut out = Vec::new();
+    for x in &ta {
+        if let Some(matches) = by_key.get(&x.key) {
+            for &y in matches {
+                out.push(join_tuple(*x, y));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Multiset equality of tuple collections.
+pub fn multisets_equal(mut x: Vec<Tuple>, mut y: Vec<Tuple>) -> bool {
+    x.sort_unstable();
+    y.sort_unstable();
+    x == y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiset_equality_ignores_order_but_not_counts() {
+        let a = Tuple { key: 1, payload: 1 };
+        let b = Tuple { key: 2, payload: 2 };
+        assert!(multisets_equal(vec![a, b], vec![b, a]));
+        assert!(!multisets_equal(vec![a, a], vec![a, b]));
+        assert!(!multisets_equal(vec![a], vec![a, a]));
+    }
+
+    #[test]
+    fn oracle_counts_duplicates() {
+        let mut disk = Disk::new();
+        let a = disk.load(vec![
+            Tuple { key: 1, payload: 10 },
+            Tuple { key: 1, payload: 11 },
+        ]);
+        let b = disk.load(vec![
+            Tuple { key: 1, payload: 20 },
+            Tuple { key: 2, payload: 21 },
+        ]);
+        let out = oracle_join(&disk, a, b).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the execution substrate: every operator, at every
+//! memory grant, joins correctly (vs the oracle) and respects the buffer
+//! discipline.
+
+use lec_exec::datagen::{generate, DataGenSpec};
+use lec_exec::ops::oracle::{multisets_equal, oracle_join};
+use lec_exec::ops::{block_nested_loop_join, external_sort, grace_hash_join, sort_merge_join};
+use lec_exec::{BufferPool, Disk};
+use proptest::prelude::*;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn setup(pa: usize, pb: usize, domain: u64, seed: u64) -> (Disk, lec_exec::RelId, lec_exec::RelId) {
+    let mut disk = Disk::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: pa, key_domain: domain });
+    let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: pb, key_domain: domain });
+    (disk, a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All three joins return the oracle's multiset for arbitrary sizes,
+    /// key skew, and memory grants.
+    #[test]
+    fn joins_match_oracle(
+        pa in 1usize..24,
+        pb in 1usize..24,
+        domain in 1u64..2000,
+        m in 3usize..40,
+        seed in 0u64..1000,
+    ) {
+        let (mut disk, a, b) = setup(pa, pb, domain, seed);
+        let expect = oracle_join(&disk, a, b).unwrap();
+
+        let mut pool = BufferPool::with_capacity(m);
+        let sm = sort_merge_join(&mut disk, &mut pool, a, b, m, false, false).unwrap();
+        prop_assert!(multisets_equal(disk.all_tuples(sm).unwrap(), expect.clone()), "sort-merge");
+
+        let mut pool = BufferPool::with_capacity(m);
+        let gh = grace_hash_join(&mut disk, &mut pool, a, b, m).unwrap();
+        prop_assert!(multisets_equal(disk.all_tuples(gh).unwrap(), expect.clone()), "grace-hash");
+
+        let mut pool = BufferPool::with_capacity(m);
+        let nl = block_nested_loop_join(&mut disk, &mut pool, a, b, m).unwrap();
+        prop_assert!(multisets_equal(disk.all_tuples(nl).unwrap(), expect), "nested-loop");
+    }
+
+    /// External sort emits exactly the input multiset, sorted, at any grant.
+    #[test]
+    fn sort_is_a_permutation_and_sorted(
+        pages in 1usize..40,
+        domain in 1u64..500,
+        m in 3usize..24,
+        seed in 0u64..1000,
+    ) {
+        let (mut disk, a, _) = setup(pages, 1, domain, seed);
+        let mut expect = disk.all_tuples(a).unwrap();
+        expect.sort_unstable();
+        let mut pool = BufferPool::with_capacity(m);
+        let out = external_sort(&mut disk, &mut pool, a, m).unwrap();
+        let got = disk.all_tuples(out).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// More memory never meaningfully increases any operator's counted I/O.
+    /// (Hash partitioning tolerates ±couple pages: per-partition page
+    /// fragmentation is data-dependent, so exact monotonicity is not a true
+    /// invariant at page granularity.)
+    #[test]
+    fn io_monotone_in_memory(
+        pa in 2usize..20,
+        pb in 2usize..20,
+        seed in 0u64..1000,
+    ) {
+        let grants = [3usize, 6, 12, 30, 64];
+        for op in 0..3 {
+            let mut last = u64::MAX;
+            for &m in &grants {
+                let (mut disk, a, b) = setup(pa, pb, 300, seed);
+                let mut pool = BufferPool::with_capacity(m);
+                match op {
+                    0 => { sort_merge_join(&mut disk, &mut pool, a, b, m, false, false).unwrap(); }
+                    1 => { grace_hash_join(&mut disk, &mut pool, a, b, m).unwrap(); }
+                    _ => { block_nested_loop_join(&mut disk, &mut pool, a, b, m).unwrap(); }
+                }
+                let total = pool.counters().total();
+                let slack = if op == 1 { last / 50 + 2 } else { 0 };
+                prop_assert!(
+                    total <= last.saturating_add(slack),
+                    "op {op} at m={m}: {total} > {last}"
+                );
+                last = total;
+            }
+        }
+    }
+
+    /// Differential: counted I/O stays within a bounded factor of the
+    /// detailed textbook cost model for every operator (the continuous
+    /// version of experiment X9 — catches accounting regressions).
+    #[test]
+    fn measured_io_tracks_detailed_model(
+        pa in 4usize..40,
+        pb in 4usize..40,
+        m in 4usize..64,
+        seed in 0u64..1000,
+    ) {
+        use lec_cost::{CostModel, DetailedCostModel, JoinMethod};
+        // Huge key domain: negligible matches, so output writes don't blur
+        // the comparison.
+        let (mut disk, a, b) = setup(pa, pb, u64::MAX / 2, seed);
+        for method in JoinMethod::ALL {
+            let mut pool = BufferPool::with_capacity(m);
+            match method {
+                JoinMethod::SortMerge => {
+                    sort_merge_join(&mut disk, &mut pool, a, b, m, false, false).unwrap();
+                }
+                JoinMethod::GraceHash => {
+                    grace_hash_join(&mut disk, &mut pool, a, b, m).unwrap();
+                }
+                JoinMethod::NestedLoop => {
+                    block_nested_loop_join(&mut disk, &mut pool, a, b, m).unwrap();
+                }
+            }
+            let measured = pool.counters().total() as f64;
+            let predicted =
+                DetailedCostModel.join_cost(method, pa as f64, pb as f64, m as f64);
+            let ratio = measured / predicted;
+            prop_assert!(
+                (0.3..=3.5).contains(&ratio),
+                "{method} pa={pa} pb={pb} m={m}: measured {measured} vs predicted {predicted}"
+            );
+        }
+    }
+
+    /// The buffer pool's resident set never exceeds its capacity during
+    /// any operator run.
+    #[test]
+    fn pool_respects_capacity(
+        pa in 2usize..16,
+        pb in 2usize..16,
+        m in 3usize..12,
+        seed in 0u64..1000,
+    ) {
+        let (mut disk, a, b) = setup(pa, pb, 300, seed);
+        let mut pool = BufferPool::with_capacity(m);
+        sort_merge_join(&mut disk, &mut pool, a, b, m, false, false).unwrap();
+        prop_assert!(pool.resident() <= m);
+        grace_hash_join(&mut disk, &mut pool, a, b, m).unwrap();
+        prop_assert!(pool.resident() <= m);
+    }
+}

@@ -1,0 +1,173 @@
+//! Compact sets of relation indices: the labels of the optimizer dag nodes.
+
+use std::fmt;
+
+/// A set of relation indices `0..30`, stored as a bitmask.
+///
+/// The System R dag has one node per non-empty subset; with `u32` bits the
+/// full lattice for realistic join counts (the paper: "`n` is usually small
+/// enough in practice") fits comfortably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RelSet(u32);
+
+impl RelSet {
+    /// Maximum supported relation index + 1.
+    pub const MAX_RELATIONS: usize = 30;
+
+    /// The empty set (the root of the paper's dag).
+    pub const EMPTY: RelSet = RelSet(0);
+
+    /// The singleton `{i}`.
+    pub fn single(i: usize) -> Self {
+        debug_assert!(i < Self::MAX_RELATIONS);
+        RelSet(1 << i)
+    }
+
+    /// The full set `{0, .., n-1}`.
+    pub fn full(n: usize) -> Self {
+        debug_assert!(n <= Self::MAX_RELATIONS);
+        if n == 0 {
+            Self::EMPTY
+        } else {
+            RelSet((1u32 << n) - 1)
+        }
+    }
+
+    /// Raw bitmask (useful as a dense dag index).
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs from a raw bitmask.
+    pub fn from_bits(bits: u32) -> Self {
+        RelSet(bits)
+    }
+
+    /// Number of relations in the set (the dag depth of this node).
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(self, i: usize) -> bool {
+        i < Self::MAX_RELATIONS && (self.0 >> i) & 1 == 1
+    }
+
+    /// `self ∪ {i}`.
+    pub fn insert(self, i: usize) -> Self {
+        debug_assert!(i < Self::MAX_RELATIONS);
+        RelSet(self.0 | (1 << i))
+    }
+
+    /// `self \ {i}` (the paper's `S_j = S - {j}`).
+    pub fn remove(self, i: usize) -> Self {
+        RelSet(self.0 & !(1 << i))
+    }
+
+    /// Set union.
+    pub fn union(self, other: RelSet) -> Self {
+        RelSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: RelSet) -> Self {
+        RelSet(self.0 & other.0)
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn is_subset_of(self, other: RelSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True iff the sets share no relation.
+    pub fn is_disjoint(self, other: RelSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates member indices in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+
+    /// Iterates all non-empty subsets of `{0..n}` in increasing bitmask
+    /// order — which is also non-decreasing cardinality-layer order *per
+    /// prefix*, and guarantees every proper subset of a set is visited
+    /// before the set itself (the DP evaluation order).
+    pub fn all_subsets(n: usize) -> impl Iterator<Item = RelSet> {
+        debug_assert!(n <= Self::MAX_RELATIONS);
+        (1..(1u32 << n)).map(RelSet)
+    }
+}
+
+/// Writes `{0, 3, 5}`-style set notation.
+impl fmt::Display for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let s = RelSet::single(0).insert(3).insert(5);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(3) && !s.contains(1));
+        assert_eq!(s.remove(3).len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 5]);
+        assert_eq!(s.to_string(), "{0, 3, 5}");
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert!(RelSet::EMPTY.is_empty());
+        assert_eq!(RelSet::full(4).len(), 4);
+        assert_eq!(RelSet::full(0), RelSet::EMPTY);
+        assert!(RelSet::single(2).is_subset_of(RelSet::full(4)));
+        assert!(!RelSet::full(4).is_subset_of(RelSet::single(2)));
+    }
+
+    #[test]
+    fn union_intersect_disjoint() {
+        let a = RelSet::single(0).insert(1);
+        let b = RelSet::single(1).insert(2);
+        assert_eq!(a.union(b), RelSet::full(3));
+        assert_eq!(a.intersect(b), RelSet::single(1));
+        assert!(a.is_disjoint(RelSet::single(3)));
+        assert!(!a.is_disjoint(b));
+    }
+
+    #[test]
+    fn subset_enumeration_visits_subsets_first() {
+        let all: Vec<RelSet> = RelSet::all_subsets(4).collect();
+        assert_eq!(all.len(), 15);
+        for (idx, s) in all.iter().enumerate() {
+            for t in &all[idx + 1..] {
+                assert!(!t.is_subset_of(*s) || t == s, "{t} after its superset {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for the plan substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing queries or plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The query has no relations.
+    EmptyQuery,
+    /// Too many relations for the bitset representation (max 30).
+    TooManyRelations(usize),
+    /// A predicate references a relation index out of range.
+    BadRelationIndex(usize),
+    /// A predicate joins a relation with itself.
+    SelfJoinPredicate(usize),
+    /// A selectivity was outside `(0, 1]` or non-finite.
+    BadSelectivity(f64),
+    /// A relation statistic (pages/rows) was non-positive or non-finite.
+    BadStatistic(f64),
+    /// The required output order names a join key that no predicate has.
+    UnknownOrderKey(usize),
+    /// A plan is malformed (e.g. a join whose children overlap).
+    MalformedPlan(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::EmptyQuery => write!(f, "query has no relations"),
+            PlanError::TooManyRelations(n) => {
+                write!(f, "{n} relations exceed the supported maximum of 30")
+            }
+            PlanError::BadRelationIndex(i) => write!(f, "relation index {i} out of range"),
+            PlanError::SelfJoinPredicate(i) => {
+                write!(f, "predicate joins relation {i} with itself")
+            }
+            PlanError::BadSelectivity(s) => write!(f, "selectivity {s} outside (0, 1]"),
+            PlanError::BadStatistic(v) => write!(f, "non-positive statistic {v}"),
+            PlanError::UnknownOrderKey(k) => write!(f, "order key {k} matches no predicate"),
+            PlanError::MalformedPlan(msg) => write!(f, "malformed plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}

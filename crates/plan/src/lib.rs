@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Plan substrate: join queries, relation sets, and physical plan trees.
+//!
+//! The System R search space (§2.2) is built from three ingredients, each a
+//! module here:
+//!
+//! * [`RelSet`] — the subset-of-relations lattice the dynamic program walks
+//!   (a compact bitset; the paper's dag nodes are labeled by these sets);
+//! * [`JoinQuery`] — the query: relations with statistics, join predicates
+//!   with selectivities, and an optional required output order (Example 1.1
+//!   "the result needs to be ordered by the join column");
+//! * [`Plan`] — physical plan trees over access paths, binary joins and
+//!   sorts, with the physical *order* property that lets a sort-merge join
+//!   satisfy an ORDER BY for free.
+
+pub mod bitset;
+pub mod error;
+pub mod plan;
+pub mod query;
+
+pub use bitset::RelSet;
+pub use error::PlanError;
+pub use plan::{KeyId, Plan};
+pub use query::{JoinPred, JoinQuery, Relation};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, PlanError>;

@@ -1,0 +1,300 @@
+//! Physical plan trees.
+
+use crate::bitset::RelSet;
+use crate::error::PlanError;
+use crate::query::JoinQuery;
+use lec_cost::{AccessMethod, JoinMethod};
+use std::fmt;
+
+/// Identity of a join attribute; plans sorted by the same `KeyId` are
+/// interchangeable order-wise (a simplified interesting-orders model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub usize);
+
+impl fmt::Display for KeyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// A physical evaluation plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Produce one base relation through an access path.
+    Access {
+        /// Relation index into the query.
+        rel: usize,
+        /// Access path.
+        method: AccessMethod,
+    },
+    /// Binary join of two subplans.
+    Join {
+        /// Left input (the outer for nested loops).
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join algorithm.
+        method: JoinMethod,
+        /// Join attribute, when the crossing predicates agree on one.
+        key: Option<KeyId>,
+    },
+    /// Sort the input on `key`.
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort key.
+        key: KeyId,
+    },
+}
+
+impl Plan {
+    /// Convenience constructor for a full-scan leaf.
+    pub fn scan(rel: usize) -> Plan {
+        Plan::Access {
+            rel,
+            method: AccessMethod::FullScan,
+        }
+    }
+
+    /// Convenience constructor for a join node.
+    pub fn join(left: Plan, right: Plan, method: JoinMethod, key: Option<KeyId>) -> Plan {
+        Plan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            method,
+            key,
+        }
+    }
+
+    /// Convenience constructor for a sort node.
+    pub fn sort(input: Plan, key: KeyId) -> Plan {
+        Plan::Sort {
+            input: Box::new(input),
+            key,
+        }
+    }
+
+    /// The set of base relations this plan produces.
+    pub fn rel_set(&self) -> RelSet {
+        match self {
+            Plan::Access { rel, .. } => RelSet::single(*rel),
+            Plan::Join { left, right, .. } => left.rel_set().union(right.rel_set()),
+            Plan::Sort { input, .. } => input.rel_set(),
+        }
+    }
+
+    /// True iff every join's right input is a base-relation access — the
+    /// left-deep shape System R restricts its search to (§2.2).
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            Plan::Access { .. } => true,
+            Plan::Join { left, right, .. } => {
+                matches!(**right, Plan::Access { .. }) && left.is_left_deep()
+            }
+            Plan::Sort { input, .. } => input.is_left_deep(),
+        }
+    }
+
+    /// The physical order of this plan's output: sort-merge joins emit
+    /// output sorted on their join key; sorts emit their sort key; scans and
+    /// the other joins emit unordered output.
+    pub fn output_order(&self) -> Option<KeyId> {
+        match self {
+            Plan::Access { .. } => None,
+            Plan::Join { method, key, .. } => {
+                if method.output_sorted() {
+                    *key
+                } else {
+                    None
+                }
+            }
+            Plan::Sort { key, .. } => Some(*key),
+        }
+    }
+
+    /// Number of *phases* (§3.5): one per join or sort operator, in
+    /// execution (post-) order. Memory is assumed constant within a phase.
+    pub fn phase_count(&self) -> usize {
+        match self {
+            Plan::Access { .. } => 0,
+            Plan::Join { left, right, .. } => left.phase_count() + right.phase_count() + 1,
+            Plan::Sort { input, .. } => input.phase_count() + 1,
+        }
+    }
+
+    /// Checks structural sanity: join children must cover disjoint relation
+    /// sets and the plan must cover exactly `query.all()`.
+    pub fn validate(&self, query: &JoinQuery) -> Result<(), PlanError> {
+        fn walk(p: &Plan, n: usize) -> Result<RelSet, PlanError> {
+            match p {
+                Plan::Access { rel, .. } => {
+                    if *rel >= n {
+                        return Err(PlanError::BadRelationIndex(*rel));
+                    }
+                    Ok(RelSet::single(*rel))
+                }
+                Plan::Join { left, right, .. } => {
+                    let l = walk(left, n)?;
+                    let r = walk(right, n)?;
+                    if !l.is_disjoint(r) {
+                        return Err(PlanError::MalformedPlan(format!(
+                            "join children overlap: {l} vs {r}"
+                        )));
+                    }
+                    Ok(l.union(r))
+                }
+                Plan::Sort { input, .. } => walk(input, n),
+            }
+        }
+        let covered = walk(self, query.n())?;
+        if covered != query.all() {
+            return Err(PlanError::MalformedPlan(format!(
+                "plan covers {covered}, query needs {}",
+                query.all()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Pretty-prints the plan as an indented tree using the query's
+    /// relation names.
+    pub fn explain(&self, query: &JoinQuery) -> String {
+        let mut out = String::new();
+        self.explain_into(query, 0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, query: &JoinQuery, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Access { rel, method } => {
+                let name = query
+                    .relations()
+                    .get(*rel)
+                    .map_or("?", |r| r.name.as_str());
+                let _ = writeln!(out, "{pad}{method} {name}");
+            }
+            Plan::Join {
+                left,
+                right,
+                method,
+                key,
+            } => {
+                match key {
+                    Some(k) => {
+                        let _ = writeln!(out, "{pad}join[{method}] on {k}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{pad}join[{method}] (cross)");
+                    }
+                }
+                left.explain_into(query, depth + 1, out);
+                right.explain_into(query, depth + 1, out);
+            }
+            Plan::Sort { input, key } => {
+                let _ = writeln!(out, "{pad}sort by {key}");
+                input.explain_into(query, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{JoinPred, Relation};
+
+    fn query3() -> JoinQuery {
+        JoinQuery::new(
+            vec![
+                Relation::new("a", 100.0, 1000.0),
+                Relation::new("b", 200.0, 2000.0),
+                Relation::new("c", 300.0, 3000.0),
+            ],
+            vec![
+                JoinPred { left: 0, right: 1, selectivity: 0.01, key: KeyId(0) },
+                JoinPred { left: 1, right: 2, selectivity: 0.02, key: KeyId(1) },
+            ],
+            None,
+        )
+        .unwrap()
+    }
+
+    fn left_deep() -> Plan {
+        Plan::join(
+            Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0))),
+            Plan::scan(2),
+            JoinMethod::GraceHash,
+            Some(KeyId(1)),
+        )
+    }
+
+    #[test]
+    fn shapes_and_sets() {
+        let p = left_deep();
+        assert!(p.is_left_deep());
+        assert_eq!(p.rel_set(), RelSet::full(3));
+        assert_eq!(p.phase_count(), 2);
+
+        let bushy = Plan::join(
+            Plan::scan(0),
+            Plan::join(Plan::scan(1), Plan::scan(2), JoinMethod::NestedLoop, None),
+            JoinMethod::GraceHash,
+            None,
+        );
+        assert!(!bushy.is_left_deep());
+        assert_eq!(bushy.phase_count(), 2);
+    }
+
+    #[test]
+    fn order_propagation() {
+        // Sort-merge join output carries the join key's order.
+        let sm = Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0)));
+        assert_eq!(sm.output_order(), Some(KeyId(0)));
+        // Hash join output is unordered; an explicit sort restores order.
+        let gh = Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::GraceHash, Some(KeyId(0)));
+        assert_eq!(gh.output_order(), None);
+        assert_eq!(Plan::sort(gh, KeyId(0)).output_order(), Some(KeyId(0)));
+    }
+
+    #[test]
+    fn validation() {
+        let q = query3();
+        assert!(left_deep().validate(&q).is_ok());
+        // Missing a relation.
+        let partial = Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::NestedLoop, None);
+        assert!(matches!(
+            partial.validate(&q),
+            Err(PlanError::MalformedPlan(_))
+        ));
+        // Overlapping children.
+        let overlap = Plan::join(
+            Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::NestedLoop, None),
+            Plan::scan(0),
+            JoinMethod::NestedLoop,
+            None,
+        );
+        assert!(matches!(
+            overlap.validate(&q),
+            Err(PlanError::MalformedPlan(_))
+        ));
+        // Out-of-range relation.
+        assert!(matches!(
+            Plan::scan(9).validate(&q),
+            Err(PlanError::BadRelationIndex(9))
+        ));
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let q = query3();
+        let text = Plan::sort(left_deep(), KeyId(1)).explain(&q);
+        assert!(text.contains("sort by k1"));
+        assert!(text.contains("join[grace-hash] on k1"));
+        assert!(text.contains("join[sort-merge] on k0"));
+        assert!(text.contains("scan a"));
+        // Indentation grows with depth.
+        assert!(text.lines().any(|l| l.starts_with("      scan")));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the plan substrate: `RelSet` behaves exactly like a
+//! reference set implementation, and size estimation composes.
+
+use lec_plan::{JoinPred, JoinQuery, KeyId, RelSet, Relation};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn model(set: RelSet) -> BTreeSet<usize> {
+    set.iter().collect()
+}
+
+proptest! {
+    #[test]
+    fn relset_matches_btreeset_model(
+        xs in prop::collection::btree_set(0usize..20, 0..12),
+        ys in prop::collection::btree_set(0usize..20, 0..12),
+        probe in 0usize..20,
+    ) {
+        let mut a = RelSet::EMPTY;
+        for &x in &xs {
+            a = a.insert(x);
+        }
+        let mut b = RelSet::EMPTY;
+        for &y in &ys {
+            b = b.insert(y);
+        }
+        prop_assert_eq!(model(a), xs.clone());
+        prop_assert_eq!(a.len(), xs.len());
+        prop_assert_eq!(a.contains(probe), xs.contains(&probe));
+        prop_assert_eq!(model(a.union(b)), xs.union(&ys).copied().collect::<BTreeSet<_>>());
+        prop_assert_eq!(
+            model(a.intersect(b)),
+            xs.intersection(&ys).copied().collect::<BTreeSet<_>>()
+        );
+        prop_assert_eq!(a.is_subset_of(b), xs.is_subset(&ys));
+        prop_assert_eq!(a.is_disjoint(b), xs.is_disjoint(&ys));
+        let removed = a.remove(probe);
+        let mut xs2 = xs.clone();
+        xs2.remove(&probe);
+        prop_assert_eq!(model(removed), xs2);
+    }
+
+    #[test]
+    fn subset_enumeration_is_complete_and_ordered(n in 1usize..8) {
+        let all: Vec<RelSet> = RelSet::all_subsets(n).collect();
+        prop_assert_eq!(all.len(), (1usize << n) - 1);
+        // No duplicates, and every subset's proper subsets appear earlier.
+        for (i, s) in all.iter().enumerate() {
+            for t in &all[..i] {
+                prop_assert_ne!(s, t);
+            }
+            for t in &all[i + 1..] {
+                prop_assert!(!t.is_subset_of(*s), "{t} after superset {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_pages_multiplicative_composition(
+        pages in prop::collection::vec(1.0f64..10_000.0, 3),
+        s01 in 1e-6f64..1.0,
+        s12 in 1e-6f64..1.0,
+    ) {
+        let relations: Vec<Relation> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Relation::new(format!("r{i}"), p.round().max(1.0), 100.0))
+            .collect();
+        let q = JoinQuery::new(
+            relations,
+            vec![
+                JoinPred { left: 0, right: 1, selectivity: s01, key: KeyId(0) },
+                JoinPred { left: 1, right: 2, selectivity: s12, key: KeyId(1) },
+            ],
+            None,
+        )
+        .unwrap();
+        let p: Vec<f64> = (0..3).map(|i| q.relation(i).effective_pages()).collect();
+        let expect = (p[0] * p[1] * p[2] * s01 * s12).max(1.0);
+        prop_assert!((q.result_pages(q.all()) - expect).abs() < 1e-9 * expect.max(1.0));
+        // Pairwise: only the crossing predicate applies.
+        let set01 = RelSet::single(0).insert(1);
+        let expect01 = (p[0] * p[1] * s01).max(1.0);
+        prop_assert!((q.result_pages(set01) - expect01).abs() < 1e-9 * expect01.max(1.0));
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the probability substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating distributions and chains.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution was given no support points.
+    EmptySupport,
+    /// A value in the support was NaN or infinite.
+    NonFiniteValue(f64),
+    /// A probability was negative or non-finite.
+    InvalidProbability(f64),
+    /// The probabilities summed to something too far from 1 to normalize
+    /// safely (total mass recorded).
+    MassNotNormalizable(f64),
+    /// A quantile was requested outside `[0, 1]`.
+    QuantileOutOfRange(f64),
+    /// A bucket count of zero was requested.
+    ZeroBuckets,
+    /// A Markov transition matrix row does not match the state count, or a
+    /// row is not a probability vector. Carries the offending row index.
+    MalformedTransitionRow(usize),
+    /// The Markov chain has no states.
+    EmptyChain,
+    /// Power iteration for the stationary distribution failed to converge
+    /// within the iteration budget.
+    StationaryDidNotConverge,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySupport => write!(f, "distribution has empty support"),
+            StatsError::NonFiniteValue(v) => write!(f, "non-finite support value: {v}"),
+            StatsError::InvalidProbability(p) => write!(f, "invalid probability: {p}"),
+            StatsError::MassNotNormalizable(m) => {
+                write!(f, "total probability mass {m} is not normalizable")
+            }
+            StatsError::QuantileOutOfRange(q) => {
+                write!(f, "quantile {q} outside [0, 1]")
+            }
+            StatsError::ZeroBuckets => write!(f, "bucket count must be at least 1"),
+            StatsError::MalformedTransitionRow(i) => {
+                write!(f, "transition matrix row {i} is malformed")
+            }
+            StatsError::EmptyChain => write!(f, "Markov chain has no states"),
+            StatsError::StationaryDidNotConverge => {
+                write!(f, "stationary distribution power iteration did not converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}

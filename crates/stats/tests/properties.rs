@@ -1,0 +1,152 @@
+//! Property-based tests for the probability substrate invariants listed in
+//! DESIGN.md §5: mass conservation, mean preservation under (re)bucketing,
+//! stochasticity of Markov evolution, and utility-score sanity.
+
+use lec_stats::{rebucket, Bucketing, Distribution, MarkovChain, Utility};
+use proptest::prelude::*;
+
+/// Strategy: a random distribution with 1..=12 support points.
+fn arb_dist() -> impl Strategy<Value = Distribution> {
+    prop::collection::vec((0.0f64..1e6, 0.01f64..1.0), 1..=12)
+        .prop_map(|pts| Distribution::from_weights(pts).expect("positive weights"))
+}
+
+/// Strategy: a random row-stochastic Markov chain with 2..=6 states.
+fn arb_chain() -> impl Strategy<Value = MarkovChain> {
+    (2usize..=6)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(1.0f64..1e5, n),
+                prop::collection::vec(prop::collection::vec(0.01f64..1.0, n), n),
+            )
+        })
+        .prop_map(|(mut states, raw_rows)| {
+            states.sort_by(f64::total_cmp);
+            states.dedup();
+            // Re-pad in case dedup shrank the list (values are continuous, so
+            // collisions are essentially impossible, but stay total).
+            while states.len() < raw_rows.len() {
+                let last = *states.last().unwrap();
+                states.push(last + 1.0);
+            }
+            let rows = raw_rows
+                .into_iter()
+                .map(|row| {
+                    let s: f64 = row.iter().sum();
+                    row.into_iter().map(|w| w / s).collect::<Vec<_>>()
+                })
+                .collect();
+            MarkovChain::new(states, rows).expect("normalized rows")
+        })
+}
+
+proptest! {
+    #[test]
+    fn mass_is_always_one(d in arb_dist()) {
+        prop_assert!((d.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn support_is_sorted_strictly(d in arb_dist()) {
+        for w in d.values().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn mean_is_within_support_range(d in arb_dist()) {
+        let m = d.mean();
+        prop_assert!(m >= d.min() - 1e-9 && m <= d.max() + 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone(d in arb_dist(), x in 0.0f64..1e6, y in 0.0f64..1e6) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+    }
+
+    #[test]
+    fn expectation_is_monotone_in_f(d in arb_dist()) {
+        // f <= g pointwise implies E[f] <= E[g].
+        let ef = d.expect(|v| v);
+        let eg = d.expect(|v| v + 1.0);
+        prop_assert!(ef < eg);
+    }
+
+    #[test]
+    fn pushforward_preserves_mass(d in arb_dist()) {
+        let m = d.map(|v| (v / 1000.0).floor()).unwrap();
+        prop_assert!((m.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_mean_adds(a in arb_dist(), b in arb_dist()) {
+        let c = a.convolve(&b).unwrap();
+        let expected = a.mean() + b.mean();
+        prop_assert!((c.mean() - expected).abs() <= 1e-6 * expected.abs().max(1.0));
+    }
+
+    #[test]
+    fn bucketing_preserves_mass_and_mean(d in arb_dist(), b in 1usize..=8) {
+        for strat in [Bucketing::EquiWidth(b), Bucketing::EquiDepth(b)] {
+            let c = strat.apply(&d).unwrap();
+            prop_assert!(c.len() <= d.len().max(1));
+            prop_assert!((c.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!((c.mean() - d.mean()).abs() <= 1e-6 * d.mean().abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn rebucket_caps_and_preserves(d in arb_dist(), b in 1usize..=6) {
+        let r = rebucket(&d, b).unwrap();
+        prop_assert!(r.len() <= b.max(d.len().min(b)));
+        prop_assert!((r.mean() - d.mean()).abs() <= 1e-6 * d.mean().abs().max(1.0));
+        prop_assert!((r.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_bounds(d in arb_dist(), q in 0.0f64..=1.0) {
+        let v = d.quantile(q).unwrap();
+        prop_assert!(v >= d.min() && v <= d.max());
+    }
+
+    #[test]
+    fn markov_step_preserves_stochasticity(c in arb_chain(), k in 0usize..6) {
+        let n = c.n_states();
+        let initial = vec![1.0 / n as f64; n];
+        let p = c.marginal_after(&initial, k);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x >= -1e-12));
+    }
+
+    #[test]
+    fn markov_stationary_fixed_point(c in arb_chain()) {
+        let pi = c.stationary().unwrap();
+        let next = c.step(&pi);
+        for (a, b) in pi.iter().zip(&next) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sequence_enumeration_total_mass(c in arb_chain(), len in 1usize..4) {
+        let n = c.n_states();
+        let initial = vec![1.0 / n as f64; n];
+        let total: f64 = c.enumerate_sequences(&initial, len).iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_ce_between_min_and_max(d in arb_dist(), gamma in 1e-7f64..1e-4) {
+        let ce = Utility::Exponential { gamma }.score(&d);
+        prop_assert!(ce >= d.min() - 1e-6 && ce <= d.max() + 1e-6, "ce = {ce}");
+        // Risk-averse CE dominates the mean.
+        prop_assert!(ce >= d.mean() - 1e-6);
+    }
+
+    #[test]
+    fn deadline_score_is_probability(d in arb_dist(), t in 0.0f64..1e6) {
+        let s = Utility::Deadline { threshold: t }.score(&d);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&s));
+    }
+}

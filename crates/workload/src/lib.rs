@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Workload substrate: seed-deterministic query generators and memory-
+//! environment families for the experiment harness.
+//!
+//! * [`queries`] — the paper's Example 1.1 plus chain / star / clique join
+//!   query generators with log-uniform table sizes.
+//! * [`envs`] — memory-distribution families: the 80/20 bimodal environment
+//!   of Example 1.1, parameterized bimodal mixes, uniform grids, lognormal
+//!   shapes, and Markov volatility ladders for the dynamic experiments.
+//! * [`from_catalog`] — builds optimizer queries from `lec-catalog`
+//!   statistics (histogram/containment selectivity estimation, row→page
+//!   domain conversion).
+
+pub mod envs;
+pub mod from_catalog;
+pub mod queries;
+
+pub use queries::{example_1_1, QueryGen, Topology};

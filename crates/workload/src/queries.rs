@@ -1,0 +1,189 @@
+//! Join-query generators.
+
+use lec_plan::{JoinPred, JoinQuery, KeyId, Relation};
+use rand::Rng;
+
+/// The exact query of Example 1.1: `A` (1,000,000 pages) ⋈ `B`
+/// (400,000 pages) with a 3,000-page result, ordered by the join column.
+pub fn example_1_1() -> JoinQuery {
+    JoinQuery::new(
+        vec![
+            Relation::new("A", 1_000_000.0, 5e7),
+            Relation::new("B", 400_000.0, 2e7),
+        ],
+        vec![JoinPred {
+            left: 0,
+            right: 1,
+            selectivity: 3_000.0 / (1_000_000.0 * 400_000.0),
+            key: KeyId(0),
+        }],
+        Some(KeyId(0)),
+    )
+    .expect("the motivating example is a valid query")
+}
+
+/// Shape of the join graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// `r0 — r1 — r2 — ...`, each edge its own join key.
+    Chain,
+    /// `r0` joined to every other relation; with
+    /// [`QueryGen::shared_key`], every edge shares one key (the form the
+    /// execution simulator supports).
+    Star,
+    /// Every pair joined.
+    Clique,
+}
+
+/// A seeded query generator.
+#[derive(Debug, Clone)]
+pub struct QueryGen {
+    /// Join-graph shape.
+    pub topology: Topology,
+    /// Number of relations.
+    pub n: usize,
+    /// Page counts drawn log-uniformly from this range.
+    pub pages_range: (f64, f64),
+    /// Per-edge selectivity, chosen so each join shrinks or mildly grows
+    /// its inputs: `selectivity ≈ shrink / max(pages)` of the two sides.
+    pub shrink: f64,
+    /// All predicates share `KeyId(0)` (same-attribute joins).
+    pub shared_key: bool,
+    /// Require the output ordered by the last predicate's key.
+    pub require_order: bool,
+    /// Tuples per page (rows = pages · tpp).
+    pub tuples_per_page: f64,
+}
+
+impl Default for QueryGen {
+    fn default() -> Self {
+        Self {
+            topology: Topology::Chain,
+            n: 4,
+            pages_range: (50.0, 50_000.0),
+            shrink: 2.0,
+            shared_key: false,
+            require_order: true,
+            tuples_per_page: 64.0,
+        }
+    }
+}
+
+impl QueryGen {
+    /// Generates one query.
+    pub fn generate(&self, rng: &mut impl Rng) -> JoinQuery {
+        assert!(self.n >= 2, "need at least two relations");
+        let (lo, hi) = self.pages_range;
+        let relations: Vec<Relation> = (0..self.n)
+            .map(|i| {
+                let pages = log_uniform(rng, lo, hi).round().max(1.0);
+                Relation::new(format!("r{i}"), pages, pages * self.tuples_per_page)
+            })
+            .collect();
+        let edges: Vec<(usize, usize)> = match self.topology {
+            Topology::Chain => (0..self.n - 1).map(|i| (i, i + 1)).collect(),
+            Topology::Star => (1..self.n).map(|i| (0, i)).collect(),
+            Topology::Clique => (0..self.n)
+                .flat_map(|i| ((i + 1)..self.n).map(move |j| (i, j)))
+                .collect(),
+        };
+        let predicates: Vec<JoinPred> = edges
+            .iter()
+            .enumerate()
+            .map(|(k, &(l, r))| {
+                let bigger = relations[l].pages.max(relations[r].pages);
+                let selectivity = (self.shrink / bigger).clamp(1e-12, 1.0);
+                JoinPred {
+                    left: l,
+                    right: r,
+                    selectivity,
+                    key: if self.shared_key { KeyId(0) } else { KeyId(k) },
+                }
+            })
+            .collect();
+        let order = if self.require_order {
+            predicates.last().map(|p| p.key)
+        } else {
+            None
+        };
+        JoinQuery::new(relations, predicates, order).expect("generator emits valid queries")
+    }
+}
+
+fn log_uniform(rng: &mut impl Rng, lo: f64, hi: f64) -> f64 {
+    if lo >= hi {
+        return lo;
+    }
+    let x: f64 = rng.gen_range(lo.ln()..hi.ln());
+    x.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn example_1_1_matches_paper_numbers() {
+        let q = example_1_1();
+        assert_eq!(q.n(), 2);
+        assert_eq!(q.relation(0).pages, 1e6);
+        assert_eq!(q.relation(1).pages, 4e5);
+        assert!((q.result_pages(q.all()) - 3000.0).abs() < 1e-6);
+        assert_eq!(q.required_order(), Some(KeyId(0)));
+    }
+
+    #[test]
+    fn topologies_have_right_edge_counts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for (topo, edges) in [
+            (Topology::Chain, 4),
+            (Topology::Star, 4),
+            (Topology::Clique, 10),
+        ] {
+            let q = QueryGen {
+                topology: topo,
+                n: 5,
+                ..QueryGen::default()
+            }
+            .generate(&mut rng);
+            assert_eq!(q.predicates().len(), edges, "{topo:?}");
+            assert!(q.is_connected(q.all()), "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = QueryGen::default();
+        let a = gen.generate(&mut ChaCha8Rng::seed_from_u64(7));
+        let b = gen.generate(&mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = gen.generate(&mut ChaCha8Rng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shared_key_unifies_predicates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let q = QueryGen {
+            topology: Topology::Star,
+            shared_key: true,
+            n: 4,
+            ..QueryGen::default()
+        }
+        .generate(&mut rng);
+        assert!(q.predicates().iter().all(|p| p.key == KeyId(0)));
+    }
+
+    #[test]
+    fn sizes_respect_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            let q = QueryGen::default().generate(&mut rng);
+            for r in q.relations() {
+                assert!(r.pages >= 50.0 && r.pages <= 50_000.0);
+            }
+        }
+    }
+}

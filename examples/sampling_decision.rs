@@ -1,0 +1,55 @@
+//! Should the optimizer pay for a sample? (the \[SBM93\] direction, §2.3)
+//!
+//! ```text
+//! cargo run --example sampling_decision
+//! ```
+//!
+//! A predicate's selectivity is only known up to a factor. Sampling the
+//! table would pin it down — but sampling costs I/O. The expected value of
+//! perfect information (EVPI) is the exact budget: sample iff the sample
+//! costs less than the EVPI of what it measures.
+
+use lecopt::core::alg_d::SizeModel;
+use lecopt::core::{voi, MemoryModel};
+use lecopt::cost::PaperCostModel;
+use lecopt::plan::{JoinPred, JoinQuery, KeyId, Relation};
+use lecopt::stats::Distribution;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let query = JoinQuery::new(
+        vec![
+            Relation::new("events", 2_000.0, 1e5),
+            Relation::new("users", 150.0, 7.5e3),
+            Relation::new("sessions", 5_000.0, 2.5e5),
+        ],
+        vec![
+            JoinPred { left: 0, right: 1, selectivity: 1e-3, key: KeyId(0) },
+            JoinPred { left: 1, right: 2, selectivity: 5e-4, key: KeyId(1) },
+        ],
+        None,
+    )?;
+    let memory = MemoryModel::Static(Distribution::new([(30.0, 0.5), (400.0, 0.5)])?);
+
+    // Selectivities known only up to a factor (cv = 1.5).
+    let sizes = SizeModel::with_uncertainty(&query, 0.0, 1.5, 3)?;
+    let report = voi::analyze(&query, &PaperCostModel, &memory, &sizes)?;
+
+    println!("committed to one plan under uncertainty: E[cost] = {:.0}", report.committed_cost);
+    println!("with perfect information before planning: E[cost] = {:.0}", report.informed_cost);
+    println!("EVPI = {:.0} pages ({:.2}% of the committed cost)\n",
+        report.evpi, 100.0 * report.evpi / report.committed_cost);
+
+    let names = ["|events|", "|users|", "|sessions|", "sel(k0)", "sel(k1)"];
+    println!("value of learning each parameter alone:");
+    for (name, value) in names.iter().zip(&report.partial) {
+        println!("  {name:<12} {value:>8.0} pages");
+    }
+
+    // The decision: a 1%-sample of `users` costs ~2 pages; of `events` ~20.
+    println!();
+    for (what, cost) in [("1% sample of users", 2.0), ("1% sample of events", 20.0), ("full scan of sessions", 5000.0)] {
+        let verdict = if report.sampling_worthwhile(cost) { "worth it" } else { "not worth it" };
+        println!("{what} (≈{cost:.0} pages): {verdict}");
+    }
+    Ok(())
+}
