@@ -1,0 +1,23 @@
+# Developer entry points. `make verify` is the tier-1 gate the CI driver
+# runs; the others are the fast local loops.
+
+.PHONY: verify test bench-smoke lint xtable
+
+# Tier-1: release build + full test suite (what must never regress).
+verify:
+	cargo build --release
+	cargo test -q
+
+test:
+	cargo test --workspace
+
+# Compile and run every Criterion bench once in test mode (no measurement).
+bench-smoke:
+	cargo bench --workspace -- --test
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+# Regenerate every experiment table (and results/BENCH_parallel.json).
+xtable:
+	cargo run --release -p lec-bench --bin xtable all

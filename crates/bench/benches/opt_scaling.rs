@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lec_bench::fixtures::{chain_query, spread_memory, static_mem, SEED};
-use lec_core::{alg_a, alg_b, alg_c, lsc, pareto};
+use lec_core::{alg_a, alg_b, alg_c, lsc, pareto, Parallelism};
 use lec_stats::Utility;
 use lec_cost::PaperCostModel;
 use std::hint::black_box;
@@ -43,6 +43,27 @@ fn by_buckets(c: &mut Criterion) {
     group.finish();
 }
 
+fn serial_vs_parallel(c: &mut Criterion) {
+    // Rank-parallel Algorithm C against the serial reference at the sizes
+    // where the wavefronts are wide enough to matter. Results are
+    // bit-identical (see crates/core/tests/parallel_equivalence.rs); only
+    // wall-clock differs.
+    let mut group = c.benchmark_group("serial_vs_parallel");
+    let mem_dist = spread_memory(4);
+    let par = Parallelism::auto();
+    for n in [9usize, 11, 13] {
+        let q = chain_query(n, SEED + n as u64);
+        let mem = static_mem(mem_dist.clone());
+        group.bench_with_input(BenchmarkId::new("alg_c_serial", n), &n, |b, _| {
+            b.iter(|| alg_c::optimize(black_box(&q), &PaperCostModel, &mem).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("alg_c_parallel", n), &n, |b, _| {
+            b.iter(|| alg_c::optimize_par(black_box(&q), &PaperCostModel, &mem, &par).unwrap())
+        });
+    }
+    group.finish();
+}
+
 fn pareto_vs_scalar(c: &mut Criterion) {
     // The wall-clock cost of utility-exactness (X16's timing half).
     let mut group = c.benchmark_group("pareto_vs_scalar_dp");
@@ -73,6 +94,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = by_relations, by_buckets, pareto_vs_scalar
+    targets = by_relations, by_buckets, serial_vs_parallel, pareto_vs_scalar
 }
 criterion_main!(benches);

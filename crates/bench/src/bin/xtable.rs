@@ -13,7 +13,7 @@ fn main() {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     if args.is_empty() {
-        eprintln!("usage: xtable <x1..x13|all> ...");
+        eprintln!("usage: xtable <x1..x18|all> ...");
         eprintln!("experiments: {}", lec_bench::ALL_EXPERIMENTS.join(", "));
         std::process::exit(2);
     }

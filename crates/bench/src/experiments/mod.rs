@@ -17,3 +17,4 @@ pub mod x14_voi;
 pub mod x15_parametric;
 pub mod x16_frontier_growth;
 pub mod x17_bushy;
+pub mod x18_parallel;

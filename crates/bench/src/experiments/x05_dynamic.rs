@@ -93,7 +93,7 @@ pub fn run() -> String {
         pages_range: (100.0, 80_000.0),
         ..QueryGen::default()
     }
-    .generate(&mut ChaCha8Rng::seed_from_u64(120));
+    .generate(&mut ChaCha8Rng::seed_from_u64(211));
     let levels = 7;
     let mut initial = vec![0.0; levels];
     initial[1] = 1.0; // admitted while busy: second-lowest rung (24 pages)

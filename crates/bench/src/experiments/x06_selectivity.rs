@@ -42,7 +42,7 @@ pub fn run() -> String {
     let mem = MemoryModel::Static(mem_dist.clone());
 
     // Showcase: the search-found instance where uncertainty flips the plan.
-    let q = gen_query(223);
+    let q = gen_query(318);
     let phases = mem.table(q.n()).expect("valid");
     let mut showcase = Table::new(&[
         "sel cv",

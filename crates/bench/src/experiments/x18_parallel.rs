@@ -1,0 +1,110 @@
+//! X18 (extension) — the machine-readable perf trajectory of the
+//! rank-parallel optimizer.
+//!
+//! Serial Algorithm C against its rank-parallel twin (`alg_c::optimize_par`)
+//! on the chain sizes where the DP wavefronts are widest. Besides the
+//! markdown table this experiment writes `results/BENCH_parallel.json`, so
+//! successive checkouts can diff the speedup trajectory mechanically.
+//! The two paths return bit-identical plans (property-tested in
+//! `crates/core/tests/parallel_equivalence.rs`); only wall-clock differs,
+//! and on a single-core host the honest expectation is a speedup near (or
+//! slightly below) 1.0 — the JSON records whatever the machine delivers.
+
+use crate::fixtures::{chain_query, spread_memory, static_mem, SEED};
+use crate::table::{ratio, Table};
+use lec_core::{alg_c, Parallelism};
+use lec_cost::PaperCostModel;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Median wall-clock of `f` over `reps` runs after one warm-up call.
+fn median_ns<F: FnMut()>(mut f: F, reps: usize) -> u128 {
+    f();
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Where the machine-readable trajectory lands (workspace `results/`).
+fn json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_parallel.json")
+}
+
+/// Runs the experiment, returning a markdown section; also writes
+/// `results/BENCH_parallel.json`.
+pub fn run() -> String {
+    let par = Parallelism::auto();
+    let threads = par.effective_threads();
+    let mut t = Table::new(&["n", "threads", "serial median", "parallel median", "speedup"]);
+    let mut json_rows = Vec::new();
+    for n in [9usize, 11, 13] {
+        let q = chain_query(n, SEED + n as u64);
+        let mem = static_mem(spread_memory(4));
+        let serial = median_ns(
+            || {
+                alg_c::optimize(&q, &PaperCostModel, &mem).expect("serial");
+            },
+            7,
+        );
+        let parallel = median_ns(
+            || {
+                alg_c::optimize_par(&q, &PaperCostModel, &mem, &par).expect("parallel");
+            },
+            7,
+        );
+        let speedup = serial as f64 / parallel as f64;
+        t.row(vec![
+            n.to_string(),
+            threads.to_string(),
+            format!("{:.3} ms", serial as f64 / 1e6),
+            format!("{:.3} ms", parallel as f64 / 1e6),
+            ratio(speedup),
+        ]);
+        json_rows.push(format!(
+            "    {{\"n\": {n}, \"threads\": {threads}, \"serial_median_ns\": {serial}, \
+             \"parallel_median_ns\": {parallel}, \"speedup\": {speedup:.4}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"x18_parallel\",\n  \"algorithm\": \"alg_c\",\n  \
+         \"memory_buckets\": 4,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = json_path();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("results dir");
+    }
+    std::fs::write(&path, &json).expect("write BENCH_parallel.json");
+    format!(
+        "## X18 — serial vs. rank-parallel optimization time\n\n\
+         Median of 7 runs, chain queries, 4 memory buckets, \
+         {threads} worker thread(s) (`Parallelism::auto()`). Both paths \
+         return bit-identical plans; speedup above 1.000x means the \
+         parallel path was faster. Machine-readable copy written to \
+         `results/BENCH_parallel.json`.\n\n{}\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_writes_json() {
+        let md = run();
+        assert!(md.contains("X18"));
+        assert!(md.contains("| 13 |"));
+        let json = std::fs::read_to_string(json_path()).unwrap();
+        assert!(json.contains("\"experiment\": \"x18_parallel\""));
+        assert!(json.contains("\"n\": 9"));
+        assert!(json.contains("\"n\": 13"));
+        assert!(json.contains("\"speedup\""));
+    }
+}

@@ -1,0 +1,356 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the benchmarking interface this workspace's `benches/` targets
+//! use — `Criterion`, `BenchmarkGroup`, `Bencher::iter`/`iter_with_setup`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros — on
+//! top of plain `std::time::Instant` timing. No statistical machinery, no
+//! HTML reports: each benchmark warms up, takes `sample_size` samples, and
+//! prints the median ns/iter to stdout.
+//!
+//! `--test` on the command line (criterion's smoke mode, reached via
+//! `cargo bench -- --test`) runs every benchmark body exactly once and
+//! skips timing; other flags cargo passes (`--bench`) are ignored.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group, e.g. `alg_c/7`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing configuration + the entry point handed to benchmark functions.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(3),
+            sample_size: 20,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up period per benchmark.
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up = dur;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement = dur;
+        self
+    }
+
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line flags (`--test` enables run-once smoke mode;
+    /// everything else cargo passes is ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher::new(self.clone());
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher::new(self.criterion.clone());
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        self.run(id.into_id(), f);
+    }
+
+    /// Runs one parameterized benchmark; the closure receives the input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(id.into_id(), |b| f(b, input));
+    }
+
+    /// Ends the group (kept for interface compatibility; groups have no
+    /// deferred state here).
+    pub fn finish(self) {}
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    config: Criterion,
+    median_ns: Option<f64>,
+    executed: bool,
+}
+
+impl Bencher {
+    fn new(config: Criterion) -> Self {
+        Bencher {
+            config,
+            median_ns: None,
+            executed: false,
+        }
+    }
+
+    /// Times a routine (criterion's default loop).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.executed = true;
+        if self.config.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+
+        // Warm up and estimate the per-iteration time.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Split the measurement budget into sample_size samples, batching
+        // iterations so each sample is long enough to time reliably.
+        let samples = self.config.sample_size;
+        let budget_ns = self.config.measurement.as_nanos() as f64;
+        let iters_per_sample = ((budget_ns / samples as f64 / est_ns).floor() as u64).max(1);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(median_of_sorted(&sample_ns));
+    }
+
+    /// Times a routine with untimed per-iteration setup: `setup` runs
+    /// outside the clock, only `routine(input)` is measured.
+    pub fn iter_with_setup<I, O, SF: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut routine: F,
+    ) {
+        self.executed = true;
+        if self.config.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+
+        // Setup interleaves with every timed call, so iterations cannot be
+        // batched; each sample times a single routine invocation.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.config.warm_up {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+
+        let samples = self.config.sample_size;
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        let budget = self.config.measurement;
+        let run_start = Instant::now();
+        while sample_ns.len() < samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            sample_ns.push(t.elapsed().as_nanos() as f64);
+            // A slow benchmark may blow through the budget; keep at least
+            // two samples so a median exists, then stop.
+            if run_start.elapsed() > budget * 3 && sample_ns.len() >= 2 {
+                break;
+            }
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(median_of_sorted(&sample_ns));
+    }
+
+    fn report(&self, id: &str) {
+        if self.config.test_mode {
+            println!("test {id} ... ok (ran once, --test mode)");
+        } else if let Some(ns) = self.median_ns {
+            println!("{id:<50} median {} /iter", format_ns(ns));
+        } else if self.executed {
+            println!("{id:<50} (no timing collected)");
+        } else {
+            println!("{id:<50} (benchmark body never called iter)");
+        }
+    }
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5)
+    }
+
+    #[test]
+    fn iter_produces_a_median() {
+        let mut b = Bencher::new(tiny());
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.median_ns.is_some());
+        assert!(b.median_ns.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = tiny();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &n| {
+            ran = true;
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+    }
+}

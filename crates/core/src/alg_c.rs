@@ -9,9 +9,10 @@
 //! initial distribution along the Markov chain — exactly what
 //! [`MemoryModel::table`] computes.
 
-use crate::dp::{optimize_left_deep, DpOptions, ExpectedCoster, Optimized};
+use crate::dp::{optimize_left_deep, optimize_left_deep_par, DpOptions, ExpectedCoster, Optimized};
 use crate::env::MemoryModel;
 use crate::error::CoreError;
+use crate::par::Parallelism;
 use lec_cost::CostModel;
 use lec_plan::JoinQuery;
 
@@ -58,6 +59,30 @@ pub fn optimize_with_options<M: CostModel + ?Sized>(
     let phases = memory.table(query.n().max(2))?;
     let coster = ExpectedCoster::new(model, &phases);
     optimize_left_deep(query, &coster, options)
+}
+
+/// [`optimize`] on the rank-parallel DP. Bit-identical to the serial
+/// result; queries below the parallel cutoff run serially.
+pub fn optimize_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    par: &Parallelism,
+) -> Result<Optimized, CoreError> {
+    optimize_with_options_par(query, model, memory, DpOptions::default(), par)
+}
+
+/// [`optimize_with_options`] on the rank-parallel DP.
+pub fn optimize_with_options_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    options: DpOptions,
+    par: &Parallelism,
+) -> Result<Optimized, CoreError> {
+    let phases = memory.table(query.n().max(2))?;
+    let coster = ExpectedCoster::new(model, &phases);
+    optimize_left_deep_par(query, &coster, options, par)
 }
 
 #[cfg(test)]

@@ -18,12 +18,13 @@
 //! once per dag node (the paper's observation at the end of Algorithm D).
 
 use crate::dp::Optimized;
-use crate::env::MemoryModel;
+use crate::env::{MemoryModel, PhaseDists};
 use crate::error::CoreError;
 use crate::evaluate::access_choices;
+use crate::par::{self, Parallelism};
 use lec_cost::fast_expect::{expected_join_fast, expected_join_naive, expected_sort};
 use lec_cost::{AccessMethod, CostModel, JoinMethod, PaperCostModel};
-use lec_plan::{JoinQuery, Plan, RelSet};
+use lec_plan::{JoinQuery, KeyId, Plan, RelSet};
 use lec_stats::{rebucket, Distribution};
 
 /// Distributions for the non-memory parameters.
@@ -159,6 +160,40 @@ pub fn optimize_generic<M: CostModel + ?Sized>(
     )
 }
 
+/// Algorithm D with the paper cost model on the rank-parallel DP.
+/// Bit-identical to [`optimize_fast`]; small queries run serially.
+pub fn optimize_fast_par(
+    query: &JoinQuery,
+    memory: &MemoryModel,
+    sizes: &SizeModel,
+    config: AlgDConfig,
+    par: &Parallelism,
+) -> Result<AlgDResult, CoreError> {
+    run_par(query, &PaperCostModel, memory, sizes, config, par)
+}
+
+/// [`optimize_generic`] on the rank-parallel DP (kernel forced to naive).
+pub fn optimize_generic_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    sizes: &SizeModel,
+    config: AlgDConfig,
+    par: &Parallelism,
+) -> Result<AlgDResult, CoreError> {
+    run_par(
+        query,
+        model,
+        memory,
+        sizes,
+        AlgDConfig {
+            kernel: Kernel::Naive,
+            ..config
+        },
+        par,
+    )
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Choice {
     Access(AccessMethod),
@@ -171,13 +206,35 @@ struct Entry {
     choice: Choice,
 }
 
-fn run<M: CostModel + ?Sized>(
+/// Per-query state Algorithm D previously recomputed per `(set, j)` visit:
+/// the best expected access path of each relation, hoisted out of the
+/// inner loop (computed once, like the other memoization tables).
+struct AccessTable {
+    best: Vec<(f64, AccessMethod)>,
+}
+
+impl AccessTable {
+    fn new(query: &JoinQuery, sizes: &SizeModel) -> Self {
+        let best = (0..query.n())
+            .map(|i| {
+                let rel = query.relation(i);
+                access_choices(rel)
+                    .into_iter()
+                    .map(|m| (expected_access_cost(rel, m, &sizes.rel_sizes[i]), m))
+                    .min_by(|a, b| a.0.total_cmp(&b.0))
+                    .expect("at least the full scan")
+            })
+            .collect();
+        AccessTable { best }
+    }
+}
+
+fn validate_inputs<M: CostModel + ?Sized>(
     query: &JoinQuery,
-    model: &M,
-    memory: &MemoryModel,
+    _model: &M,
     sizes: &SizeModel,
-    config: AlgDConfig,
-) -> Result<AlgDResult, CoreError> {
+    config: &AlgDConfig,
+) -> Result<(), CoreError> {
     if config.size_buckets == 0 {
         return Err(CoreError::BadParameter("size_buckets must be >= 1".into()));
     }
@@ -187,107 +244,127 @@ fn run<M: CostModel + ?Sized>(
             "size model does not match the query".into(),
         ));
     }
-    let n = query.n();
-    let full = query.all();
-    let phases = memory.table(n.max(2))?;
-    let slots = (full.bits() + 1) as usize;
-    let mut table: Vec<Option<Entry>> = vec![None; slots];
-    let mut size_of: Vec<Option<Distribution>> = vec![None; slots];
+    Ok(())
+}
 
-    // Depth 1: expected access costs and given size distributions.
-    for i in 0..n {
-        let rel = query.relation(i);
-        let dist = &sizes.rel_sizes[i];
-        let (cost, method) = access_choices(rel)
-            .into_iter()
-            .map(|m| (expected_access_cost(rel, m, dist), m))
-            .min_by(|a, b| a.0.total_cmp(&b.0))
-            .expect("at least the full scan");
+/// Result-size distribution of a dag node: computed once per node, from
+/// the lowest member as the designated `j` (any choice is equivalent).
+fn node_size_dist(
+    query: &JoinQuery,
+    sizes: &SizeModel,
+    config: AlgDConfig,
+    size_of: &[Option<Distribution>],
+    set: RelSet,
+) -> Result<Distribution, CoreError> {
+    let j = set.iter().next().expect("non-empty");
+    let sub = set.remove(j);
+    let sub_dist = size_of[sub.bits() as usize]
+        .as_ref()
+        .expect("subset computed earlier");
+    let j_dist = &sizes.rel_sizes[j];
+    let mut dist = sub_dist.product_with(j_dist, |a, b| a * b)?;
+    dist = rebucket(&dist, config.size_buckets)?;
+    for (pidx, pred) in query.predicates().iter().enumerate() {
+        let crosses = (sub.contains(pred.left) && j == pred.right)
+            || (sub.contains(pred.right) && j == pred.left);
+        if crosses {
+            dist = dist.product_with(&sizes.selectivities[pidx], |s, sel| s * sel)?;
+            dist = rebucket(&dist, config.size_buckets)?;
+        }
+    }
+    Ok(dist.map(|v| v.max(1.0))?)
+}
+
+/// Prices every way of forming `set` by a last join, against the frozen
+/// lower-depth tables. Shared verbatim by the serial sweep and the
+/// rank-parallel wavefront, so both produce identical entries.
+#[allow(clippy::too_many_arguments)]
+fn cost_mask_d<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    sizes: &SizeModel,
+    config: AlgDConfig,
+    access: &AccessTable,
+    phases: &PhaseDists,
+    table: &[Option<Entry>],
+    size_of: &[Option<Distribution>],
+    set: RelSet,
+    full: RelSet,
+    required: Option<KeyId>,
+) -> (Entry, Option<Entry>) {
+    let phase = set.len() - 2;
+    let mem_dist = phases.at(phase);
+    let e_out = size_of[set.bits() as usize]
+        .as_ref()
+        .expect("node size computed earlier")
+        .mean();
+
+    let mut best: Option<Entry> = None;
+    let mut best_ordered: Option<Entry> = None;
+    for j in set.iter() {
+        let sub = set.remove(j);
+        let left = table[sub.bits() as usize].expect("subset computed earlier");
+        let left_dist = size_of[sub.bits() as usize]
+            .as_ref()
+            .expect("subset computed earlier");
+        let j_dist = &sizes.rel_sizes[j];
+        let acc_cost = access.best[j].0;
+        let key = query.join_key_between(sub, RelSet::single(j));
+        for method in JoinMethod::ALL {
+            let e_join = match config.kernel {
+                Kernel::Fast => expected_join_fast(method, left_dist, j_dist, mem_dist),
+                Kernel::Naive => expected_join_naive(model, method, left_dist, j_dist, mem_dist),
+            };
+            let cost = left.cost + acc_cost + e_join + e_out;
+            let entry = Entry {
+                cost,
+                choice: Choice::Join { last: j, method },
+            };
+            if best.is_none_or(|b| cost < b.cost) {
+                best = Some(entry);
+            }
+            if set == full
+                && method == JoinMethod::SortMerge
+                && required.is_some()
+                && key == required
+                && best_ordered.is_none_or(|b| cost < b.cost)
+            {
+                best_ordered = Some(entry);
+            }
+        }
+    }
+    (best.expect("set has at least two members"), best_ordered)
+}
+
+fn seed_depth_one(
+    query: &JoinQuery,
+    sizes: &SizeModel,
+    access: &AccessTable,
+    table: &mut [Option<Entry>],
+    size_of: &mut [Option<Distribution>],
+) {
+    for i in 0..query.n() {
+        let (cost, method) = access.best[i];
         let idx = RelSet::single(i).bits() as usize;
         table[idx] = Some(Entry {
             cost,
             choice: Choice::Access(method),
         });
-        size_of[idx] = Some(dist.clone());
+        size_of[idx] = Some(sizes.rel_sizes[i].clone());
     }
+}
 
-    let required = query.required_order();
-    let mut best_ordered: Option<Entry> = None;
-
-    for set in RelSet::all_subsets(n) {
-        if set.len() < 2 {
-            continue;
-        }
-        let phase = set.len() - 2;
-        let mem_dist = phases.at(phase);
-
-        // Result-size distribution: computed once per node, from the lowest
-        // member as the designated `j` (any choice is equivalent).
-        let idx = set.bits() as usize;
-        {
-            let j = set.iter().next().expect("non-empty");
-            let sub = set.remove(j);
-            let sub_dist = size_of[sub.bits() as usize]
-                .clone()
-                .expect("subset computed earlier");
-            let j_dist = sizes.rel_sizes[j].clone();
-            let mut dist = sub_dist.product_with(&j_dist, |a, b| a * b)?;
-            dist = rebucket(&dist, config.size_buckets)?;
-            for (pidx, pred) in query.predicates().iter().enumerate() {
-                let crosses = (sub.contains(pred.left) && j == pred.right)
-                    || (sub.contains(pred.right) && j == pred.left);
-                if crosses {
-                    dist = dist.product_with(&sizes.selectivities[pidx], |s, sel| s * sel)?;
-                    dist = rebucket(&dist, config.size_buckets)?;
-                }
-            }
-            size_of[idx] = Some(dist.map(|v| v.max(1.0))?);
-        }
-        let out_dist = size_of[idx].clone().expect("just stored");
-        let e_out = out_dist.mean();
-
-        let mut best: Option<Entry> = None;
-        for j in set.iter() {
-            let sub = set.remove(j);
-            let left = table[sub.bits() as usize].expect("subset computed earlier");
-            let left_dist = size_of[sub.bits() as usize]
-                .clone()
-                .expect("subset computed earlier");
-            let rel = query.relation(j);
-            let j_dist = &sizes.rel_sizes[j];
-            let acc_cost = access_choices(rel)
-                .into_iter()
-                .map(|m| expected_access_cost(rel, m, j_dist))
-                .fold(f64::INFINITY, f64::min);
-            let key = query.join_key_between(sub, RelSet::single(j));
-            for method in JoinMethod::ALL {
-                let e_join = match config.kernel {
-                    Kernel::Fast => expected_join_fast(method, &left_dist, j_dist, mem_dist),
-                    Kernel::Naive => {
-                        expected_join_naive(model, method, &left_dist, j_dist, mem_dist)
-                    }
-                };
-                let cost = left.cost + acc_cost + e_join + e_out;
-                let entry = Entry {
-                    cost,
-                    choice: Choice::Join { last: j, method },
-                };
-                if best.is_none_or(|b| cost < b.cost) {
-                    best = Some(entry);
-                }
-                if set == full
-                    && method == JoinMethod::SortMerge
-                    && required.is_some()
-                    && key == required
-                    && best_ordered.is_none_or(|b| cost < b.cost)
-                {
-                    best_ordered = Some(entry);
-                }
-            }
-        }
-        table[idx] = best;
-    }
-
+fn finalize_d<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    access: &AccessTable,
+    phases: &PhaseDists,
+    table: &[Option<Entry>],
+    size_of: &[Option<Distribution>],
+    best_ordered: Option<Entry>,
+) -> Result<AlgDResult, CoreError> {
+    let n = query.n();
+    let full = query.all();
     let root = table[full.bits() as usize].ok_or(CoreError::NoPlanFound)?;
     let result_size = size_of[full.bits() as usize]
         .clone()
@@ -300,22 +377,132 @@ fn run<M: CostModel + ?Sized>(
         let sorted_cost = root.cost + e_sort;
         match best_ordered {
             Some(ord) if ord.cost <= sorted_cost => Optimized {
-                plan: reconstruct(query, sizes, &table, full, Some(ord)),
+                plan: reconstruct(query, access, table, full, Some(ord)),
                 cost: ord.cost,
             },
             _ => Optimized {
-                plan: Plan::sort(reconstruct(query, sizes, &table, full, None), key),
+                plan: Plan::sort(reconstruct(query, access, table, full, None), key),
                 cost: sorted_cost,
             },
         }
     } else {
         Optimized {
-            plan: reconstruct(query, sizes, &table, full, None),
+            plan: reconstruct(query, access, table, full, None),
             cost: root.cost,
         }
     };
 
     Ok(AlgDResult { best, result_size })
+}
+
+fn run<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    sizes: &SizeModel,
+    config: AlgDConfig,
+) -> Result<AlgDResult, CoreError> {
+    validate_inputs(query, model, sizes, &config)?;
+    let n = query.n();
+    let full = query.all();
+    let phases = memory.table(n.max(2))?;
+    let slots = (full.bits() + 1) as usize;
+    let mut table: Vec<Option<Entry>> = vec![None; slots];
+    let mut size_of: Vec<Option<Distribution>> = vec![None; slots];
+
+    let access = AccessTable::new(query, sizes);
+    seed_depth_one(query, sizes, &access, &mut table, &mut size_of);
+
+    let required = query.required_order();
+    let mut best_ordered: Option<Entry> = None;
+
+    for set in RelSet::all_subsets(n) {
+        if set.len() < 2 {
+            continue;
+        }
+        let idx = set.bits() as usize;
+        size_of[idx] = Some(node_size_dist(query, sizes, config, &size_of, set)?);
+        let (best, ordered) = cost_mask_d(
+            query, model, sizes, config, &access, &phases, &table, &size_of, set, full, required,
+        );
+        table[idx] = Some(best);
+        if let Some(ord) = ordered {
+            best_ordered = Some(ord);
+        }
+    }
+
+    finalize_d(
+        query,
+        model,
+        &access,
+        &phases,
+        &table,
+        &size_of,
+        best_ordered,
+    )
+}
+
+/// Rank-parallel Algorithm D: each rank of the subset lattice runs two
+/// wavefronts — result-size distributions first (they only read lower
+/// ranks), then join costing (which additionally reads this rank's sizes).
+fn run_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    sizes: &SizeModel,
+    config: AlgDConfig,
+    par: &Parallelism,
+) -> Result<AlgDResult, CoreError> {
+    let n = query.n();
+    if !par.use_parallel(n) {
+        return run(query, model, memory, sizes, config);
+    }
+    validate_inputs(query, model, sizes, &config)?;
+    let full = query.all();
+    let phases = memory.table(n.max(2))?;
+    let slots = (full.bits() + 1) as usize;
+    let mut table: Vec<Option<Entry>> = vec![None; slots];
+    let mut size_of: Vec<Option<Distribution>> = vec![None; slots];
+
+    let access = AccessTable::new(query, sizes);
+    seed_depth_one(query, sizes, &access, &mut table, &mut size_of);
+
+    let required = query.required_order();
+    let mut best_ordered: Option<Entry> = None;
+
+    let ranks = par::ranks(n);
+    for rank in &ranks[1..] {
+        // Pass 1: this rank's result-size distributions (read lower ranks).
+        let dists = par::map_indexed(par, rank.len(), |i| {
+            node_size_dist(query, sizes, config, &size_of, rank[i])
+        });
+        for (set, dist) in rank.iter().zip(dists) {
+            size_of[set.bits() as usize] = Some(dist?);
+        }
+        // Pass 2: join costing (reads this rank's sizes, lower-rank entries).
+        let results = par::map_indexed(par, rank.len(), |i| {
+            cost_mask_d(
+                query, model, sizes, config, &access, &phases, &table, &size_of, rank[i], full,
+                required,
+            )
+        });
+        for (set, (best, ordered)) in rank.iter().zip(results) {
+            table[set.bits() as usize] = Some(best);
+            if let Some(ord) = ordered {
+                best_ordered = Some(ord);
+            }
+        }
+    }
+
+    finalize_d(
+        query,
+        model,
+        &access,
+        &phases,
+        &table,
+        &size_of,
+        best_ordered,
+    )
 }
 
 /// Expected access cost when the effective size is a distribution.
@@ -338,7 +525,7 @@ fn expected_access_cost(
 
 fn reconstruct(
     query: &JoinQuery,
-    sizes: &SizeModel,
+    access: &AccessTable,
     table: &[Option<Entry>],
     set: RelSet,
     override_root: Option<Entry>,
@@ -351,19 +538,14 @@ fn reconstruct(
         },
         Choice::Join { last, method } => {
             let sub = set.remove(last);
-            let left = reconstruct(query, sizes, table, sub, None);
-            let rel = query.relation(last);
-            let access = access_choices(rel)
-                .into_iter()
-                .min_by(|a, b| {
-                    expected_access_cost(rel, *a, &sizes.rel_sizes[last])
-                        .total_cmp(&expected_access_cost(rel, *b, &sizes.rel_sizes[last]))
-                })
-                .expect("at least the full scan");
+            let left = reconstruct(query, access, table, sub, None);
             let key = query.join_key_between(sub, RelSet::single(last));
             Plan::join(
                 left,
-                Plan::Access { rel: last, method: access },
+                Plan::Access {
+                    rel: last,
+                    method: access.best[last].1,
+                },
                 method,
                 key,
             )
@@ -510,6 +692,22 @@ mod tests {
         };
         assert_eq!(m1, JoinMethod::NestedLoop);
         assert_ne!(m2, JoinMethod::NestedLoop, "uncertainty should kill NL");
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let q = chain_query(5);
+        let sizes = SizeModel::with_uncertainty(&q, 0.4, 0.5, 4).unwrap();
+        let mem = memory();
+        let serial = optimize_fast(&q, &mem, &sizes, AlgDConfig::default()).unwrap();
+        let par = Parallelism {
+            threads: 3,
+            sequential_cutoff: 2,
+        };
+        let parallel = optimize_fast_par(&q, &mem, &sizes, AlgDConfig::default(), &par).unwrap();
+        assert_eq!(serial.best.cost.to_bits(), parallel.best.cost.to_bits());
+        assert_eq!(serial.best.plan, parallel.best.plan);
+        assert_eq!(serial.result_size, parallel.result_size);
     }
 
     #[test]

@@ -13,13 +13,196 @@
 //! a subtree's phase indices depend on where it lands in the final plan, so
 //! subset-DP state is insufficient; [`optimize`] therefore rejects dynamic
 //! models rather than silently approximating.
+//!
+//! The `O(3^n)` submask enumeration parallelizes the same way as the
+//! left-deep DP: subsets of equal cardinality are independent, so
+//! [`optimize_par`] costs each rank of the lattice as one wavefront.
 
 use crate::dp::Optimized;
 use crate::env::MemoryModel;
 use crate::error::CoreError;
-use crate::evaluate::{access_choices, access_step, join_step, sort_step};
-use lec_cost::{CostModel, JoinMethod};
+use crate::evaluate::{join_step, sort_step};
+use crate::par::{self, Parallelism};
+use crate::precompute::QueryTables;
+use lec_cost::{AccessMethod, CostModel, JoinMethod};
 use lec_plan::{JoinQuery, Plan, RelSet};
+use lec_stats::Distribution;
+
+#[derive(Debug, Clone, Copy)]
+enum Choice {
+    Access(AccessMethod),
+    Join {
+        left: RelSet,
+        method: JoinMethod,
+        /// Join orientation: when false the split's complement is the
+        /// left input (matters for the asymmetric nested loop).
+        left_first: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    cost: f64,
+    choice: Choice,
+}
+
+/// Prices every 2-partition of `set` against the frozen lower ranks and
+/// returns the best entry, plus (at the full set, when an order is
+/// required) the best split whose join is a sort-merge on the required
+/// key. Shared by the serial sweep and the rank-parallel wavefront;
+/// submask order and the strict-`<` winner rule fix the result
+/// independently of scheduling.
+fn cost_mask_bushy<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    tabs: &QueryTables,
+    mem: &Distribution,
+    table: &[Option<Entry>],
+    set: RelSet,
+    full: RelSet,
+) -> (Entry, Option<Entry>) {
+    let out = tabs.pages(set);
+    let mut best: Option<Entry> = None;
+    let mut best_ordered: Option<Entry> = None;
+    // Enumerate 2-partitions: submasks containing the lowest member
+    // (each unordered split once); both orientations are priced.
+    let lowest = set.iter().next().expect("non-empty");
+    let bits = set.bits();
+    let rest = set.remove(lowest).bits();
+    let mut sub = rest;
+    loop {
+        let left = RelSet::from_bits(sub | (1 << lowest));
+        let right = RelSet::from_bits(bits & !left.bits());
+        if !right.is_empty() {
+            let le = table[left.bits() as usize].expect("computed");
+            let re = table[right.bits() as usize].expect("computed");
+            let (lp, rp) = (tabs.pages(left), tabs.pages(right));
+            let key = query.join_key_between(left, right);
+            for method in JoinMethod::ALL {
+                for left_first in [true, false] {
+                    let (a, b) = if left_first { (lp, rp) } else { (rp, lp) };
+                    let step = mem.expect(|m| join_step(model, method, a, b, out, m));
+                    let cost = le.cost + re.cost + step;
+                    let entry = Entry {
+                        cost,
+                        choice: Choice::Join {
+                            left,
+                            method,
+                            left_first,
+                        },
+                    };
+                    if best.is_none_or(|e| cost < e.cost) {
+                        best = Some(entry);
+                    }
+                    if set == full
+                        && method == JoinMethod::SortMerge
+                        && query.required_order().is_some()
+                        && key == query.required_order()
+                        && best_ordered.is_none_or(|e| cost < e.cost)
+                    {
+                        best_ordered = Some(entry);
+                    }
+                }
+            }
+        }
+        if sub == 0 {
+            break;
+        }
+        sub = (sub - 1) & rest;
+    }
+    (best.expect("set has at least two members"), best_ordered)
+}
+
+/// Plan reconstruction from backpointers.
+fn plan_for(
+    query: &JoinQuery,
+    table: &[Option<Entry>],
+    set: RelSet,
+    override_root: Option<&Entry>,
+) -> Plan {
+    let entry = override_root
+        .or(table[set.bits() as usize].as_ref())
+        .expect("entry exists");
+    match entry.choice {
+        Choice::Access(method) => Plan::Access {
+            rel: set.iter().next().expect("singleton"),
+            method,
+        },
+        Choice::Join {
+            left,
+            method,
+            left_first,
+        } => {
+            let right = RelSet::from_bits(set.bits() & !left.bits());
+            let lp = plan_for(query, table, left, None);
+            let rp = plan_for(query, table, right, None);
+            let key = query.join_key_between(left, right);
+            if left_first {
+                Plan::join(lp, rp, method, key)
+            } else {
+                Plan::join(rp, lp, method, key)
+            }
+        }
+    }
+}
+
+fn static_memory(memory: &MemoryModel) -> Result<&Distribution, CoreError> {
+    match memory {
+        MemoryModel::Static(mem) => Ok(mem),
+        _ => Err(CoreError::BadParameter(
+            "bushy LEC optimization supports static memory only \
+             (phase indices are shape-dependent in bushy trees)"
+                .into(),
+        )),
+    }
+}
+
+fn seed_singletons(tabs: &QueryTables, n: usize, table: &mut [Option<Entry>]) {
+    for i in 0..n {
+        let (cost, method, _) = tabs.access(i);
+        table[RelSet::single(i).bits() as usize] = Some(Entry {
+            cost,
+            choice: Choice::Access(method),
+        });
+    }
+}
+
+fn finalize<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    tabs: &QueryTables,
+    mem: &Distribution,
+    table: &[Option<Entry>],
+    best_ordered: Option<Entry>,
+) -> Result<Optimized, CoreError> {
+    let full = query.all();
+    let root = table[full.bits() as usize]
+        .as_ref()
+        .ok_or(CoreError::NoPlanFound)?;
+    if query.required_order().is_some() {
+        let out = tabs.pages(full);
+        let sorted_cost = root.cost + mem.expect(|m| sort_step(model, out, m));
+        match &best_ordered {
+            Some(ord) if ord.cost <= sorted_cost => {
+                return Ok(Optimized {
+                    plan: plan_for(query, table, full, Some(ord)),
+                    cost: ord.cost,
+                });
+            }
+            _ => {
+                let key = query.required_order().expect("checked");
+                return Ok(Optimized {
+                    plan: Plan::sort(plan_for(query, table, full, None), key),
+                    cost: sorted_cost,
+                });
+            }
+        }
+    }
+    Ok(Optimized {
+        plan: plan_for(query, table, full, None),
+        cost: root.cost,
+    })
+}
 
 /// Computes the least-expected-cost *bushy* plan under static memory.
 pub fn optimize<M: CostModel + ?Sized>(
@@ -27,155 +210,62 @@ pub fn optimize<M: CostModel + ?Sized>(
     model: &M,
     memory: &MemoryModel,
 ) -> Result<Optimized, CoreError> {
-    let MemoryModel::Static(mem) = memory else {
-        return Err(CoreError::BadParameter(
-            "bushy LEC optimization supports static memory only \
-             (phase indices are shape-dependent in bushy trees)"
-                .into(),
-        ));
-    };
+    let mem = static_memory(memory)?;
     let n = query.n();
     let full = query.all();
-
-    #[derive(Clone, Copy)]
-    enum Choice {
-        Access(lec_cost::AccessMethod),
-        Join {
-            left: RelSet,
-            method: JoinMethod,
-            /// Join orientation: when false the split's complement is the
-            /// left input (matters for the asymmetric nested loop).
-            left_first: bool,
-        },
-    }
-    struct Entry {
-        cost: f64,
-        choice: Choice,
-    }
-    let mut table: Vec<Option<Entry>> = (0..=full.bits()).map(|_| None).collect();
-
-    for i in 0..n {
-        let rel = query.relation(i);
-        let (cost, method) = access_choices(rel)
-            .into_iter()
-            .map(|m| (access_step(rel, m).0, m))
-            .min_by(|a, b| a.0.total_cmp(&b.0))
-            .expect("at least the full scan");
-        table[RelSet::single(i).bits() as usize] = Some(Entry {
-            cost,
-            choice: Choice::Access(method),
-        });
-    }
+    let tabs = QueryTables::new(query);
+    let mut table: Vec<Option<Entry>> = vec![None; (full.bits() + 1) as usize];
+    seed_singletons(&tabs, n, &mut table);
 
     let mut best_ordered: Option<Entry> = None;
     for set in RelSet::all_subsets(n) {
         if set.len() < 2 {
             continue;
         }
-        let out = query.result_pages(set);
-        let mut best: Option<Entry> = None;
-        // Enumerate 2-partitions: submasks containing the lowest member
-        // (each unordered split once); both orientations are priced.
-        let lowest = set.iter().next().expect("non-empty");
-        let bits = set.bits();
-        let rest = set.remove(lowest).bits();
-        let mut sub = rest;
-        loop {
-            let left = RelSet::from_bits(sub | (1 << lowest));
-            let right = RelSet::from_bits(bits & !left.bits());
-            if !right.is_empty() {
-                let le = table[left.bits() as usize].as_ref().expect("computed");
-                let re = table[right.bits() as usize].as_ref().expect("computed");
-                let (lp, rp) = (query.result_pages(left), query.result_pages(right));
-                let key = query.join_key_between(left, right);
-                for method in JoinMethod::ALL {
-                    for left_first in [true, false] {
-                        let (a, b) = if left_first { (lp, rp) } else { (rp, lp) };
-                        let step = mem.expect(|m| join_step(model, method, a, b, out, m));
-                        let cost = le.cost + re.cost + step;
-                        if best.as_ref().is_none_or(|e| cost < e.cost) {
-                            best = Some(Entry {
-                                cost,
-                                choice: Choice::Join { left, method, left_first },
-                            });
-                        }
-                        if set == full
-                            && method == JoinMethod::SortMerge
-                            && query.required_order().is_some()
-                            && key == query.required_order()
-                            && best_ordered.as_ref().is_none_or(|e| cost < e.cost)
-                        {
-                            best_ordered = Some(Entry {
-                                cost,
-                                choice: Choice::Join { left, method, left_first },
-                            });
-                        }
-                    }
-                }
-            }
-            if sub == 0 {
-                break;
-            }
-            sub = (sub - 1) & rest;
+        let (best, ordered) = cost_mask_bushy(query, model, &tabs, mem, &table, set, full);
+        table[set.bits() as usize] = Some(best);
+        if let Some(ord) = ordered {
+            best_ordered = Some(ord);
         }
-        table[set.bits() as usize] = best;
     }
 
-    // Plan reconstruction.
-    fn plan_for(
-        query: &JoinQuery,
-        table: &[Option<Entry>],
-        set: RelSet,
-        override_root: Option<&Entry>,
-    ) -> Plan {
-        let entry = override_root
-            .or(table[set.bits() as usize].as_ref())
-            .expect("entry exists");
-        match entry.choice {
-            Choice::Access(method) => Plan::Access {
-                rel: set.iter().next().expect("singleton"),
-                method,
-            },
-            Choice::Join { left, method, left_first } => {
-                let right = RelSet::from_bits(set.bits() & !left.bits());
-                let lp = plan_for(query, table, left, None);
-                let rp = plan_for(query, table, right, None);
-                let key = query.join_key_between(left, right);
-                if left_first {
-                    Plan::join(lp, rp, method, key)
-                } else {
-                    Plan::join(rp, lp, method, key)
-                }
+    finalize(query, model, &tabs, mem, &table, best_ordered)
+}
+
+/// Rank-parallel [`optimize`]: the `O(3^n)` split enumeration is grouped
+/// by subset cardinality and each rank runs as one wavefront. Bit-identical
+/// to the serial result; queries below the parallel cutoff run serially.
+pub fn optimize_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    par: &Parallelism,
+) -> Result<Optimized, CoreError> {
+    let n = query.n();
+    if !par.use_parallel(n) {
+        return optimize(query, model, memory);
+    }
+    let mem = static_memory(memory)?;
+    let full = query.all();
+    let tabs = QueryTables::new(query);
+    let mut table: Vec<Option<Entry>> = vec![None; (full.bits() + 1) as usize];
+    seed_singletons(&tabs, n, &mut table);
+
+    let mut best_ordered: Option<Entry> = None;
+    let ranks = par::ranks(n);
+    for rank in &ranks[1..] {
+        let results = par::map_indexed(par, rank.len(), |i| {
+            cost_mask_bushy(query, model, &tabs, mem, &table, rank[i], full)
+        });
+        for (set, (best, ordered)) in rank.iter().zip(results) {
+            table[set.bits() as usize] = Some(best);
+            if let Some(ord) = ordered {
+                best_ordered = Some(ord);
             }
         }
     }
 
-    let root = table[full.bits() as usize]
-        .as_ref()
-        .ok_or(CoreError::NoPlanFound)?;
-    if query.required_order().is_some() {
-        let out = query.result_pages(full);
-        let sorted_cost = root.cost + mem.expect(|m| sort_step(model, out, m));
-        match &best_ordered {
-            Some(ord) if ord.cost <= sorted_cost => {
-                return Ok(Optimized {
-                    plan: plan_for(query, &table, full, Some(ord)),
-                    cost: ord.cost,
-                });
-            }
-            _ => {
-                let key = query.required_order().expect("checked");
-                return Ok(Optimized {
-                    plan: Plan::sort(plan_for(query, &table, full, None), key),
-                    cost: sorted_cost,
-                });
-            }
-        }
-    }
-    Ok(Optimized {
-        plan: plan_for(query, &table, full, None),
-        cost: root.cost,
-    })
+    finalize(query, model, &tabs, mem, &table, best_ordered)
 }
 
 #[cfg(test)]
@@ -256,12 +346,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_serial_bitwise() {
+        let par = Parallelism {
+            threads: 3,
+            sequential_cutoff: 2,
+        };
+        for seed in 0..4 {
+            let q = query(6, 40 + seed, seed % 2 == 0);
+            let mem = memory();
+            let serial = optimize(&q, &PaperCostModel, &mem).unwrap();
+            let parallel = optimize_par(&q, &PaperCostModel, &mem, &par).unwrap();
+            assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
+            assert_eq!(serial.plan, parallel.plan);
+        }
+    }
+
+    #[test]
     fn rejects_dynamic_memory() {
         let q = query(3, 0, false);
         let chain = MarkovChain::random_walk(vec![10.0, 100.0], 0.5).unwrap();
         let mem = MemoryModel::dynamic(chain, vec![0.5, 0.5]).unwrap();
         assert!(matches!(
             optimize(&q, &PaperCostModel, &mem),
+            Err(CoreError::BadParameter(_))
+        ));
+        let par = Parallelism::auto();
+        assert!(matches!(
+            optimize_par(&q, &PaperCostModel, &mem, &par),
             Err(CoreError::BadParameter(_))
         ));
     }

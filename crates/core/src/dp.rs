@@ -21,9 +21,11 @@
 
 use crate::env::PhaseDists;
 use crate::error::CoreError;
-use crate::evaluate::{access_choices, access_step, join_step, sort_step};
+use crate::evaluate::{join_step, sort_step};
+use crate::par::{self, Parallelism};
+use crate::precompute::QueryTables;
 use lec_cost::{AccessMethod, CostModel, JoinMethod};
-use lec_plan::{JoinQuery, Plan, RelSet};
+use lec_plan::{JoinQuery, KeyId, Plan, RelSet};
 
 /// An optimized plan with its (expected) cost under the optimizing
 /// objective.
@@ -129,29 +131,132 @@ enum Choice {
     Join { last: usize, method: JoinMethod },
 }
 
+/// Fills the depth-1 entries (best access path per relation) from the
+/// precomputed tables.
+fn seed_singletons(tabs: &QueryTables, n: usize, table: &mut [Option<Entry>]) {
+    for i in 0..n {
+        let (cost, method, _) = tabs.access(i);
+        table[RelSet::single(i).bits() as usize] = Some(Entry {
+            cost,
+            choice: Choice::Access(method),
+        });
+    }
+}
+
+/// Prices every way of forming `set` by a last join and returns the best
+/// entry, plus (at the full set, when an order is required) the best entry
+/// whose final join is a sort-merge on the required key.
+///
+/// This is the whole per-mask unit of work; both the serial subset sweep
+/// and the rank-parallel wavefront call it, so the two paths agree
+/// bit-for-bit by construction. Iteration order is fixed — members of
+/// `set` ascending, then [`JoinMethod::ALL`] — and the winner is kept
+/// under strict `<`, making the result independent of scheduling.
+fn cost_mask<C: StepCoster>(
+    tabs: &QueryTables,
+    coster: &C,
+    table: &[Option<Entry>],
+    set: RelSet,
+    full: RelSet,
+    required: Option<KeyId>,
+) -> (Entry, Option<Entry>) {
+    let out = tabs.pages(set);
+    let phase = set.len() - 2;
+    let mut best: Option<Entry> = None;
+    let mut best_ordered: Option<Entry> = None;
+    for j in set.iter() {
+        let sub = set.remove(j);
+        let left = table[sub.bits() as usize].expect("subset computed earlier");
+        let left_out = tabs.pages(sub);
+        let (acc_cost, _, acc_out) = tabs.access(j);
+        let key = tabs.join_key(sub, j);
+        for method in JoinMethod::ALL {
+            let cost = left.cost + acc_cost + coster.join(phase, method, left_out, acc_out, out);
+            let entry = Entry {
+                cost,
+                choice: Choice::Join { last: j, method },
+            };
+            if best.is_none_or(|b| cost < b.cost) {
+                best = Some(entry);
+            }
+            if set == full
+                && method == JoinMethod::SortMerge
+                && required.is_some()
+                && key == required
+                && best_ordered.is_none_or(|b| cost < b.cost)
+            {
+                best_ordered = Some(entry);
+            }
+        }
+    }
+    (best.expect("set has at least two members"), best_ordered)
+}
+
+/// Root handling shared by the serial and parallel drivers: satisfy a
+/// required order either through the final join or through an explicit
+/// sort, then reconstruct the winning plan.
+fn finalize<C: StepCoster>(
+    query: &JoinQuery,
+    tabs: &QueryTables,
+    coster: &C,
+    table: &[Option<Entry>],
+    best_ordered: Option<Entry>,
+) -> Result<Optimized, CoreError> {
+    let n = query.n();
+    let full = query.all();
+    let root = table[full.bits() as usize].ok_or(CoreError::NoPlanFound)?;
+
+    if query.required_order().is_some() {
+        let out = tabs.pages(full);
+        let sorted_cost = root.cost + coster.sort(n.saturating_sub(1), out);
+        match best_ordered {
+            Some(ord) if ord.cost <= sorted_cost => {
+                let plan = reconstruct(tabs, table, full, Some(ord));
+                return Ok(Optimized {
+                    plan,
+                    cost: ord.cost,
+                });
+            }
+            _ => {
+                let inner = reconstruct(tabs, table, full, None);
+                let key = query.required_order().expect("checked above");
+                return Ok(Optimized {
+                    plan: Plan::sort(inner, key),
+                    cost: sorted_cost,
+                });
+            }
+        }
+    }
+
+    let plan = reconstruct(tabs, table, full, None);
+    Ok(Optimized {
+        plan,
+        cost: root.cost,
+    })
+}
+
 /// Runs the left-deep dynamic program with the given step coster.
 pub fn optimize_left_deep<C: StepCoster>(
     query: &JoinQuery,
     coster: &C,
     options: DpOptions,
 ) -> Result<Optimized, CoreError> {
+    let tabs = QueryTables::new(query);
+    optimize_left_deep_with_tables(query, &tabs, coster, options)
+}
+
+/// [`optimize_left_deep`] against caller-provided tables (lets batch
+/// drivers build [`QueryTables`] once and share them across algorithms).
+pub fn optimize_left_deep_with_tables<C: StepCoster>(
+    query: &JoinQuery,
+    tabs: &QueryTables,
+    coster: &C,
+    options: DpOptions,
+) -> Result<Optimized, CoreError> {
     let n = query.n();
     let full = query.all();
     let mut table: Vec<Option<Entry>> = vec![None; (full.bits() + 1) as usize];
-
-    // Depth 1: best access path per relation.
-    for i in 0..n {
-        let rel = query.relation(i);
-        let best = access_choices(rel)
-            .into_iter()
-            .map(|m| (access_step(rel, m).0, m))
-            .min_by(|a, b| a.0.total_cmp(&b.0))
-            .expect("at least the full scan");
-        table[RelSet::single(i).bits() as usize] = Some(Entry {
-            cost: best.0,
-            choice: Choice::Access(best.1),
-        });
-    }
+    seed_singletons(tabs, n, &mut table);
 
     // The best full-set plan whose final join is a sort-merge on the
     // required key (satisfies the ORDER BY for free).
@@ -167,80 +272,76 @@ pub fn optimize_left_deep<C: StepCoster>(
         if set.len() < 2 {
             continue;
         }
-        let out = query.result_pages(set);
-        let phase = set.len() - 2;
-        let mut best: Option<Entry> = None;
-        for j in set.iter() {
-            let sub = set.remove(j);
-            let left = table[sub.bits() as usize].expect("subset computed earlier");
-            let left_out = query.result_pages(sub);
-            let rel = query.relation(j);
-            let (acc_cost, acc_out) = access_choices(rel)
-                .into_iter()
-                .map(|m| access_step(rel, m))
-                .min_by(|a, b| a.0.total_cmp(&b.0))
-                .expect("at least the full scan");
-            let key = query.join_key_between(sub, RelSet::single(j));
-            for method in JoinMethod::ALL {
-                let cost =
-                    left.cost + acc_cost + coster.join(phase, method, left_out, acc_out, out);
-                let entry = Entry {
-                    cost,
-                    choice: Choice::Join { last: j, method },
-                };
-                if best.is_none_or(|b| cost < b.cost) {
-                    best = Some(entry);
-                }
-                if set == full
-                    && method == JoinMethod::SortMerge
-                    && required.is_some()
-                    && key == required
-                    && best_ordered.is_none_or(|b| cost < b.cost)
-                {
-                    best_ordered = Some(entry);
-                }
-            }
-        }
-        table[set.bits() as usize] = best;
-    }
-
-    let root = table[full.bits() as usize].ok_or(CoreError::NoPlanFound)?;
-
-    // Root: satisfy a required order either through the final join or
-    // through an explicit sort.
-    if query.required_order().is_some() {
-        let out = query.result_pages(full);
-        let sorted_cost = root.cost + coster.sort(n.saturating_sub(1), out);
-        match best_ordered {
-            Some(ord) if ord.cost <= sorted_cost => {
-                let plan = reconstruct(query, &table, full, Some(ord));
-                return Ok(Optimized {
-                    plan,
-                    cost: ord.cost,
-                });
-            }
-            _ => {
-                let inner = reconstruct(query, &table, full, None);
-                let key = query.required_order().expect("checked above");
-                return Ok(Optimized {
-                    plan: Plan::sort(inner, key),
-                    cost: sorted_cost,
-                });
-            }
+        let (best, ordered) = cost_mask(tabs, coster, &table, set, full, required);
+        table[set.bits() as usize] = Some(best);
+        if let Some(ord) = ordered {
+            best_ordered = Some(ord);
         }
     }
 
-    let plan = reconstruct(query, &table, full, None);
-    Ok(Optimized {
-        plan,
-        cost: root.cost,
-    })
+    finalize(query, tabs, coster, &table, best_ordered)
+}
+
+/// Rank-parallel [`optimize_left_deep`]: subsets of cardinality `k` depend
+/// only on cardinalities below `k`, so each rank of the subset lattice is
+/// costed as one parallel wavefront. Produces bit-identical costs and
+/// plans to the serial program (enforced by the equivalence property
+/// tests); queries below the [`Parallelism::sequential_cutoff`] fall back
+/// to the serial path outright.
+pub fn optimize_left_deep_par<C: StepCoster + Sync>(
+    query: &JoinQuery,
+    coster: &C,
+    options: DpOptions,
+    par: &Parallelism,
+) -> Result<Optimized, CoreError> {
+    let tabs = QueryTables::new(query);
+    optimize_left_deep_par_with_tables(query, &tabs, coster, options, par)
+}
+
+/// [`optimize_left_deep_par`] against caller-provided tables.
+pub fn optimize_left_deep_par_with_tables<C: StepCoster + Sync>(
+    query: &JoinQuery,
+    tabs: &QueryTables,
+    coster: &C,
+    options: DpOptions,
+    par: &Parallelism,
+) -> Result<Optimized, CoreError> {
+    let n = query.n();
+    if !par.use_parallel(n) {
+        return optimize_left_deep_with_tables(query, tabs, coster, options);
+    }
+    let full = query.all();
+    let mut table: Vec<Option<Entry>> = vec![None; (full.bits() + 1) as usize];
+    seed_singletons(tabs, n, &mut table);
+
+    let required = if options.ignore_orders {
+        None
+    } else {
+        query.required_order()
+    };
+    let mut best_ordered: Option<Entry> = None;
+
+    let ranks = par::ranks(n);
+    for rank in &ranks[1..] {
+        // The lower ranks are frozen; this rank's masks are independent.
+        let results = par::map_indexed(par, rank.len(), |i| {
+            cost_mask(tabs, coster, &table, rank[i], full, required)
+        });
+        for (set, (best, ordered)) in rank.iter().zip(results) {
+            table[set.bits() as usize] = Some(best);
+            if let Some(ord) = ordered {
+                best_ordered = Some(ord);
+            }
+        }
+    }
+
+    finalize(query, tabs, coster, &table, best_ordered)
 }
 
 /// Rebuilds the plan tree from backpointers; `override_root` substitutes a
 /// different final-join choice (the ordered alternative).
 fn reconstruct(
-    query: &JoinQuery,
+    tabs: &QueryTables,
     table: &[Option<Entry>],
     set: RelSet,
     override_root: Option<Entry>,
@@ -253,19 +354,15 @@ fn reconstruct(
         }
         Choice::Join { last, method } => {
             let sub = set.remove(last);
-            let left = reconstruct(query, table, sub, None);
-            // The right child re-derives its best access path.
-            let rel = query.relation(last);
-            let access = access_choices(rel)
-                .into_iter()
-                .map(|m| (access_step(rel, m).0, m))
-                .min_by(|a, b| a.0.total_cmp(&b.0))
-                .expect("at least the full scan")
-                .1;
-            let key = query.join_key_between(sub, RelSet::single(last));
+            let left = reconstruct(tabs, table, sub, None);
+            let (_, access, _) = tabs.access(last);
+            let key = tabs.join_key(sub, last);
             Plan::join(
                 left,
-                Plan::Access { rel: last, method: access },
+                Plan::Access {
+                    rel: last,
+                    method: access,
+                },
                 method,
                 key,
             )
@@ -344,6 +441,21 @@ mod tests {
         let opt = optimize_left_deep(&q, &coster, DpOptions::default()).unwrap();
         // Whatever the winner, it must produce the required order.
         assert_eq!(opt.plan.output_order(), Some(KeyId(0)));
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let q = chain_query(9);
+        let model = PaperCostModel;
+        let coster = FixedMemoryCoster::new(&model, 50.0);
+        let serial = optimize_left_deep(&q, &coster, DpOptions::default()).unwrap();
+        let par = Parallelism {
+            threads: 3,
+            sequential_cutoff: 2,
+        };
+        let parallel = optimize_left_deep_par(&q, &coster, DpOptions::default(), &par).unwrap();
+        assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
+        assert_eq!(serial.plan, parallel.plan);
     }
 
     #[test]

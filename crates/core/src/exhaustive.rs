@@ -7,6 +7,7 @@ use crate::dp::Optimized;
 use crate::env::PhaseDists;
 use crate::error::CoreError;
 use crate::evaluate::{access_choices, expected_cost};
+use crate::par::{self, Parallelism};
 use lec_cost::{CostModel, JoinMethod};
 use lec_plan::{JoinQuery, Plan, RelSet};
 
@@ -187,6 +188,35 @@ pub fn exhaustive_lec_bushy<M: CostModel + ?Sized>(
     best_by_expected_cost(query, model, phases, enumerate_bushy(query))
 }
 
+/// [`exhaustive_lec`] with the plan scoring fanned out across threads.
+/// Enumeration stays serial (it is a fraction of the work); each plan's
+/// expected cost is independent, so scoring is embarrassingly parallel,
+/// and the winner is picked by a serial scan over the ordered costs —
+/// identical tie-breaking to the serial `min_by`.
+pub fn exhaustive_lec_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    phases: &PhaseDists,
+    par: &Parallelism,
+) -> Result<Optimized, CoreError> {
+    let plans = enumerate_left_deep(query);
+    let costs = par::map_indexed(par, plans.len(), |i| {
+        expected_cost(query, model, &plans[i], phases)
+    });
+    // `Iterator::min_by` keeps the *first* of equally-minimal elements;
+    // strict `<` over the ascending scan reproduces that exactly.
+    let mut best: Option<usize> = None;
+    for (i, &cost) in costs.iter().enumerate() {
+        if best.is_none_or(|b| cost.total_cmp(&costs[b]) == std::cmp::Ordering::Less) {
+            best = Some(i);
+        }
+    }
+    let i = best.ok_or(CoreError::NoPlanFound)?;
+    let cost = costs[i];
+    let plan = plans.into_iter().nth(i).expect("index in range");
+    Ok(Optimized { plan, cost })
+}
+
 fn best_by_expected_cost<M: CostModel + ?Sized>(
     query: &JoinQuery,
     model: &M,
@@ -294,6 +324,27 @@ mod tests {
         let plans = enumerate_left_deep(&q);
         // 2 perms · 3 methods · 2 access choices for `a`.
         assert_eq!(plans.len(), 12);
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_serial_bitwise() {
+        use crate::env::MemoryModel;
+        use lec_cost::PaperCostModel;
+        use lec_stats::Distribution;
+
+        let q = query(4);
+        let mem = MemoryModel::Static(
+            Distribution::new([(25.0, 0.4), (400.0, 0.6)]).unwrap(),
+        );
+        let phases = mem.table(q.n()).unwrap();
+        let serial = exhaustive_lec(&q, &PaperCostModel, &phases).unwrap();
+        let par = Parallelism {
+            threads: 4,
+            sequential_cutoff: 2,
+        };
+        let parallel = exhaustive_lec_par(&q, &PaperCostModel, &phases, &par).unwrap();
+        assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
+        assert_eq!(serial.plan, parallel.plan);
     }
 
     #[test]

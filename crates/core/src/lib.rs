@@ -44,8 +44,10 @@ pub mod error;
 pub mod evaluate;
 pub mod exhaustive;
 pub mod lsc;
+pub mod par;
 pub mod parametric;
 pub mod pareto;
+pub mod precompute;
 pub mod topc;
 pub mod voi;
 
@@ -53,6 +55,8 @@ pub use dp::Optimized;
 pub use env::{MemoryModel, PhaseDists};
 pub use error::CoreError;
 pub use evaluate::{cost_distribution_static, expected_cost, plan_cost_at};
+pub use par::Parallelism;
+pub use precompute::QueryTables;
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,197 @@
+//! Deterministic data-parallel helpers for the enumerators.
+//!
+//! Every dynamic program in this crate shares one dependency structure: a
+//! subset's entry depends only on *strictly smaller* subsets. Subsets of
+//! equal cardinality (one "rank" of the subset lattice) are therefore
+//! independent and can be costed concurrently, rank by rank — a wavefront
+//! schedule. This module provides the scheduling primitive: split an index
+//! range into contiguous chunks, run the chunks on scoped `std::thread`
+//! workers, and gather results back **in input order**.
+//!
+//! Determinism: the per-item function is pure (it reads the frozen
+//! lower-rank table), chunk boundaries never change an item's inputs, and
+//! gathering in chunk order reassembles exactly the serial output. Parallel
+//! and serial runs are bit-identical by construction, which the equivalence
+//! property tests enforce end to end.
+//!
+//! No external thread-pool crate is used — `std::thread::scope` is the
+//! fallback-free baseline available everywhere the workspace builds.
+
+use std::num::NonZeroUsize;
+
+/// How much parallelism an enumerator may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker count; `0` means auto-detect via
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Queries with fewer relations than this run fully serially — below
+    /// ~8 relations a rank has so few subsets that thread spawn/join
+    /// overhead dominates the costing work.
+    pub sequential_cutoff: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism {
+            threads: 0,
+            sequential_cutoff: 8,
+        }
+    }
+}
+
+impl Parallelism {
+    /// Auto-detected worker count with the default sequential cutoff.
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// Strictly serial execution (also the reference for equivalence tests).
+    pub fn serial() -> Self {
+        Parallelism {
+            threads: 1,
+            sequential_cutoff: usize::MAX,
+        }
+    }
+
+    /// Exactly `threads` workers with the default cutoff.
+    pub fn with_threads(threads: usize) -> Self {
+        Parallelism {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// The concrete worker count this configuration resolves to.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+
+    /// Should a query on `n` relations use the parallel path at all?
+    pub fn use_parallel(&self, n: usize) -> bool {
+        n >= self.sequential_cutoff && self.effective_threads() > 1
+    }
+}
+
+/// Maps `f` over `0..len`, preserving index order in the output.
+///
+/// With one effective worker (or a tiny range) this is a plain serial map;
+/// otherwise the range is split into one contiguous chunk per worker and
+/// the chunks run on scoped threads. `f` must be pure with respect to the
+/// index for the output to equal the serial map — which is exactly the
+/// contract the wavefront DP passes give it.
+pub fn map_indexed<R, F>(par: &Parallelism, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = par.effective_threads().min(len.max(1));
+    if workers <= 1 || len < 2 {
+        return (0..len).map(f).collect();
+    }
+
+    // Contiguous chunks, sized as evenly as possible.
+    let base = len / workers;
+    let extra = len % workers;
+    let mut bounds = Vec::with_capacity(workers + 1);
+    let mut at = 0usize;
+    bounds.push(0);
+    for w in 0..workers {
+        at += base + usize::from(w < extra);
+        bounds.push(at);
+    }
+
+    let f = &f;
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .windows(2)
+            .skip(1)
+            .map(|w| {
+                let (lo, hi) = (w[0], w[1]);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        // The first chunk runs on the calling thread while workers proceed.
+        chunks.push((bounds[0]..bounds[1]).map(f).collect());
+        for handle in handles {
+            chunks.push(handle.join().expect("worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// The subset lattice of `{0..n}` grouped by cardinality: `ranks()[k]`
+/// holds every mask of popcount `k + 1` in increasing numeric order.
+///
+/// Concatenated rank by rank this is a valid DP order (subsets before
+/// supersets), and within a rank all masks are mutually independent.
+pub fn ranks(n: usize) -> Vec<Vec<lec_plan::RelSet>> {
+    let mut by_rank: Vec<Vec<lec_plan::RelSet>> = vec![Vec::new(); n];
+    for set in lec_plan::RelSet::all_subsets(n) {
+        by_rank[set.len() - 1].push(set);
+    }
+    by_rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for threads in [1, 2, 3, 7] {
+            let par = Parallelism::with_threads(threads);
+            let out = map_indexed(&par, 23, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_edge_lengths() {
+        let par = Parallelism::with_threads(4);
+        assert_eq!(map_indexed(&par, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(&par, 1, |i| i + 10), vec![10]);
+        assert_eq!(map_indexed(&par, 2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn serial_never_parallelizes() {
+        let par = Parallelism::serial();
+        assert_eq!(par.effective_threads(), 1);
+        assert!(!par.use_parallel(30));
+    }
+
+    #[test]
+    fn cutoff_gates_small_queries() {
+        let par = Parallelism {
+            threads: 8,
+            sequential_cutoff: 8,
+        };
+        assert!(!par.use_parallel(7));
+        assert!(par.use_parallel(8));
+    }
+
+    #[test]
+    fn ranks_partition_the_lattice() {
+        let n = 6;
+        let by_rank = ranks(n);
+        assert_eq!(by_rank.len(), n);
+        let total: usize = by_rank.iter().map(Vec::len).sum();
+        assert_eq!(total, (1 << n) - 1);
+        for (k, rank) in by_rank.iter().enumerate() {
+            assert!(rank.iter().all(|s| s.len() == k + 1));
+            assert!(rank.windows(2).all(|w| w[0].bits() < w[1].bits()));
+        }
+    }
+}

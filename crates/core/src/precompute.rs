@@ -1,0 +1,226 @@
+//! Per-query memoization tables shared by every enumerator.
+//!
+//! The DP inner loops used to recompute three quantities once per
+//! `(subset, relation)` visit that in fact depend only on the query:
+//! the best access path of each relation, the estimated result size of
+//! each subset, and the join key crossing from a subset to a relation.
+//! [`QueryTables`] materializes all three once, as flat vectors indexed
+//! by relation index or `RelSet::bits()`, so the hot loops become table
+//! lookups.
+//!
+//! Fidelity matters more than speed here: each table entry is produced by
+//! *the same expression* the enumerators previously evaluated inline
+//! (same iteration order, same comparator, same floating-point flooring),
+//! so switching an enumerator to the tables cannot change any cost by
+//! even one ULP. The serial/parallel equivalence tests lean on this.
+
+use crate::evaluate::{access_choices, access_step};
+use lec_cost::AccessMethod;
+use lec_plan::{JoinQuery, KeyId, RelSet};
+
+/// A relation's cheapest access path: `(cost, method, out_pages)`.
+pub type BestAccess = (f64, AccessMethod, f64);
+
+/// Read-only memoization tables for one query.
+#[derive(Debug, Clone)]
+pub struct QueryTables {
+    /// Cheapest access path per relation, by relation index. Ties resolve
+    /// exactly as the inline `min_by(total_cmp)` the enumerators used.
+    best_access: Vec<BestAccess>,
+    /// Estimated result pages per subset, indexed by `RelSet::bits()`
+    /// (entry 0 is the empty set and unused). Each entry is a direct
+    /// `JoinQuery::result_pages` call so the 1-page floor lands exactly
+    /// where the un-memoized code put it.
+    result_pages: Vec<f64>,
+    /// For each relation `j`, the predicates touching `j` in declaration
+    /// order, as `(other_endpoint, key)` pairs — the adjacency list that
+    /// answers `join_key_between(set, {j})` without scanning all
+    /// predicates.
+    touching: Vec<Vec<(usize, KeyId)>>,
+}
+
+impl QueryTables {
+    /// Builds all tables for `query`. Costs `O(2^n · n)` time and
+    /// `O(2^n)` space — the same order as the DP table every enumerator
+    /// already allocates.
+    pub fn new(query: &JoinQuery) -> Self {
+        let n = query.n();
+
+        let best_access = (0..n)
+            .map(|i| {
+                let rel = query.relation(i);
+                access_choices(rel)
+                    .into_iter()
+                    .map(|m| {
+                        let (cost, out) = access_step(rel, m);
+                        (cost, m, out)
+                    })
+                    .min_by(|a, b| a.0.total_cmp(&b.0))
+                    .expect("at least the full scan")
+            })
+            .collect();
+
+        let mut result_pages = Vec::with_capacity(1usize << n);
+        result_pages.push(1.0);
+        for set in RelSet::all_subsets(n) {
+            debug_assert_eq!(set.bits() as usize, result_pages.len());
+            result_pages.push(query.result_pages(set));
+        }
+
+        let mut touching: Vec<Vec<(usize, KeyId)>> = vec![Vec::new(); n];
+        for p in query.predicates() {
+            touching[p.left].push((p.right, p.key));
+            touching[p.right].push((p.left, p.key));
+        }
+
+        QueryTables {
+            best_access,
+            result_pages,
+            touching,
+        }
+    }
+
+    /// Cheapest access path for relation `i`: `(cost, method, out_pages)`.
+    #[inline]
+    pub fn access(&self, i: usize) -> BestAccess {
+        self.best_access[i]
+    }
+
+    /// Estimated result pages of the join over `set`
+    /// (≡ `query.result_pages(set)`).
+    #[inline]
+    pub fn pages(&self, set: RelSet) -> f64 {
+        self.result_pages[set.bits() as usize]
+    }
+
+    /// Join key between `set` and relation `j`
+    /// (≡ `query.join_key_between(set, RelSet::single(j))`): the key of
+    /// the first crossing predicate when all crossing predicates agree,
+    /// `None` for cross products or multi-key joins.
+    pub fn join_key(&self, set: RelSet, j: usize) -> Option<KeyId> {
+        let mut keys = self.touching[j]
+            .iter()
+            .filter(|(other, _)| set.contains(*other))
+            .map(|(_, k)| *k);
+        let first = keys.next()?;
+        if keys.all(|k| k == first) {
+            Some(first)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_plan::{JoinPred, Relation};
+
+    fn query() -> JoinQuery {
+        JoinQuery::new(
+            vec![
+                Relation::new("a", 1000.0, 5e4)
+                    .with_local_selectivity(0.05)
+                    .with_index(),
+                Relation::new("b", 400.0, 2e4),
+                Relation::new("c", 80.0, 4e3).with_local_selectivity(0.5),
+            ],
+            vec![
+                JoinPred {
+                    left: 0,
+                    right: 1,
+                    selectivity: 1e-4,
+                    key: KeyId(0),
+                },
+                JoinPred {
+                    left: 1,
+                    right: 2,
+                    selectivity: 1e-3,
+                    key: KeyId(1),
+                },
+            ],
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn best_access_matches_inline_search() {
+        let q = query();
+        let tabs = QueryTables::new(&q);
+        for i in 0..q.n() {
+            let rel = q.relation(i);
+            let inline = access_choices(rel)
+                .into_iter()
+                .map(|m| {
+                    let (cost, out) = access_step(rel, m);
+                    (cost, m, out)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .unwrap();
+            assert_eq!(tabs.access(i), inline);
+        }
+        // Relation 0 has a selective index: the index scan must win.
+        assert_eq!(tabs.access(0).1, AccessMethod::IndexScan);
+    }
+
+    #[test]
+    fn pages_match_query_result_pages_bitwise() {
+        let q = query();
+        let tabs = QueryTables::new(&q);
+        for set in RelSet::all_subsets(q.n()) {
+            assert_eq!(tabs.pages(set).to_bits(), q.result_pages(set).to_bits());
+        }
+    }
+
+    #[test]
+    fn join_keys_match_query_for_all_set_rel_pairs() {
+        let q = query();
+        let tabs = QueryTables::new(&q);
+        for set in RelSet::all_subsets(q.n()) {
+            for j in 0..q.n() {
+                if set.contains(j) {
+                    continue;
+                }
+                assert_eq!(
+                    tabs.join_key(set, j),
+                    q.join_key_between(set, RelSet::single(j)),
+                    "set {:?} rel {j}",
+                    set
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_key_join_yields_none() {
+        // Two predicates with different keys both crossing to relation 2.
+        let q = JoinQuery::new(
+            vec![
+                Relation::new("a", 10.0, 1e3),
+                Relation::new("b", 20.0, 1e3),
+                Relation::new("c", 30.0, 1e3),
+            ],
+            vec![
+                JoinPred {
+                    left: 0,
+                    right: 2,
+                    selectivity: 0.01,
+                    key: KeyId(0),
+                },
+                JoinPred {
+                    left: 1,
+                    right: 2,
+                    selectivity: 0.01,
+                    key: KeyId(1),
+                },
+            ],
+            None,
+        )
+        .unwrap();
+        let tabs = QueryTables::new(&q);
+        let ab = RelSet::single(0).insert(1);
+        assert_eq!(tabs.join_key(ab, 2), None);
+        assert_eq!(tabs.join_key(RelSet::single(0), 2), Some(KeyId(0)));
+    }
+}

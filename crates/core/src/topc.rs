@@ -15,6 +15,8 @@
 use crate::dp::Optimized;
 use crate::error::CoreError;
 use crate::evaluate::{access_choices, access_step, join_step, sort_step};
+use crate::par::{self, Parallelism};
+use crate::precompute::QueryTables;
 use lec_cost::{CostModel, JoinMethod};
 use lec_plan::{JoinQuery, Plan, RelSet};
 
@@ -45,34 +47,111 @@ struct TcEntry {
     plan: Plan,
 }
 
-/// Computes the top-`c` left-deep plans for one fixed memory value
-/// (Theorem 3.2: roughly a constant factor over the single-plan DP).
-pub fn top_c_plans<M: CostModel + ?Sized>(
+/// The per-mask unit of work: every way of forming `set` by a last join,
+/// merged and truncated to the top `c`. Returned rather than accumulated
+/// so the serial sweep and the rank-parallel wavefront share it exactly —
+/// including the combination counters, which are summed in mask order by
+/// both drivers.
+struct MaskMerge {
+    merged: Vec<TcEntry>,
+    /// Full-set candidates whose final join already produces the required
+    /// order (empty below the full set).
+    ordered: Vec<TcEntry>,
+    examined: u64,
+    naive: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_mask<M: CostModel + ?Sized>(
     query: &JoinQuery,
     model: &M,
+    tabs: &QueryTables,
     memory: f64,
     c: usize,
     strategy: MergeStrategy,
-) -> Result<TopCResult, CoreError> {
+    table: &[Vec<TcEntry>],
+    set: RelSet,
+    full: RelSet,
+) -> MaskMerge {
+    let out = tabs.pages(set);
+    let mut merged: Vec<TcEntry> = Vec::new();
+    let mut ordered: Vec<TcEntry> = Vec::new();
+    let mut examined = 0u64;
+    let mut naive = 0u64;
+    for j in set.iter() {
+        let sub = set.remove(j);
+        let left_out = tabs.pages(sub);
+        let key = tabs.join_key(sub, j);
+        let access = &table[RelSet::single(j).bits() as usize];
+        let left_list = &table[sub.bits() as usize];
+        if left_list.is_empty() {
+            continue;
+        }
+        for method in JoinMethod::ALL {
+            // One cost-formula evaluation per (j, method): identical for
+            // every input combination.
+            let step = join_step(
+                model,
+                method,
+                left_out,
+                access_step(
+                    query.relation(j),
+                    match access[0].plan {
+                        Plan::Access { method, .. } => method,
+                        _ => unreachable!("depth-1 entries are accesses"),
+                    },
+                )
+                .1,
+                out,
+                memory,
+            );
+            naive += (left_list.len() * access.len()) as u64;
+            for (k, acc) in access.iter().enumerate() {
+                for (i, left) in left_list.iter().enumerate() {
+                    if strategy == MergeStrategy::Frontier && (i + 1) * (k + 1) > c {
+                        break;
+                    }
+                    examined += 1;
+                    let entry = TcEntry {
+                        cost: left.cost + acc.cost + step,
+                        plan: Plan::join(left.plan.clone(), acc.plan.clone(), method, key),
+                    };
+                    if set == full
+                        && method == JoinMethod::SortMerge
+                        && query.required_order().is_some()
+                        && key == query.required_order()
+                    {
+                        ordered.push(entry.clone());
+                    }
+                    merged.push(entry);
+                }
+            }
+        }
+    }
+    merged.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    merged.truncate(c);
+    MaskMerge {
+        merged,
+        ordered,
+        examined,
+        naive,
+    }
+}
+
+fn validate_topc(memory: f64, c: usize) -> Result<(), CoreError> {
     if c == 0 {
         return Err(CoreError::BadParameter("top-c needs c >= 1".into()));
     }
     if !(memory.is_finite() && memory > 0.0) {
         return Err(CoreError::BadParameter(format!("bad memory {memory}")));
     }
-    let n = query.n();
-    let full = query.all();
-    let mut table: Vec<Vec<TcEntry>> = vec![Vec::new(); (full.bits() + 1) as usize];
-    let mut combos_examined = 0u64;
-    let mut combos_naive = 0u64;
-    // Full-set candidates whose final join already produces the required
-    // order: kept separately so sort completion competes fairly (same
-    // two-way comparison the single-plan DP makes at the root).
-    let mut ordered_roots: Vec<TcEntry> = Vec::new();
+    Ok(())
+}
 
-    // Depth 1: all access paths, sorted by cost (there are at most 2, so
-    // the top-c list is just all of them).
-    for i in 0..n {
+/// Depth 1: all access paths, sorted by cost (there are at most 2, so
+/// the top-c list is just all of them).
+fn seed_access_lists(query: &JoinQuery, c: usize, table: &mut [Vec<TcEntry>]) {
+    for i in 0..query.n() {
         let rel = query.relation(i);
         let mut entries: Vec<TcEntry> = access_choices(rel)
             .into_iter()
@@ -85,66 +164,22 @@ pub fn top_c_plans<M: CostModel + ?Sized>(
         entries.truncate(c);
         table[RelSet::single(i).bits() as usize] = entries;
     }
+}
 
-    for set in RelSet::all_subsets(n) {
-        if set.len() < 2 {
-            continue;
-        }
-        let out = query.result_pages(set);
-        let mut merged: Vec<TcEntry> = Vec::new();
-        for j in set.iter() {
-            let sub = set.remove(j);
-            let left_out = query.result_pages(sub);
-            let key = query.join_key_between(sub, RelSet::single(j));
-            let access: Vec<TcEntry> = table[RelSet::single(j).bits() as usize].clone();
-            // Split borrows: read the sub list immutably via index math.
-            let left_list = &table[sub.bits() as usize];
-            if left_list.is_empty() {
-                continue;
-            }
-            for method in JoinMethod::ALL {
-                // One cost-formula evaluation per (j, method): identical for
-                // every input combination.
-                let step = join_step(model, method, left_out, access_step(
-                    query.relation(j),
-                    match access[0].plan {
-                        Plan::Access { method, .. } => method,
-                        _ => unreachable!("depth-1 entries are accesses"),
-                    },
-                ).1, out, memory);
-                combos_naive += (left_list.len() * access.len()) as u64;
-                for (k, acc) in access.iter().enumerate() {
-                    for (i, left) in left_list.iter().enumerate() {
-                        if strategy == MergeStrategy::Frontier && (i + 1) * (k + 1) > c {
-                            break;
-                        }
-                        combos_examined += 1;
-                        let entry = TcEntry {
-                            cost: left.cost + acc.cost + step,
-                            plan: Plan::join(
-                                left.plan.clone(),
-                                acc.plan.clone(),
-                                method,
-                                key,
-                            ),
-                        };
-                        if set == full
-                            && method == JoinMethod::SortMerge
-                            && query.required_order().is_some()
-                            && key == query.required_order()
-                        {
-                            ordered_roots.push(entry.clone());
-                        }
-                        merged.push(entry);
-                    }
-                }
-            }
-        }
-        merged.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-        merged.truncate(c);
-        table[set.bits() as usize] = merged;
-    }
-
+/// Root handling shared by the serial and parallel drivers.
+#[allow(clippy::too_many_arguments)]
+fn finalize_topc<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    tabs: &QueryTables,
+    memory: f64,
+    c: usize,
+    table: &[Vec<TcEntry>],
+    mut ordered_roots: Vec<TcEntry>,
+    combos_examined: u64,
+    combos_naive: u64,
+) -> Result<TopCResult, CoreError> {
+    let full = query.all();
     let mut roots = table[full.bits() as usize].clone();
     if roots.is_empty() {
         return Err(CoreError::NoPlanFound);
@@ -156,7 +191,7 @@ pub fn top_c_plans<M: CostModel + ?Sized>(
     if let Some(required) = query.required_order() {
         for entry in &mut roots {
             if entry.plan.output_order() != Some(required) {
-                entry.cost += sort_step(model, out_pages(query), memory);
+                entry.cost += sort_step(model, tabs.pages(full), memory);
                 entry.plan = Plan::sort(std::mem::replace(&mut entry.plan, Plan::scan(0)), required);
             }
         }
@@ -183,8 +218,104 @@ pub fn top_c_plans<M: CostModel + ?Sized>(
     })
 }
 
-fn out_pages(query: &JoinQuery) -> f64 {
-    query.result_pages(query.all())
+/// Computes the top-`c` left-deep plans for one fixed memory value
+/// (Theorem 3.2: roughly a constant factor over the single-plan DP).
+pub fn top_c_plans<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: f64,
+    c: usize,
+    strategy: MergeStrategy,
+) -> Result<TopCResult, CoreError> {
+    validate_topc(memory, c)?;
+    let n = query.n();
+    let full = query.all();
+    let tabs = QueryTables::new(query);
+    let mut table: Vec<Vec<TcEntry>> = vec![Vec::new(); (full.bits() + 1) as usize];
+    let mut combos_examined = 0u64;
+    let mut combos_naive = 0u64;
+    // Full-set candidates whose final join already produces the required
+    // order: kept separately so sort completion competes fairly (same
+    // two-way comparison the single-plan DP makes at the root).
+    let mut ordered_roots: Vec<TcEntry> = Vec::new();
+
+    seed_access_lists(query, c, &mut table);
+
+    for set in RelSet::all_subsets(n) {
+        if set.len() < 2 {
+            continue;
+        }
+        let mut result = merge_mask(query, model, &tabs, memory, c, strategy, &table, set, full);
+        combos_examined += result.examined;
+        combos_naive += result.naive;
+        ordered_roots.append(&mut result.ordered);
+        table[set.bits() as usize] = result.merged;
+    }
+
+    finalize_topc(
+        query,
+        model,
+        &tabs,
+        memory,
+        c,
+        &table,
+        ordered_roots,
+        combos_examined,
+        combos_naive,
+    )
+}
+
+/// Rank-parallel [`top_c_plans`]: each rank of the subset lattice merges
+/// as one wavefront. Plans, costs, and both combination counters are
+/// identical to the serial run — per-mask counts are accumulated in mask
+/// order by the ordered gather. Queries below the parallel cutoff run
+/// serially.
+pub fn top_c_plans_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: f64,
+    c: usize,
+    strategy: MergeStrategy,
+    par: &Parallelism,
+) -> Result<TopCResult, CoreError> {
+    let n = query.n();
+    if !par.use_parallel(n) {
+        return top_c_plans(query, model, memory, c, strategy);
+    }
+    validate_topc(memory, c)?;
+    let full = query.all();
+    let tabs = QueryTables::new(query);
+    let mut table: Vec<Vec<TcEntry>> = vec![Vec::new(); (full.bits() + 1) as usize];
+    let mut combos_examined = 0u64;
+    let mut combos_naive = 0u64;
+    let mut ordered_roots: Vec<TcEntry> = Vec::new();
+
+    seed_access_lists(query, c, &mut table);
+
+    let ranks = par::ranks(n);
+    for rank in &ranks[1..] {
+        let results = par::map_indexed(par, rank.len(), |i| {
+            merge_mask(query, model, &tabs, memory, c, strategy, &table, rank[i], full)
+        });
+        for (set, mut result) in rank.iter().zip(results) {
+            combos_examined += result.examined;
+            combos_naive += result.naive;
+            ordered_roots.append(&mut result.ordered);
+            table[set.bits() as usize] = result.merged;
+        }
+    }
+
+    finalize_topc(
+        query,
+        model,
+        &tabs,
+        memory,
+        c,
+        &table,
+        ordered_roots,
+        combos_examined,
+        combos_naive,
+    )
 }
 
 /// Proposition 3.1's bound on combinations per merge: `c + c·ln c`.
@@ -376,6 +507,27 @@ mod tests {
         let top = top_c_plans(&q, &PaperCostModel, 40.0, 6, MergeStrategy::Frontier).unwrap();
         for p in &top.plans {
             assert_eq!(p.plan.output_order(), Some(KeyId(1)));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_including_counters() {
+        let q = query(7);
+        let model = PaperCostModel;
+        let par = Parallelism {
+            threads: 4,
+            sequential_cutoff: 2,
+        };
+        for strategy in [MergeStrategy::Frontier, MergeStrategy::Naive] {
+            let serial = top_c_plans(&q, &model, 70.0, 5, strategy).unwrap();
+            let parallel = top_c_plans_par(&q, &model, 70.0, 5, strategy, &par).unwrap();
+            assert_eq!(serial.plans.len(), parallel.plans.len());
+            for (s, p) in serial.plans.iter().zip(&parallel.plans) {
+                assert_eq!(s.cost.to_bits(), p.cost.to_bits());
+                assert_eq!(s.plan, p.plan);
+            }
+            assert_eq!(serial.combos_examined, parallel.combos_examined);
+            assert_eq!(serial.combos_naive, parallel.combos_naive);
         }
     }
 

@@ -1,0 +1,202 @@
+//! Serial ≡ parallel equivalence properties for every enumerator with a
+//! rank-parallel path.
+//!
+//! The parallel DPs promise *bit-identical* results to their serial
+//! counterparts — not "a valid plan of the same quality" but the very same
+//! cost down to the last ULP and the very same plan tree. These properties
+//! check that promise over randomized chain, star, and clique queries
+//! (n ∈ 2..=10), with and without a required output order, for:
+//!
+//! * Algorithm C (the left-deep expected-cost DP),
+//! * Algorithm D (multi-parameter, with size/selectivity uncertainty),
+//! * top-`c` enumeration (including both combination counters),
+//! * the bushy DPsub program.
+//!
+//! The thread configuration forces the parallel path (cutoff 2) with more
+//! workers than the container has cores, so chunk boundaries are exercised
+//! even on single-core CI.
+
+use lec_core::alg_d::{self, AlgDConfig, SizeModel};
+use lec_core::topc::{self, MergeStrategy};
+use lec_core::{alg_c, bushy, MemoryModel, Parallelism};
+use lec_cost::PaperCostModel;
+use lec_plan::{JoinPred, JoinQuery, KeyId, Relation};
+use lec_stats::Distribution;
+use proptest::prelude::*;
+
+/// Chain (0), star (1), or clique (2) topology over `n` relations, with
+/// deterministically varied page counts, selectivities, and index flags.
+fn build_query(topo: usize, n: usize, seed: u64, ordered: bool) -> JoinQuery {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(0x5851F42D4C957F2D)
+            .wrapping_add(0x14057B7EF767814F);
+        state >> 33
+    };
+    let relations = (0..n)
+        .map(|i| {
+            let pages = (next() % 9000 + 40) as f64;
+            let mut rel = Relation::new(format!("r{i}"), pages, pages * 40.0);
+            if next() % 3 == 0 {
+                rel = rel
+                    .with_local_selectivity((next() % 90 + 5) as f64 / 100.0)
+                    .with_index();
+            }
+            rel
+        })
+        .collect();
+    let mut predicates = Vec::new();
+    let mut key = 0;
+    match topo {
+        0 => {
+            for i in 0..n - 1 {
+                predicates.push(JoinPred {
+                    left: i,
+                    right: i + 1,
+                    selectivity: (next() % 900 + 10) as f64 * 1e-5,
+                    key: KeyId(key),
+                });
+                key += 1;
+            }
+        }
+        1 => {
+            for i in 1..n {
+                predicates.push(JoinPred {
+                    left: 0,
+                    right: i,
+                    selectivity: (next() % 900 + 10) as f64 * 1e-5,
+                    key: KeyId(key),
+                });
+                key += 1;
+            }
+        }
+        _ => {
+            for i in 0..n {
+                for j in i + 1..n {
+                    predicates.push(JoinPred {
+                        left: i,
+                        right: j,
+                        selectivity: (next() % 900 + 100) as f64 * 1e-4,
+                        key: KeyId(key),
+                    });
+                    key += 1;
+                }
+            }
+        }
+    }
+    let required = if ordered && !predicates.is_empty() {
+        Some(predicates[predicates.len() - 1].key)
+    } else {
+        None
+    };
+    JoinQuery::new(relations, predicates, required).expect("valid query")
+}
+
+fn memory_model(a: f64, b: f64) -> MemoryModel {
+    MemoryModel::Static(
+        Distribution::new([(a, 0.35), (b, 0.65)]).expect("valid distribution"),
+    )
+}
+
+/// More workers than cores, no sequential fallback: the parallel code path
+/// runs even for n = 2 and on a single-core container.
+fn forced() -> Parallelism {
+    Parallelism {
+        threads: 3,
+        sequential_cutoff: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Algorithm C: serial and rank-parallel runs produce the same cost
+    /// bit pattern and the same plan tree.
+    #[test]
+    fn alg_c_parallel_equivalent(
+        topo in 0usize..3,
+        n in 2usize..=10,
+        seed in 0u64..1_000_000,
+        ordered in proptest::bool::ANY,
+        lo in 8.0f64..120.0,
+        hi in 150.0f64..4000.0,
+    ) {
+        let q = build_query(topo, n, seed, ordered);
+        let mem = memory_model(lo, hi);
+        let serial = alg_c::optimize(&q, &PaperCostModel, &mem).unwrap();
+        let parallel = alg_c::optimize_par(&q, &PaperCostModel, &mem, &forced()).unwrap();
+        prop_assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
+        prop_assert_eq!(&serial.plan, &parallel.plan);
+        parallel.plan.validate(&q).unwrap();
+    }
+
+    /// Algorithm D: identical best plan, cost, and result-size
+    /// distribution under size and selectivity uncertainty.
+    #[test]
+    fn alg_d_parallel_equivalent(
+        topo in 0usize..3,
+        n in 2usize..=7,
+        seed in 0u64..1_000_000,
+        ordered in proptest::bool::ANY,
+        size_cv in 0.0f64..0.8,
+        sel_cv in 0.0f64..1.0,
+    ) {
+        let q = build_query(topo, n, seed, ordered);
+        let mem = memory_model(20.0, 900.0);
+        let sizes = SizeModel::with_uncertainty(&q, size_cv, sel_cv, 3).unwrap();
+        let cfg = AlgDConfig::default();
+        let serial = alg_d::optimize_fast(&q, &mem, &sizes, cfg).unwrap();
+        let parallel = alg_d::optimize_fast_par(&q, &mem, &sizes, cfg, &forced()).unwrap();
+        prop_assert_eq!(serial.best.cost.to_bits(), parallel.best.cost.to_bits());
+        prop_assert_eq!(&serial.best.plan, &parallel.best.plan);
+        prop_assert_eq!(&serial.result_size, &parallel.result_size);
+        parallel.best.plan.validate(&q).unwrap();
+    }
+
+    /// Top-c: the whole ranked plan list matches, as do both combination
+    /// counters (per-worker counts are gathered in mask order).
+    #[test]
+    fn topc_parallel_equivalent(
+        topo in 0usize..3,
+        n in 2usize..=8,
+        seed in 0u64..1_000_000,
+        ordered in proptest::bool::ANY,
+        c in 1usize..=5,
+        mem in 10.0f64..2000.0,
+    ) {
+        let q = build_query(topo, n, seed, ordered);
+        let serial =
+            topc::top_c_plans(&q, &PaperCostModel, mem, c, MergeStrategy::Frontier).unwrap();
+        let parallel =
+            topc::top_c_plans_par(&q, &PaperCostModel, mem, c, MergeStrategy::Frontier, &forced())
+                .unwrap();
+        prop_assert_eq!(serial.plans.len(), parallel.plans.len());
+        for (s, p) in serial.plans.iter().zip(&parallel.plans) {
+            prop_assert_eq!(s.cost.to_bits(), p.cost.to_bits());
+            prop_assert_eq!(&s.plan, &p.plan);
+        }
+        prop_assert_eq!(serial.combos_examined, parallel.combos_examined);
+        prop_assert_eq!(serial.combos_naive, parallel.combos_naive);
+    }
+
+    /// Bushy DPsub: identical plan and cost across the O(3^n) split
+    /// enumeration.
+    #[test]
+    fn bushy_parallel_equivalent(
+        topo in 0usize..3,
+        n in 2usize..=9,
+        seed in 0u64..1_000_000,
+        ordered in proptest::bool::ANY,
+        lo in 8.0f64..120.0,
+        hi in 150.0f64..4000.0,
+    ) {
+        let q = build_query(topo, n, seed, ordered);
+        let mem = memory_model(lo, hi);
+        let serial = bushy::optimize(&q, &PaperCostModel, &mem).unwrap();
+        let parallel = bushy::optimize_par(&q, &PaperCostModel, &mem, &forced()).unwrap();
+        prop_assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
+        prop_assert_eq!(&serial.plan, &parallel.plan);
+        parallel.plan.validate(&q).unwrap();
+    }
+}

@@ -1,0 +1,151 @@
+//! Batch optimization: many queries across one thread pool.
+//!
+//! The rank-parallel DPs in `lec-core` speed up a *single large* query;
+//! workloads are the complementary axis. Queries are independent, so a
+//! batch parallelizes perfectly — each worker runs the ordinary serial
+//! optimizer on its own slice of queries. [`BatchOptimizer`] does exactly
+//! that on scoped `std::thread` workers and returns results in input
+//! order, so `optimize_all(qs)[i]` always corresponds to `qs[i]`.
+//!
+//! Per-query parallelism and batch parallelism compose poorly on small
+//! machines (they compete for the same cores), so the batch path keeps
+//! each query serial; use `lec_core::alg_c::optimize_par` directly when
+//! one query dominates.
+
+use lec_core::alg_c;
+use lec_core::dp::{DpOptions, Optimized};
+use lec_core::par::{map_indexed, Parallelism};
+use lec_core::{CoreError, MemoryModel};
+use lec_cost::CostModel;
+use lec_plan::JoinQuery;
+
+/// Optimizes slices of queries across a thread pool.
+///
+/// # Examples
+///
+/// ```
+/// use lecopt::BatchOptimizer;
+/// use lecopt::core::{MemoryModel, Parallelism};
+/// use lecopt::cost::PaperCostModel;
+/// use lecopt::stats::Distribution;
+/// use lecopt::workload::queries::example_1_1;
+///
+/// let memory = MemoryModel::Static(Distribution::new([(700.0, 0.2), (2000.0, 0.8)])?);
+/// let batch = BatchOptimizer::new(&PaperCostModel, &memory);
+/// let queries = vec![example_1_1(), example_1_1()];
+/// let results = batch.optimize_all(&queries);
+/// assert_eq!(results.len(), 2);
+/// assert!(results[0].as_ref().unwrap().cost > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct BatchOptimizer<'a, M: CostModel + Sync + ?Sized> {
+    model: &'a M,
+    memory: &'a MemoryModel,
+    options: DpOptions,
+    par: Parallelism,
+}
+
+impl<'a, M: CostModel + Sync + ?Sized> BatchOptimizer<'a, M> {
+    /// A batch optimizer with auto-detected parallelism and default DP
+    /// options.
+    pub fn new(model: &'a M, memory: &'a MemoryModel) -> Self {
+        BatchOptimizer {
+            model,
+            memory,
+            options: DpOptions::default(),
+            par: Parallelism::auto(),
+        }
+    }
+
+    /// Overrides the thread configuration ([`Parallelism::serial`] gives a
+    /// deterministic single-threaded reference run — results are identical
+    /// either way, only scheduling changes).
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Overrides the DP options applied to every query.
+    pub fn with_options(mut self, options: DpOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Optimizes every query with Algorithm C (the LEC left-deep DP),
+    /// fanning the batch out across the thread pool. `results[i]`
+    /// corresponds to `queries[i]`.
+    pub fn optimize_all(&self, queries: &[JoinQuery]) -> Vec<Result<Optimized, CoreError>> {
+        map_indexed(&self.par, queries.len(), |i| {
+            alg_c::optimize_with_options(&queries[i], self.model, self.memory, self.options)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_cost::PaperCostModel;
+    use lec_plan::{JoinPred, KeyId, Relation};
+    use lec_stats::Distribution;
+
+    fn chain_query(n: usize, scale: f64) -> JoinQuery {
+        let relations = (0..n)
+            .map(|i| Relation::new(format!("r{i}"), scale * (i + 1) as f64, 1e4))
+            .collect();
+        let predicates = (0..n - 1)
+            .map(|i| JoinPred {
+                left: i,
+                right: i + 1,
+                selectivity: 0.001,
+                key: KeyId(i),
+            })
+            .collect();
+        JoinQuery::new(relations, predicates, None).unwrap()
+    }
+
+    fn memory() -> MemoryModel {
+        MemoryModel::Static(Distribution::new([(30.0, 0.5), (600.0, 0.5)]).unwrap())
+    }
+
+    #[test]
+    fn batch_matches_one_by_one_in_input_order() {
+        let queries: Vec<JoinQuery> = (2..=7).map(|n| chain_query(n, 80.0 + n as f64)).collect();
+        let mem = memory();
+        let model = PaperCostModel;
+        let batch = BatchOptimizer::new(&model, &mem)
+            .with_parallelism(Parallelism::with_threads(4));
+        let results = batch.optimize_all(&queries);
+        assert_eq!(results.len(), queries.len());
+        for (q, r) in queries.iter().zip(&results) {
+            let solo = alg_c::optimize(q, &model, &mem).unwrap();
+            let got = r.as_ref().unwrap();
+            assert_eq!(solo.cost.to_bits(), got.cost.to_bits());
+            assert_eq!(solo.plan, got.plan);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_batches_agree() {
+        let queries: Vec<JoinQuery> = (0..10).map(|i| chain_query(4, 50.0 + 10.0 * i as f64)).collect();
+        let mem = memory();
+        let model = PaperCostModel;
+        let serial = BatchOptimizer::new(&model, &mem)
+            .with_parallelism(Parallelism::serial())
+            .optimize_all(&queries);
+        let parallel = BatchOptimizer::new(&model, &mem)
+            .with_parallelism(Parallelism::with_threads(3))
+            .optimize_all(&queries);
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.cost.to_bits(), p.cost.to_bits());
+            assert_eq!(s.plan, p.plan);
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let mem = memory();
+        let batch = BatchOptimizer::new(&PaperCostModel, &mem);
+        assert!(batch.optimize_all(&[]).is_empty());
+    }
+}

@@ -43,3 +43,7 @@ pub use lec_exec as exec;
 pub use lec_plan as plan;
 pub use lec_stats as stats;
 pub use lec_workload as workload;
+
+pub mod batch;
+
+pub use batch::BatchOptimizer;

@@ -99,7 +99,7 @@ fn left_deep_plan_matches_oracle_provenance() {
 /// three-way query).
 #[test]
 fn lec_realized_io_not_worse_on_star_query() {
-    let (query, mut disk, base) = star_setup(&[120, 60, 30], 1e-3, 53);
+    let (query, mut disk, base) = star_setup(&[120, 60, 30], 1e-3, 55);
     let mem = Distribution::new([(7.0, 0.35), (40.0, 0.65)]).unwrap();
     let model = PaperCostModel;
     let lec = alg_c::optimize(&query, &model, &MemoryModel::Static(mem.clone())).unwrap();
