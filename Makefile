@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` is the tier-1 gate the CI driver
 # runs; the others are the fast local loops.
 
-.PHONY: verify test bench-smoke lint xtable
+.PHONY: verify test bench-smoke lint xtable ci
 
 # Tier-1: release build + full test suite (what must never regress).
 verify:
@@ -21,3 +21,15 @@ lint:
 # Regenerate every experiment table (and results/BENCH_parallel.json).
 xtable:
 	cargo run --release -p lec-bench --bin xtable all
+
+# Full local CI gate: formatting, lints, the whole test suite (unit +
+# integration + doc-tests), and an X19 smoke run that must leave a
+# well-formed results/BENCH_stats.json behind.
+ci:
+	cargo fmt --all -- --check
+	cargo clippy --workspace --all-targets -- -D warnings
+	cargo test -q --workspace
+	cargo test -q --workspace --doc
+	cargo run --release -p lec-bench --bin xtable x19 > /dev/null
+	test -s results/BENCH_stats.json
+	grep -q '"experiment": "x19_stats"' results/BENCH_stats.json

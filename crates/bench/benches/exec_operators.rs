@@ -12,8 +12,22 @@ fn setup() -> (Disk, RelId, RelId) {
     let mut disk = Disk::new();
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let domain = domain_for_selectivity(5e-4);
-    let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: 96, key_domain: domain });
-    let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: 32, key_domain: domain });
+    let a = generate(
+        &mut disk,
+        &mut rng,
+        &DataGenSpec {
+            pages: 96,
+            key_domain: domain,
+        },
+    );
+    let b = generate(
+        &mut disk,
+        &mut rng,
+        &DataGenSpec {
+            pages: 32,
+            key_domain: domain,
+        },
+    );
     (disk, a, b)
 }
 

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lec_bench::fixtures::{chain_query, spread_memory, static_mem, SEED};
 use lec_core::{alg_a, alg_b, alg_c, lsc, pareto, Parallelism};
-use lec_stats::Utility;
 use lec_cost::PaperCostModel;
+use lec_stats::Utility;
 use std::hint::black_box;
 
 fn by_relations(c: &mut Criterion) {

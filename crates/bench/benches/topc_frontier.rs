@@ -36,14 +36,26 @@ fn topc_dp(c: &mut Criterion) {
     for cc in [1usize, 4, 16] {
         group.bench_with_input(BenchmarkId::new("frontier", cc), &cc, |b, _| {
             b.iter(|| {
-                top_c_plans(black_box(&q), &PaperCostModel, 90.0, cc, MergeStrategy::Frontier)
-                    .unwrap()
+                top_c_plans(
+                    black_box(&q),
+                    &PaperCostModel,
+                    90.0,
+                    cc,
+                    MergeStrategy::Frontier,
+                )
+                .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("naive", cc), &cc, |b, _| {
             b.iter(|| {
-                top_c_plans(black_box(&q), &PaperCostModel, 90.0, cc, MergeStrategy::Naive)
-                    .unwrap()
+                top_c_plans(
+                    black_box(&q),
+                    &PaperCostModel,
+                    90.0,
+                    cc,
+                    MergeStrategy::Naive,
+                )
+                .unwrap()
             })
         });
     }

@@ -18,7 +18,10 @@ fn main() {
         std::process::exit(2);
     }
     let ids: Vec<String> = if args.iter().any(|a| a == "all") {
-        lec_bench::ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+        lec_bench::ALL_EXPERIMENTS
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         args
     };

@@ -18,3 +18,4 @@ pub mod x15_parametric;
 pub mod x16_frontier_growth;
 pub mod x17_bushy;
 pub mod x18_parallel;
+pub mod x19_stats;

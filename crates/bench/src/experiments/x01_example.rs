@@ -18,14 +18,27 @@ pub fn run() -> String {
     let mem = envs::example_1_1_memory();
     let phases = MemoryModel::Static(mem.clone()).table(2).expect("valid");
 
-    let plan1 = Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0)));
+    let plan1 = Plan::join(
+        Plan::scan(0),
+        Plan::scan(1),
+        JoinMethod::SortMerge,
+        Some(KeyId(0)),
+    );
     let plan2 = Plan::sort(
-        Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::GraceHash, Some(KeyId(0))),
+        Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::GraceHash,
+            Some(KeyId(0)),
+        ),
         KeyId(0),
     );
 
     let mut costs = Table::new(&["plan", "cost @ M=700", "cost @ M=2000", "expected cost"]);
-    for (name, plan) in [("Plan 1: sort-merge", &plan1), ("Plan 2: grace-hash + sort", &plan2)] {
+    for (name, plan) in [
+        ("Plan 1: sort-merge", &plan1),
+        ("Plan 2: grace-hash + sort", &plan2),
+    ] {
         costs.row(vec![
             name.into(),
             num(evaluate::plan_cost_at(&q, &model, plan, 700.0)),
@@ -36,7 +49,10 @@ pub fn run() -> String {
 
     let describe = |p: &Plan| -> &'static str {
         match p {
-            Plan::Join { method: JoinMethod::SortMerge, .. } => "Plan 1 (sort-merge)",
+            Plan::Join {
+                method: JoinMethod::SortMerge,
+                ..
+            } => "Plan 1 (sort-merge)",
             Plan::Sort { .. } => "Plan 2 (grace-hash + sort)",
             _ => "other",
         }
@@ -49,7 +65,9 @@ pub fn run() -> String {
         &q,
         &model,
         &MemoryModel::Static(mem),
-        DpOptions { ignore_orders: true },
+        DpOptions {
+            ignore_orders: true,
+        },
     )
     .expect("ablation");
 

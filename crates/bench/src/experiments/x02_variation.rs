@@ -24,13 +24,23 @@ fn advantage(lo: f64, hi: f64, p_lo: f64) -> (f64, f64, f64) {
 
 /// Runs the experiment, returning a markdown section.
 pub fn run() -> String {
-    let mut by_p = Table::new(&["Pr(M = 700)", "E[cost] LSC(mode) plan", "E[cost] LEC plan", "advantage"]);
+    let mut by_p = Table::new(&[
+        "Pr(M = 700)",
+        "E[cost] LSC(mode) plan",
+        "E[cost] LEC plan",
+        "advantage",
+    ]);
     for p in [0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.49, 0.6, 0.8, 1.0] {
         let (l, c, r) = advantage(700.0, 2000.0, p);
         by_p.row(vec![format!("{p:.2}"), num(l), num(c), ratio(r)]);
     }
 
-    let mut by_lo = Table::new(&["low-memory mode", "E[cost] LSC(mode) plan", "E[cost] LEC plan", "advantage"]);
+    let mut by_lo = Table::new(&[
+        "low-memory mode",
+        "E[cost] LSC(mode) plan",
+        "E[cost] LEC plan",
+        "advantage",
+    ]);
     for lo in [1500.0, 1100.0, 900.0, 700.0, 500.0, 200.0, 50.0, 10.0] {
         let (l, c, r) = advantage(lo, 2000.0, 0.2);
         by_lo.row(vec![num(lo), num(l), num(c), ratio(r)]);

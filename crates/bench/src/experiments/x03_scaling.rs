@@ -18,7 +18,12 @@ pub fn run() -> String {
     let mem_dist = spread_memory(4);
 
     let mut quality = Table::new(&[
-        "n", "LSC(mean)", "Alg A", "Alg B (c=3)", "Alg C", "bushy gap",
+        "n",
+        "LSC(mean)",
+        "Alg A",
+        "Alg B (c=3)",
+        "Alg C",
+        "bushy gap",
     ]);
     for n in 2..=6 {
         let q = chain_query(n, SEED + n as u64);
@@ -49,7 +54,13 @@ pub fn run() -> String {
         ]);
     }
 
-    let mut work = Table::new(&["b buckets", "Alg C evals", "vs b=1", "Alg A evals", "vs b=1"]);
+    let mut work = Table::new(&[
+        "b buckets",
+        "Alg C evals",
+        "vs b=1",
+        "Alg A evals",
+        "vs b=1",
+    ]);
     let q = chain_query(5, SEED + 50);
     let evals = |b: usize| -> (u64, u64) {
         let values: Vec<(f64, f64)> = (0..b)
@@ -88,8 +99,18 @@ pub fn run() -> String {
                 Relation::new("r2", 767.0, 49_088.0),
             ],
             vec![
-                JoinPred { left: 0, right: 1, selectivity: 0.0034071550255536627, key: KeyId(0) },
-                JoinPred { left: 1, right: 2, selectivity: 0.002607561929595828, key: KeyId(1) },
+                JoinPred {
+                    left: 0,
+                    right: 1,
+                    selectivity: 0.0034071550255536627,
+                    key: KeyId(0),
+                },
+                JoinPred {
+                    left: 1,
+                    right: 2,
+                    selectivity: 0.002607561929595828,
+                    key: KeyId(1),
+                },
             ],
             Some(KeyId(1)),
         )
@@ -106,9 +127,24 @@ pub fn run() -> String {
         let c = alg_c::optimize(&q, &model, &mem).expect("c");
         let shape = |p: &Plan| p.explain(&q).replace('\n', " / ");
         let mut t = Table::new(&["algorithm", "expected cost", "vs LEC", "plan"]);
-        t.row(vec!["Alg A".into(), num(a.best.cost), ratio(a.best.cost / c.cost), shape(&a.best.plan)]);
-        t.row(vec!["Alg B (c=3)".into(), num(b3.best.cost), ratio(b3.best.cost / c.cost), shape(&b3.best.plan)]);
-        t.row(vec!["Alg C".into(), num(c.cost), ratio(1.0), shape(&c.plan)]);
+        t.row(vec![
+            "Alg A".into(),
+            num(a.best.cost),
+            ratio(a.best.cost / c.cost),
+            shape(&a.best.plan),
+        ]);
+        t.row(vec![
+            "Alg B (c=3)".into(),
+            num(b3.best.cost),
+            ratio(b3.best.cost / c.cost),
+            shape(&b3.best.plan),
+        ]);
+        t.row(vec![
+            "Alg C".into(),
+            num(c.cost),
+            ratio(1.0),
+            shape(&c.plan),
+        ]);
         t.render()
     };
 
@@ -145,7 +181,11 @@ mod tests {
         for n in 2..=6 {
             let row = md
                 .lines()
-                .find(|l| l.trim_start_matches('|').trim().starts_with(&format!("{n} |")))
+                .find(|l| {
+                    l.trim_start_matches('|')
+                        .trim()
+                        .starts_with(&format!("{n} |"))
+                })
                 .unwrap_or_else(|| panic!("missing row for n = {n}\n{md}"));
             let cells: Vec<&str> = row.split('|').map(str::trim).collect();
             assert_eq!(cells[5], "1.000x", "Alg C regret for n = {n}: {row}");

@@ -7,7 +7,12 @@ use lec_core::topc::{frontier_bound, frontier_merge};
 /// Runs the experiment, returning a markdown section.
 pub fn run() -> String {
     let mut t = Table::new(&[
-        "c", "examined", "bound c+c·ln c", "naive c^2", "saving", "top-c exact?",
+        "c",
+        "examined",
+        "bound c+c·ln c",
+        "naive c^2",
+        "saving",
+        "top-c exact?",
     ]);
     for c in [1usize, 2, 4, 8, 16, 32, 64] {
         // Worst-case-ish sorted lists of length c each.

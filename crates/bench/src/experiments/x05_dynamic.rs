@@ -16,14 +16,14 @@
 
 use crate::fixtures::chain_query;
 use crate::fixtures::SEED;
-use lec_workload::queries::{QueryGen, Topology};
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use crate::table::{num, ratio, Table};
 use lec_core::{alg_c, evaluate, exhaustive, lsc, MemoryModel};
 use lec_cost::PaperCostModel;
 use lec_stats::MarkovChain;
 use lec_workload::envs;
+use lec_workload::queries::{QueryGen, Topology};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 struct Row {
     label: String,
@@ -102,13 +102,23 @@ pub fn run() -> String {
     let mut sym = Vec::new();
     for vol in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let chain = envs::markov_ladder(12.0, levels, vol);
-        sym.push(score(&q, chain, initial.clone(), format!("walk p={vol:.2}")));
+        sym.push(score(
+            &q,
+            chain,
+            initial.clone(),
+            format!("walk p={vol:.2}"),
+        ));
     }
 
     let mut drift = Vec::new();
     for p_up in [0.0, 0.2, 0.4, 0.6, 0.8] {
         let chain = MarkovChain::birth_death(states.clone(), 0.05, p_up).expect("chain");
-        drift.push(score(&star, chain, initial.clone(), format!("drift up={p_up:.1}")));
+        drift.push(score(
+            &star,
+            chain,
+            initial.clone(),
+            format!("drift up={p_up:.1}"),
+        ));
     }
 
     let verified = sym.iter().chain(&drift).all(|r| r.verified);

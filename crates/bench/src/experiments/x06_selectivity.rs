@@ -90,8 +90,7 @@ pub fn run() -> String {
             let c = alg_c::optimize(&qq, &model, &m).expect("alg c");
             if d.best.plan != c.plan {
                 flips += 1;
-                let td =
-                    evaluate::expected_cost_joint(&qq, &model, &d.best.plan, &sizes, &ph);
+                let td = evaluate::expected_cost_joint(&qq, &model, &d.best.plan, &sizes, &ph);
                 let tc = evaluate::expected_cost_joint(&qq, &model, &c.plan, &sizes, &ph);
                 ratios.push(td / tc);
             }

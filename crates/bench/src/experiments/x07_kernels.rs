@@ -32,7 +32,13 @@ fn time_it(mut f: impl FnMut() -> f64, iters: usize) -> (f64, f64) {
 
 /// Runs the experiment, returning a markdown section.
 pub fn run() -> String {
-    let mut t = Table::new(&["b (buckets per input)", "max rel error", "naive µs", "fast µs", "speedup"]);
+    let mut t = Table::new(&[
+        "b (buckets per input)",
+        "max rel error",
+        "naive µs",
+        "fast µs",
+        "speedup",
+    ]);
     let mut rng = ChaCha8Rng::seed_from_u64(77);
     for b in [4usize, 16, 64, 256] {
         let a = random_dist(&mut rng, b, 1e6);
@@ -75,7 +81,10 @@ mod tests {
     fn x7_kernels_exact_and_faster_at_scale() {
         let md = super::run();
         // Every error cell is tiny.
-        for line in md.lines().filter(|l| l.starts_with("| ") && l.contains("e-")) {
+        for line in md
+            .lines()
+            .filter(|l| l.starts_with("| ") && l.contains("e-"))
+        {
             let cells: Vec<&str> = line.split('|').map(str::trim).collect();
             let err: f64 = cells[2].parse().unwrap();
             assert!(err < 1e-9, "{line}");

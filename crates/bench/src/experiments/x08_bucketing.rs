@@ -26,7 +26,12 @@ pub fn run() -> String {
     let lec_fine = alg_c::optimize(&q, &model, &fine_mem).expect("fine");
 
     let mut t = Table::new(&[
-        "strategy", "buckets", "optimizer estimate", "true E[cost] of choice", "estimate error", "regret",
+        "strategy",
+        "buckets",
+        "optimizer estimate",
+        "true E[cost] of choice",
+        "estimate error",
+        "regret",
     ]);
     let mut score = |name: String, coarse: Distribution| {
         let b = coarse.len();
@@ -64,10 +69,7 @@ pub fn run() -> String {
     // distribution).
     let adaptive = bucketing::adaptive_optimize(&q, &model, &fine, 2).expect("adaptive");
     t.row(vec![
-        format!(
-            "coarse-to-fine ({} invocations)",
-            adaptive.refinements
-        ),
+        format!("coarse-to-fine ({} invocations)", adaptive.refinements),
         adaptive.buckets_used.to_string(),
         num(adaptive.optimized.cost),
         num(adaptive.optimized.cost),

@@ -22,8 +22,22 @@ fn setup() -> (Disk, lec_exec::RelId, lec_exec::RelId) {
     let mut disk = Disk::new();
     let mut rng = ChaCha8Rng::seed_from_u64(909);
     let domain = domain_for_selectivity(2e-4);
-    let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: A_PAGES, key_domain: domain });
-    let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: B_PAGES, key_domain: domain });
+    let a = generate(
+        &mut disk,
+        &mut rng,
+        &DataGenSpec {
+            pages: A_PAGES,
+            key_domain: domain,
+        },
+    );
+    let b = generate(
+        &mut disk,
+        &mut rng,
+        &DataGenSpec {
+            pages: B_PAGES,
+            key_domain: domain,
+        },
+    );
     (disk, a, b)
 }
 
@@ -39,7 +53,12 @@ pub fn run() -> String {
     );
 
     for method in JoinMethod::ALL {
-        let mut t = Table::new(&["M (pages)", "measured I/O", "paper formula", "detailed formula"]);
+        let mut t = Table::new(&[
+            "M (pages)",
+            "measured I/O",
+            "paper formula",
+            "detailed formula",
+        ]);
         for &m in &grid {
             let (mut disk, a, b) = setup();
             let mut pool = BufferPool::with_capacity(m);
@@ -66,7 +85,12 @@ pub fn run() -> String {
     }
 
     // External sort of the A relation.
-    let mut t = Table::new(&["M (pages)", "measured I/O", "paper formula", "detailed formula"]);
+    let mut t = Table::new(&[
+        "M (pages)",
+        "measured I/O",
+        "paper formula",
+        "detailed formula",
+    ]);
     for &m in &grid {
         let (mut disk, a, _) = setup();
         let mut pool = BufferPool::with_capacity(m);
@@ -79,7 +103,10 @@ pub fn run() -> String {
             num(DetailedCostModel.sort_cost(A_PAGES as f64, m as f64)),
         ]);
     }
-    out.push_str(&format!("### external sort (120 pages)\n\n{}\n", t.render()));
+    out.push_str(&format!(
+        "### external sort (120 pages)\n\n{}\n",
+        t.render()
+    ));
     out
 }
 

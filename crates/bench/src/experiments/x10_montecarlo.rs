@@ -47,8 +47,22 @@ fn load_tables(seed: u64) -> (Disk, Vec<RelId>) {
     let mut disk = Disk::new();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let domain = domain_for_selectivity(SELECTIVITY);
-    let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: A_PAGES as usize, key_domain: domain });
-    let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: B_PAGES as usize, key_domain: domain });
+    let a = generate(
+        &mut disk,
+        &mut rng,
+        &DataGenSpec {
+            pages: A_PAGES as usize,
+            key_domain: domain,
+        },
+    );
+    let b = generate(
+        &mut disk,
+        &mut rng,
+        &DataGenSpec {
+            pages: B_PAGES as usize,
+            key_domain: domain,
+        },
+    );
     (disk, vec![a, b])
 }
 
@@ -137,7 +151,10 @@ fn lec_of(q: &JoinQuery, plan: &Plan) -> f64 {
 
 fn summarize(plan: &Plan) -> &'static str {
     match plan {
-        Plan::Join { method: lec_cost::JoinMethod::SortMerge, .. } => "sort-merge",
+        Plan::Join {
+            method: lec_cost::JoinMethod::SortMerge,
+            ..
+        } => "sort-merge",
         Plan::Sort { .. } => "grace-hash + sort",
         _ => "other",
     }
@@ -152,8 +169,7 @@ mod tests {
         let q = scaled_query();
         let mem = scaled_memory();
         let lsc_choice = lsc::optimize_at_mode(&q, &PaperCostModel, &mem).unwrap();
-        let lec_choice =
-            alg_c::optimize(&q, &PaperCostModel, &MemoryModel::Static(mem)).unwrap();
+        let lec_choice = alg_c::optimize(&q, &PaperCostModel, &MemoryModel::Static(mem)).unwrap();
         assert_eq!(summarize(&lsc_choice.plan), "sort-merge");
         assert_eq!(summarize(&lec_choice.plan), "grace-hash + sort");
     }

@@ -10,14 +10,14 @@
 //! returns a strictly worse plan than the exact Pareto-frontier DP.
 
 use crate::fixtures::{chain_query, SEED};
-use lec_workload::queries::{QueryGen, Topology};
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use crate::table::{num, Table};
 use lec_core::pareto::{self, UtilityResult};
 use lec_cost::PaperCostModel;
 use lec_stats::{Distribution, Utility};
 use lec_workload::envs;
+use lec_workload::queries::{QueryGen, Topology};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Runs the experiment, returning a markdown section.
 pub fn run() -> String {
@@ -44,11 +44,25 @@ pub fn run() -> String {
     let utilities: Vec<(&str, Utility)> = vec![
         ("LEC (linear)", Utility::Linear),
         ("risk-averse (γ=1e-4)", Utility::Exponential { gamma: 1e-4 }),
-        ("risk-seeking (γ=-1e-4)", Utility::Exponential { gamma: -1e-4 }),
-        ("deadline", Utility::Deadline { threshold: deadline }),
+        (
+            "risk-seeking (γ=-1e-4)",
+            Utility::Exponential { gamma: -1e-4 },
+        ),
+        (
+            "deadline",
+            Utility::Deadline {
+                threshold: deadline,
+            },
+        ),
     ];
 
-    let mut t = Table::new(&["objective", "mean cost", "p95 cost", "max cost", "Pr(miss deadline)"]);
+    let mut t = Table::new(&[
+        "objective",
+        "mean cost",
+        "p95 cost",
+        "max cost",
+        "Pr(miss deadline)",
+    ]);
     let profile = |r: &UtilityResult| -> Vec<String> {
         let d: &Distribution = &r.cost_distribution;
         vec![

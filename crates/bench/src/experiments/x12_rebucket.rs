@@ -26,14 +26,21 @@ pub fn run() -> String {
         .expect("product");
 
     let mut t = Table::new(&[
-        "cap b", "support", "mean err %", "std-dev err %", "CDF L1 (rel)",
+        "cap b",
+        "support",
+        "mean err %",
+        "std-dev err %",
+        "CDF L1 (rel)",
     ]);
     for cap in [64usize, 32, 16, 8, 4, 2] {
         let r = rebucket(&full, cap).expect("rebucket");
         t.row(vec![
             cap.to_string(),
             r.len().to_string(),
-            format!("{:.2e}", 100.0 * (r.mean() - full.mean()).abs() / full.mean()),
+            format!(
+                "{:.2e}",
+                100.0 * (r.mean() - full.mean()).abs() / full.mean()
+            ),
             format!(
                 "{:.2}",
                 100.0 * (r.std_dev() - full.std_dev()).abs() / full.std_dev()
@@ -50,7 +57,10 @@ pub fn run() -> String {
         &q,
         &mem,
         &sizes,
-        AlgDConfig { size_buckets: 64, kernel: Kernel::Fast },
+        AlgDConfig {
+            size_buckets: 64,
+            kernel: Kernel::Fast,
+        },
     )
     .expect("reference");
     let mut stability = Table::new(&["cap b", "same plan as b=64?", "E[cost] drift %"]);
@@ -59,12 +69,20 @@ pub fn run() -> String {
             &q,
             &mem,
             &sizes,
-            AlgDConfig { size_buckets: cap, kernel: Kernel::Fast },
+            AlgDConfig {
+                size_buckets: cap,
+                kernel: Kernel::Fast,
+            },
         )
         .expect("capped");
         stability.row(vec![
             cap.to_string(),
-            if r.best.plan == reference.best.plan { "yes" } else { "NO" }.into(),
+            if r.best.plan == reference.best.plan {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
             format!(
                 "{:.3}",
                 100.0 * (r.best.cost - reference.best.cost).abs() / reference.best.cost
@@ -90,7 +108,10 @@ mod tests {
         let md = super::run();
         // Mean error column is always ~0 (rebucketing is mean-exact).
         let mut checked = 0;
-        for line in md.lines().filter(|l| l.starts_with("|") && l.contains("e-")) {
+        for line in md
+            .lines()
+            .filter(|l| l.starts_with("|") && l.contains("e-"))
+        {
             let cells: Vec<&str> = line.split('|').map(str::trim).collect();
             if cells.len() >= 6 {
                 if let Ok(err) = cells[3].parse::<f64>() {

@@ -22,8 +22,18 @@ fn query() -> JoinQuery {
             Relation::new("sessions", 5_000.0, 2.5e5),
         ],
         vec![
-            JoinPred { left: 0, right: 1, selectivity: 1e-3, key: KeyId(0) },
-            JoinPred { left: 1, right: 2, selectivity: 5e-4, key: KeyId(1) },
+            JoinPred {
+                left: 0,
+                right: 1,
+                selectivity: 1e-3,
+                key: KeyId(0),
+            },
+            JoinPred {
+                left: 1,
+                right: 2,
+                selectivity: 5e-4,
+                key: KeyId(1),
+            },
         ],
         None,
     )
@@ -34,9 +44,7 @@ fn query() -> JoinQuery {
 pub fn run() -> String {
     let q = query();
     let model = PaperCostModel;
-    let mem = MemoryModel::Static(
-        Distribution::new([(30.0, 0.5), (400.0, 0.5)]).expect("valid"),
-    );
+    let mem = MemoryModel::Static(Distribution::new([(30.0, 0.5), (400.0, 0.5)]).expect("valid"));
 
     let mut t = Table::new(&[
         "sel cv",
@@ -70,10 +78,21 @@ pub fn run() -> String {
     let sizes = SizeModel::with_uncertainty(&q, 0.0, 1.5, 3).expect("sizes");
     let r = voi::analyze(&q, &model, &mem, &sizes).expect("voi");
     let mut decision = Table::new(&["sampling cost (pages)", "worth sampling?"]);
-    for budget in [r.evpi * 0.1, r.evpi * 0.5, r.evpi * 0.99, r.evpi * 1.5, r.evpi * 10.0] {
+    for budget in [
+        r.evpi * 0.1,
+        r.evpi * 0.5,
+        r.evpi * 0.99,
+        r.evpi * 1.5,
+        r.evpi * 10.0,
+    ] {
         decision.row(vec![
             num(budget),
-            if r.sampling_worthwhile(budget) { "yes" } else { "no" }.into(),
+            if r.sampling_worthwhile(budget) {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
         ]);
     }
 
@@ -100,10 +119,18 @@ mod tests {
                 .lines()
                 .find(|l| l.trim_start_matches('|').trim().starts_with(cv))
                 .unwrap();
-            row.split('|').map(str::trim).nth(4).unwrap().parse().unwrap()
+            row.split('|')
+                .map(str::trim)
+                .nth(4)
+                .unwrap()
+                .parse()
+                .unwrap()
         };
         assert!(evpi_at("0.0 |").abs() < 1e-6);
-        assert!(evpi_at("2.0 |") > 0.0, "uncertainty should create value:\n{md}");
+        assert!(
+            evpi_at("2.0 |") > 0.0,
+            "uncertainty should create value:\n{md}"
+        );
         // The decision table flips from yes to no past the EVPI.
         assert!(md.contains("yes"));
         assert!(md.contains("no"));

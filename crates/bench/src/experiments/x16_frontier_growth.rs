@@ -33,8 +33,8 @@ pub fn run() -> String {
                 }
                 .generate(&mut ChaCha8Rng::seed_from_u64(1600 + seed));
                 let mem = envs::lognormal(250.0, 1.2, b);
-                let r = pareto::optimize(&q, &PaperCostModel, &mem, Utility::Linear)
-                    .expect("pareto");
+                let r =
+                    pareto::optimize(&q, &PaperCostModel, &mem, Utility::Linear).expect("pareto");
                 worst = worst.max(r.max_frontier);
                 // Exactness spot-check against the exhaustive optimum.
                 if n <= 4 {
@@ -84,8 +84,16 @@ mod tests {
         let md = super::run();
         assert!(md.contains("PASS"), "{md}");
         // Frontiers stay manageable (the discrete parameter space caps them).
-        for line in md.lines().filter(|l| l.starts_with("| ") && !l.contains("n")) {
-            for cell in line.split('|').map(str::trim).filter(|c| !c.is_empty()).skip(1) {
+        for line in md
+            .lines()
+            .filter(|l| l.starts_with("| ") && !l.contains("n"))
+        {
+            for cell in line
+                .split('|')
+                .map(str::trim)
+                .filter(|c| !c.is_empty())
+                .skip(1)
+            {
                 if let Ok(v) = cell.parse::<usize>() {
                     assert!(v <= 64, "frontier exploded: {line}");
                 }

@@ -17,10 +17,19 @@ use rand_chacha::ChaCha8Rng;
 /// Runs the experiment, returning a markdown section.
 pub fn run() -> String {
     let mut t = Table::new(&[
-        "topology", "n", "instances", "bushy wins", "mean gap", "max gap",
+        "topology",
+        "n",
+        "instances",
+        "bushy wins",
+        "mean gap",
+        "max gap",
     ]);
     let mem = MemoryModel::Static(envs::lognormal(250.0, 1.0, 4));
-    for (name, topology) in [("chain", Topology::Chain), ("star", Topology::Star), ("clique", Topology::Clique)] {
+    for (name, topology) in [
+        ("chain", Topology::Chain),
+        ("star", Topology::Star),
+        ("clique", Topology::Clique),
+    ] {
         for n in [4usize, 6, 8] {
             let mut gaps = Vec::new();
             for seed in 0..12u64 {

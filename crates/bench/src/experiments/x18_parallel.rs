@@ -41,7 +41,13 @@ fn json_path() -> PathBuf {
 pub fn run() -> String {
     let par = Parallelism::auto();
     let threads = par.effective_threads();
-    let mut t = Table::new(&["n", "threads", "serial median", "parallel median", "speedup"]);
+    let mut t = Table::new(&[
+        "n",
+        "threads",
+        "serial median",
+        "parallel median",
+        "speedup",
+    ]);
     let mut json_rows = Vec::new();
     for n in [9usize, 11, 13] {
         let q = chain_query(n, SEED + n as u64);

@@ -293,5 +293,4 @@ mod tests {
             assert!(v > 0.0 && v <= 1.0, "value {v}");
         }
     }
-
 }

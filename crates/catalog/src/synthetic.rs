@@ -134,7 +134,10 @@ mod tests {
         let skewed_low = (0..n)
             .filter(|_| zipf_value(&mut rng, 1000, 0.8) < 100.0)
             .count();
-        assert!(skewed_low > uniform_low * 2, "{skewed_low} vs {uniform_low}");
+        assert!(
+            skewed_low > uniform_low * 2,
+            "{skewed_low} vs {uniform_low}"
+        );
     }
 
     #[test]

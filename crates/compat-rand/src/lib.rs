@@ -216,7 +216,10 @@ mod tests {
         }
         fn next_u64(&mut self) -> u64 {
             // A weak but serviceable mixer for testing the adapters.
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0
         }
     }

@@ -102,8 +102,7 @@ mod tests {
         // Plan 2, which wins in expectation — Algorithm A succeeds here.
         let q = example_1_1();
         let model = PaperCostModel;
-        let mem =
-            MemoryModel::Static(Distribution::new([(700.0, 0.2), (2000.0, 0.8)]).unwrap());
+        let mem = MemoryModel::Static(Distribution::new([(700.0, 0.2), (2000.0, 0.8)]).unwrap());
         let res = optimize(&q, &model, &mem).unwrap();
         assert_eq!(res.candidates.len(), 2);
         let lec = alg_c::optimize(&q, &model, &mem).unwrap();
@@ -116,8 +115,7 @@ mod tests {
         let q = example_1_1();
         let model = PaperCostModel;
         let dist =
-            Distribution::new([(500.0, 0.2), (700.0, 0.2), (1500.0, 0.3), (2500.0, 0.3)])
-                .unwrap();
+            Distribution::new([(500.0, 0.2), (700.0, 0.2), (1500.0, 0.3), (2500.0, 0.3)]).unwrap();
         let mem = MemoryModel::Static(dist);
         let res = optimize(&q, &model, &mem).unwrap();
         assert_eq!(res.candidates.len(), 4);
@@ -143,8 +141,18 @@ mod tests {
                 Relation::new("r2", 767.0, 49_088.0),
             ],
             vec![
-                JoinPred { left: 0, right: 1, selectivity: 0.0034071550255536627, key: KeyId(0) },
-                JoinPred { left: 1, right: 2, selectivity: 0.002607561929595828, key: KeyId(1) },
+                JoinPred {
+                    left: 0,
+                    right: 1,
+                    selectivity: 0.0034071550255536627,
+                    key: KeyId(0),
+                },
+                JoinPred {
+                    left: 1,
+                    right: 2,
+                    selectivity: 0.002607561929595828,
+                    key: KeyId(1),
+                },
             ],
             Some(KeyId(1)),
         )
@@ -153,10 +161,7 @@ mod tests {
         let b = 5;
         let step = (1500.0f64 / 20.0).powf(1.0 / (b as f64 - 1.0));
         let mem = MemoryModel::Static(
-            Distribution::new(
-                (0..b).map(|i| (20.0 * step.powi(i), 1.0 / b as f64)),
-            )
-            .unwrap(),
+            Distribution::new((0..b).map(|i| (20.0 * step.powi(i), 1.0 / b as f64))).unwrap(),
         );
         let model = PaperCostModel;
         let a = optimize(&q, &model, &mem).unwrap();
@@ -175,7 +180,10 @@ mod tests {
             c.cost
         );
         // And no Algorithm A candidate equals the LEC plan.
-        assert!(a.candidates.iter().all(|cand| cand.optimized.plan != c.plan));
+        assert!(a
+            .candidates
+            .iter()
+            .all(|cand| cand.optimized.plan != c.plan));
     }
 
     #[test]

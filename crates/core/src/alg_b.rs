@@ -103,9 +103,7 @@ mod tests {
     }
 
     fn spread_memory() -> MemoryModel {
-        MemoryModel::Static(
-            Distribution::new([(12.0, 0.3), (60.0, 0.4), (900.0, 0.3)]).unwrap(),
-        )
+        MemoryModel::Static(Distribution::new([(12.0, 0.3), (60.0, 0.4), (900.0, 0.3)]).unwrap())
     }
 
     #[test]

@@ -9,10 +9,14 @@
 //! initial distribution along the Markov chain — exactly what
 //! [`MemoryModel::table`] computes.
 
-use crate::dp::{optimize_left_deep, optimize_left_deep_par, DpOptions, ExpectedCoster, Optimized};
+use crate::dp::{
+    optimize_left_deep_par_with_stats, optimize_left_deep_with_stats, DpOptions, ExpectedCoster,
+    Optimized,
+};
 use crate::env::MemoryModel;
 use crate::error::CoreError;
 use crate::par::Parallelism;
+use crate::stats::OptStats;
 use lec_cost::CostModel;
 use lec_plan::JoinQuery;
 
@@ -55,10 +59,31 @@ pub fn optimize_with_options<M: CostModel + ?Sized>(
     memory: &MemoryModel,
     options: DpOptions,
 ) -> Result<Optimized, CoreError> {
+    Ok(optimize_with_options_and_stats(query, model, memory, options)?.0)
+}
+
+/// [`optimize`], also returning the search-space [`OptStats`].
+pub fn optimize_with_stats<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+) -> Result<(Optimized, OptStats), CoreError> {
+    optimize_with_options_and_stats(query, model, memory, DpOptions::default())
+}
+
+/// [`optimize_with_options`], also returning the search-space [`OptStats`].
+pub fn optimize_with_options_and_stats<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    options: DpOptions,
+) -> Result<(Optimized, OptStats), CoreError> {
     // Phases: n-1 joins plus a possible root sort.
     let phases = memory.table(query.n().max(2))?;
     let coster = ExpectedCoster::new(model, &phases);
-    optimize_left_deep(query, &coster, options)
+    let (best, mut stats) = optimize_left_deep_with_stats(query, &coster, options)?;
+    stats.algorithm = "alg_c";
+    Ok((best, stats))
 }
 
 /// [`optimize`] on the rank-parallel DP. Bit-identical to the serial
@@ -80,9 +105,34 @@ pub fn optimize_with_options_par<M: CostModel + Sync + ?Sized>(
     options: DpOptions,
     par: &Parallelism,
 ) -> Result<Optimized, CoreError> {
+    Ok(optimize_with_options_and_stats_par(query, model, memory, options, par)?.0)
+}
+
+/// [`optimize_par`], also returning the search-space [`OptStats`]. The
+/// counters are identical to [`optimize_with_stats`]'s on the same query.
+pub fn optimize_with_stats_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    par: &Parallelism,
+) -> Result<(Optimized, OptStats), CoreError> {
+    optimize_with_options_and_stats_par(query, model, memory, DpOptions::default(), par)
+}
+
+/// [`optimize_with_options_par`], also returning the search-space
+/// [`OptStats`].
+pub fn optimize_with_options_and_stats_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    options: DpOptions,
+    par: &Parallelism,
+) -> Result<(Optimized, OptStats), CoreError> {
     let phases = memory.table(query.n().max(2))?;
     let coster = ExpectedCoster::new(model, &phases);
-    optimize_left_deep_par(query, &coster, options, par)
+    let (best, mut stats) = optimize_left_deep_par_with_stats(query, &coster, options, par)?;
+    stats.algorithm = "alg_c";
+    Ok((best, stats))
 }
 
 #[cfg(test)]
@@ -218,8 +268,9 @@ mod tests {
         let q = chain_query(5);
         let evals_for = |b: usize| {
             let model = CountingModel::new(PaperCostModel);
-            let values: Vec<(f64, f64)> =
-                (0..b).map(|i| (50.0 * (i + 1) as f64, 1.0 / b as f64)).collect();
+            let values: Vec<(f64, f64)> = (0..b)
+                .map(|i| (50.0 * (i + 1) as f64, 1.0 / b as f64))
+                .collect();
             let mem = MemoryModel::Static(Distribution::new(values).unwrap());
             optimize(&q, &model, &mem).unwrap();
             model.evaluations()

@@ -22,6 +22,7 @@ use crate::env::{MemoryModel, PhaseDists};
 use crate::error::CoreError;
 use crate::evaluate::access_choices;
 use crate::par::{self, Parallelism};
+use crate::stats::OptStats;
 use lec_cost::fast_expect::{expected_join_fast, expected_join_naive, expected_sort};
 use lec_cost::{AccessMethod, CostModel, JoinMethod, PaperCostModel};
 use lec_plan::{JoinQuery, KeyId, Plan, RelSet};
@@ -139,6 +140,50 @@ pub fn optimize_fast(
     run(query, &PaperCostModel, memory, sizes, config)
 }
 
+/// [`optimize_fast`], also returning the search-space [`OptStats`].
+/// `precompute.pages_entries` counts the result-size distributions
+/// materialized (Algorithm D's analog of the pages table).
+pub fn optimize_fast_with_stats(
+    query: &JoinQuery,
+    memory: &MemoryModel,
+    sizes: &SizeModel,
+    config: AlgDConfig,
+) -> Result<(AlgDResult, OptStats), CoreError> {
+    run_stats(query, &PaperCostModel, memory, sizes, config)
+}
+
+/// [`optimize_generic`], also returning the search-space [`OptStats`].
+pub fn optimize_generic_with_stats<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    sizes: &SizeModel,
+    config: AlgDConfig,
+) -> Result<(AlgDResult, OptStats), CoreError> {
+    run_stats(
+        query,
+        model,
+        memory,
+        sizes,
+        AlgDConfig {
+            kernel: Kernel::Naive,
+            ..config
+        },
+    )
+}
+
+/// [`optimize_fast_par`], also returning the search-space [`OptStats`].
+/// The counters are identical to [`optimize_fast_with_stats`]'s.
+pub fn optimize_fast_with_stats_par(
+    query: &JoinQuery,
+    memory: &MemoryModel,
+    sizes: &SizeModel,
+    config: AlgDConfig,
+    par: &Parallelism,
+) -> Result<(AlgDResult, OptStats), CoreError> {
+    run_par_stats(query, &PaperCostModel, memory, sizes, config, par)
+}
+
 /// Algorithm D for an arbitrary cost model (the kernel is forced to
 /// [`Kernel::Naive`], since the fast kernels encode the paper formulas).
 pub fn optimize_generic<M: CostModel + ?Sized>(
@@ -238,8 +283,7 @@ fn validate_inputs<M: CostModel + ?Sized>(
     if config.size_buckets == 0 {
         return Err(CoreError::BadParameter("size_buckets must be >= 1".into()));
     }
-    if sizes.rel_sizes.len() != query.n() || sizes.selectivities.len() != query.predicates().len()
-    {
+    if sizes.rel_sizes.len() != query.n() || sizes.selectivities.len() != query.predicates().len() {
         return Err(CoreError::BadParameter(
             "size model does not match the query".into(),
         ));
@@ -291,7 +335,7 @@ fn cost_mask_d<M: CostModel + ?Sized>(
     set: RelSet,
     full: RelSet,
     required: Option<KeyId>,
-) -> (Entry, Option<Entry>) {
+) -> (Entry, Option<Entry>, u64) {
     let phase = set.len() - 2;
     let mem_dist = phases.at(phase);
     let e_out = size_of[set.bits() as usize]
@@ -301,6 +345,7 @@ fn cost_mask_d<M: CostModel + ?Sized>(
 
     let mut best: Option<Entry> = None;
     let mut best_ordered: Option<Entry> = None;
+    let mut candidates = 0u64;
     for j in set.iter() {
         let sub = set.remove(j);
         let left = table[sub.bits() as usize].expect("subset computed earlier");
@@ -316,6 +361,7 @@ fn cost_mask_d<M: CostModel + ?Sized>(
                 Kernel::Naive => expected_join_naive(model, method, left_dist, j_dist, mem_dist),
             };
             let cost = left.cost + acc_cost + e_join + e_out;
+            candidates += 1;
             let entry = Entry {
                 cost,
                 choice: Choice::Join { last: j, method },
@@ -333,7 +379,11 @@ fn cost_mask_d<M: CostModel + ?Sized>(
             }
         }
     }
-    (best.expect("set has at least two members"), best_ordered)
+    (
+        best.expect("set has at least two members"),
+        best_ordered,
+        candidates,
+    )
 }
 
 fn seed_depth_one(
@@ -372,8 +422,7 @@ fn finalize_d<M: CostModel + ?Sized>(
 
     let best = if let Some(key) = query.required_order() {
         let sort_phase = n.saturating_sub(1);
-        let e_sort = expected_sort(model, &result_size, phases.at(sort_phase))
-            + result_size.mean();
+        let e_sort = expected_sort(model, &result_size, phases.at(sort_phase)) + result_size.mean();
         let sorted_cost = root.cost + e_sort;
         match best_ordered {
             Some(ord) if ord.cost <= sorted_cost => Optimized {
@@ -402,6 +451,21 @@ fn run<M: CostModel + ?Sized>(
     sizes: &SizeModel,
     config: AlgDConfig,
 ) -> Result<AlgDResult, CoreError> {
+    Ok(run_stats(query, model, memory, sizes, config)?.0)
+}
+
+/// The serial driver with stats. The sweep walks the lattice rank by rank
+/// (a valid DP order, bit-identical to the flat numeric sweep) so per-rank
+/// wall time lines up with the parallel driver; within a rank each mask
+/// computes its result-size distribution and then its join costing, in
+/// increasing numeric mask order.
+fn run_stats<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    sizes: &SizeModel,
+    config: AlgDConfig,
+) -> Result<(AlgDResult, OptStats), CoreError> {
     validate_inputs(query, model, sizes, &config)?;
     let n = query.n();
     let full = query.all();
@@ -416,22 +480,37 @@ fn run<M: CostModel + ?Sized>(
     let required = query.required_order();
     let mut best_ordered: Option<Entry> = None;
 
-    for set in RelSet::all_subsets(n) {
-        if set.len() < 2 {
-            continue;
-        }
-        let idx = set.bits() as usize;
-        size_of[idx] = Some(node_size_dist(query, sizes, config, &size_of, set)?);
-        let (best, ordered) = cost_mask_d(
-            query, model, sizes, config, &access, &phases, &table, &size_of, set, full, required,
-        );
-        table[idx] = Some(best);
-        if let Some(ord) = ordered {
-            best_ordered = Some(ord);
-        }
+    let mut stats = OptStats::new("alg_d", n);
+    stats.precompute.access_entries = access.best.len();
+    stats.precompute.pages_entries = n; // singleton size distributions
+    stats.counters.entries_written = n as u64;
+
+    let ranks = par::ranks(n);
+    for rank in &ranks[1..] {
+        let (result, elapsed) = par::timed(|| -> Result<(), CoreError> {
+            for &set in rank {
+                let idx = set.bits() as usize;
+                size_of[idx] = Some(node_size_dist(query, sizes, config, &size_of, set)?);
+                let (best, ordered, candidates) = cost_mask_d(
+                    query, model, sizes, config, &access, &phases, &table, &size_of, set, full,
+                    required,
+                );
+                table[idx] = Some(best);
+                if let Some(ord) = ordered {
+                    best_ordered = Some(ord);
+                }
+                stats.counters.masks_expanded += 1;
+                stats.counters.candidates_priced += candidates;
+                stats.counters.entries_written += 1;
+                stats.precompute.pages_entries += 1;
+            }
+            Ok(())
+        });
+        result?;
+        stats.rank_wall_ns.push(elapsed);
     }
 
-    finalize_d(
+    let best = finalize_d(
         query,
         model,
         &access,
@@ -439,12 +518,10 @@ fn run<M: CostModel + ?Sized>(
         &table,
         &size_of,
         best_ordered,
-    )
+    )?;
+    Ok((best, stats))
 }
 
-/// Rank-parallel Algorithm D: each rank of the subset lattice runs two
-/// wavefronts — result-size distributions first (they only read lower
-/// ranks), then join costing (which additionally reads this rank's sizes).
 fn run_par<M: CostModel + Sync + ?Sized>(
     query: &JoinQuery,
     model: &M,
@@ -453,9 +530,25 @@ fn run_par<M: CostModel + Sync + ?Sized>(
     config: AlgDConfig,
     par: &Parallelism,
 ) -> Result<AlgDResult, CoreError> {
+    Ok(run_par_stats(query, model, memory, sizes, config, par)?.0)
+}
+
+/// Rank-parallel Algorithm D: each rank of the subset lattice runs two
+/// wavefronts — result-size distributions first (they only read lower
+/// ranks), then join costing (which additionally reads this rank's sizes).
+/// Per-mask counts gather in input order, so the stats equal the serial
+/// driver's exactly.
+fn run_par_stats<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    sizes: &SizeModel,
+    config: AlgDConfig,
+    par: &Parallelism,
+) -> Result<(AlgDResult, OptStats), CoreError> {
     let n = query.n();
     if !par.use_parallel(n) {
-        return run(query, model, memory, sizes, config);
+        return run_stats(query, model, memory, sizes, config);
     }
     validate_inputs(query, model, sizes, &config)?;
     let full = query.all();
@@ -470,31 +563,45 @@ fn run_par<M: CostModel + Sync + ?Sized>(
     let required = query.required_order();
     let mut best_ordered: Option<Entry> = None;
 
+    let mut stats = OptStats::new("alg_d", n);
+    stats.precompute.access_entries = access.best.len();
+    stats.precompute.pages_entries = n;
+    stats.counters.entries_written = n as u64;
+
     let ranks = par::ranks(n);
     for rank in &ranks[1..] {
-        // Pass 1: this rank's result-size distributions (read lower ranks).
-        let dists = par::map_indexed(par, rank.len(), |i| {
-            node_size_dist(query, sizes, config, &size_of, rank[i])
+        let (wave, elapsed) = par::timed(|| -> Result<Vec<_>, CoreError> {
+            // Pass 1: this rank's result-size distributions (read lower
+            // ranks).
+            let dists = par::map_indexed(par, rank.len(), |i| {
+                node_size_dist(query, sizes, config, &size_of, rank[i])
+            });
+            for (set, dist) in rank.iter().zip(dists) {
+                size_of[set.bits() as usize] = Some(dist?);
+            }
+            // Pass 2: join costing (reads this rank's sizes, lower-rank
+            // entries).
+            Ok(par::map_indexed(par, rank.len(), |i| {
+                cost_mask_d(
+                    query, model, sizes, config, &access, &phases, &table, &size_of, rank[i], full,
+                    required,
+                )
+            }))
         });
-        for (set, dist) in rank.iter().zip(dists) {
-            size_of[set.bits() as usize] = Some(dist?);
-        }
-        // Pass 2: join costing (reads this rank's sizes, lower-rank entries).
-        let results = par::map_indexed(par, rank.len(), |i| {
-            cost_mask_d(
-                query, model, sizes, config, &access, &phases, &table, &size_of, rank[i], full,
-                required,
-            )
-        });
-        for (set, (best, ordered)) in rank.iter().zip(results) {
+        stats.rank_wall_ns.push(elapsed);
+        for (set, (best, ordered, candidates)) in rank.iter().zip(wave?) {
             table[set.bits() as usize] = Some(best);
             if let Some(ord) = ordered {
                 best_ordered = Some(ord);
             }
+            stats.counters.masks_expanded += 1;
+            stats.counters.candidates_priced += candidates;
+            stats.counters.entries_written += 1;
+            stats.precompute.pages_entries += 1;
         }
     }
 
-    finalize_d(
+    let best = finalize_d(
         query,
         model,
         &access,
@@ -502,7 +609,8 @@ fn run_par<M: CostModel + Sync + ?Sized>(
         &table,
         &size_of,
         best_ordered,
-    )
+    )?;
+    Ok((best, stats))
 }
 
 /// Expected access cost when the effective size is a distribution.
@@ -576,9 +684,7 @@ mod tests {
     }
 
     fn memory() -> MemoryModel {
-        MemoryModel::Static(
-            Distribution::new([(20.0, 0.3), (200.0, 0.4), (1500.0, 0.3)]).unwrap(),
-        )
+        MemoryModel::Static(Distribution::new([(20.0, 0.3), (200.0, 0.4), (1500.0, 0.3)]).unwrap())
     }
 
     #[test]
@@ -634,7 +740,11 @@ mod tests {
         let d = optimize_fast(&q, &mem, &sizes, AlgDConfig::default()).unwrap();
         let point = q.result_pages(q.all());
         let rel = (d.result_size.mean() - point).abs() / point;
-        assert!(rel < 0.05, "propagated {} vs point {point}", d.result_size.mean());
+        assert!(
+            rel < 0.05,
+            "propagated {} vs point {point}",
+            d.result_size.mean()
+        );
     }
 
     #[test]
@@ -708,6 +818,33 @@ mod tests {
         assert_eq!(serial.best.cost.to_bits(), parallel.best.cost.to_bits());
         assert_eq!(serial.best.plan, parallel.best.plan);
         assert_eq!(serial.result_size, parallel.result_size);
+    }
+
+    #[test]
+    fn stats_match_between_serial_and_parallel() {
+        let q = chain_query(5);
+        let sizes = SizeModel::with_uncertainty(&q, 0.4, 0.5, 4).unwrap();
+        let mem = memory();
+        let (serial, sstats) =
+            optimize_fast_with_stats(&q, &mem, &sizes, AlgDConfig::default()).unwrap();
+        let par = Parallelism {
+            threads: 3,
+            sequential_cutoff: 2,
+        };
+        let (parallel, pstats) =
+            optimize_fast_with_stats_par(&q, &mem, &sizes, AlgDConfig::default(), &par).unwrap();
+        assert_eq!(serial.best.cost.to_bits(), parallel.best.cost.to_bits());
+        assert_eq!(serial.best.plan, parallel.best.plan);
+        assert_eq!(sstats.counters, pstats.counters);
+        assert_eq!(sstats.precompute, pstats.precompute);
+        assert_eq!(sstats.counters.masks_expanded, 26);
+        assert_eq!(sstats.counters.candidates_priced, 225);
+        // One propagated size distribution per node: 5 seeds + 26 masks.
+        assert_eq!(sstats.precompute.pages_entries, 5 + 26);
+        // The plain entry point delegates to the stats driver.
+        let plain = optimize_fast(&q, &mem, &sizes, AlgDConfig::default()).unwrap();
+        assert_eq!(plain.best.plan, serial.best.plan);
+        assert_eq!(plain.best.cost.to_bits(), serial.best.cost.to_bits());
     }
 
     #[test]

@@ -23,10 +23,7 @@ use lec_stats::{Bucketing, Distribution};
 /// breakpoint `t` is emitted together with `t.next_down()` so that both
 /// strict (`M > t`) and non-strict (`M ≥ t`) threshold conventions fall on
 /// bucket boundaries. Exponential in `n` (like the DP itself).
-pub fn level_set_breakpoints<M: CostModel + ?Sized>(
-    query: &JoinQuery,
-    model: &M,
-) -> Vec<f64> {
+pub fn level_set_breakpoints<M: CostModel + ?Sized>(query: &JoinQuery, model: &M) -> Vec<f64> {
     let n = query.n();
     let mut points = Vec::new();
     let mut push = |t: f64| {
@@ -78,7 +75,11 @@ pub struct AdaptiveResult {
     /// The chosen plan, with its expected cost under the *fine*
     /// distribution (so the reported number is exact for the plan).
     pub optimized: crate::dp::Optimized,
-    /// Bucket count at which the search stabilized.
+    /// Number of buckets in the coarse distribution the search stabilized
+    /// on. This is the *actual* bucket count: equi-depth bucketing cannot
+    /// split a support point, so skewed distributions can yield fewer
+    /// buckets than requested (an earlier version reported the requested
+    /// count instead).
     pub buckets_used: usize,
     /// Number of optimizer invocations performed.
     pub refinements: usize,
@@ -107,11 +108,8 @@ pub fn adaptive_optimize<M: CostModel + ?Sized>(
     let mut stable_for = 0;
     loop {
         let coarse = Bucketing::EquiDepth(b.min(fine.len())).apply(fine)?;
-        let opt = crate::alg_c::optimize(
-            query,
-            model,
-            &crate::env::MemoryModel::Static(coarse),
-        )?;
+        let coarse_buckets = coarse.len();
+        let opt = crate::alg_c::optimize(query, model, &crate::env::MemoryModel::Static(coarse))?;
         refinements += 1;
         if last_plan.as_ref() == Some(&opt.plan) {
             stable_for += 1;
@@ -120,15 +118,14 @@ pub fn adaptive_optimize<M: CostModel + ?Sized>(
         }
         let exhausted = b >= fine.len();
         if stable_for >= stability || exhausted {
-            let phases =
-                crate::env::MemoryModel::Static(fine.clone()).table(query.n().max(2))?;
+            let phases = crate::env::MemoryModel::Static(fine.clone()).table(query.n().max(2))?;
             let cost = crate::evaluate::expected_cost(query, model, &opt.plan, &phases);
             return Ok(AdaptiveResult {
                 optimized: crate::dp::Optimized {
                     plan: opt.plan,
                     cost,
                 },
-                buckets_used: b.min(fine.len()),
+                buckets_used: coarse_buckets,
                 refinements,
             });
         }
@@ -181,7 +178,11 @@ mod tests {
         let model = PaperCostModel;
         let fine = Distribution::uniform_over((1..=400).map(|i| 10.0 * i as f64)).unwrap();
         let coarse = bucketize_memory(&q, &model, &fine).unwrap();
-        assert!(coarse.len() < fine.len() / 4, "coarse has {} buckets", coarse.len());
+        assert!(
+            coarse.len() < fine.len() / 4,
+            "coarse has {} buckets",
+            coarse.len()
+        );
 
         let lec_fine = alg_c::optimize(&q, &model, &MemoryModel::Static(fine)).unwrap();
         let lec_coarse = alg_c::optimize(&q, &model, &MemoryModel::Static(coarse)).unwrap();
@@ -203,8 +204,18 @@ mod tests {
                 Relation::new("c", 20_000.0, 2e5),
             ],
             vec![
-                JoinPred { left: 0, right: 1, selectivity: 1e-3, key: KeyId(0) },
-                JoinPred { left: 1, right: 2, selectivity: 1e-4, key: KeyId(1) },
+                JoinPred {
+                    left: 0,
+                    right: 1,
+                    selectivity: 1e-3,
+                    key: KeyId(0),
+                },
+                JoinPred {
+                    left: 1,
+                    right: 2,
+                    selectivity: 1e-4,
+                    key: KeyId(1),
+                },
             ],
             Some(KeyId(1)),
         )
@@ -233,7 +244,11 @@ mod tests {
         let full = alg_c::optimize(&q, &model, &MemoryModel::Static(fine)).unwrap();
         assert_eq!(adaptive.optimized.plan, full.plan);
         assert!((adaptive.optimized.cost - full.cost).abs() < 1e-6 * full.cost);
-        assert!(adaptive.buckets_used < 512, "used {}", adaptive.buckets_used);
+        assert!(
+            adaptive.buckets_used < 512,
+            "used {}",
+            adaptive.buckets_used
+        );
         assert!(adaptive.refinements <= 9);
     }
 
@@ -249,22 +264,42 @@ mod tests {
                     .wrapping_add(0x14057B7EF767814F);
                 ((state >> 33) % 8000 + 60) as f64
             };
-            let relations =
-                (0..4).map(|i| Relation::new(format!("r{i}"), next(), 1e5)).collect();
+            let relations = (0..4)
+                .map(|i| Relation::new(format!("r{i}"), next(), 1e5))
+                .collect();
             let predicates = (0..3)
-                .map(|i| JoinPred { left: i, right: i + 1, selectivity: 1e-3, key: KeyId(i) })
+                .map(|i| JoinPred {
+                    left: i,
+                    right: i + 1,
+                    selectivity: 1e-3,
+                    key: KeyId(i),
+                })
                 .collect();
             let q = JoinQuery::new(relations, predicates, None).unwrap();
             let fine = Distribution::uniform_over((1..=128).map(|i| 12.0 * i as f64)).unwrap();
             let adaptive = adaptive_optimize(&q, &PaperCostModel, &fine, 2).unwrap();
-            let full =
-                alg_c::optimize(&q, &PaperCostModel, &MemoryModel::Static(fine)).unwrap();
+            let full = alg_c::optimize(&q, &PaperCostModel, &MemoryModel::Static(fine)).unwrap();
             let regret = adaptive.optimized.cost / full.cost;
             assert!(
                 (1.0 - 1e-9..1.05).contains(&regret),
                 "seed {seed}: regret {regret}"
             );
         }
+    }
+
+    #[test]
+    fn buckets_used_reports_actual_coarse_buckets() {
+        // Equi-depth cannot split a support point, so a tail-heavy fine
+        // distribution collapses: with 90% of the mass on the last point,
+        // every requested bucket count groups all three points into one
+        // bucket. The old code reported the *requested* count (3 here);
+        // the actual coarse distribution has a single bucket.
+        let q = example_1_1();
+        let fine = Distribution::new([(10.0, 0.05), (20.0, 0.05), (30.0, 0.9)]).unwrap();
+        let coarse = Bucketing::EquiDepth(2).apply(&fine).unwrap();
+        assert_eq!(coarse.len(), 1, "precondition: equi-depth collapses");
+        let adaptive = adaptive_optimize(&q, &PaperCostModel, &fine, 1).unwrap();
+        assert_eq!(adaptive.buckets_used, 1);
     }
 
     #[test]

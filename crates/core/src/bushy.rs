@@ -24,6 +24,7 @@ use crate::error::CoreError;
 use crate::evaluate::{join_step, sort_step};
 use crate::par::{self, Parallelism};
 use crate::precompute::QueryTables;
+use crate::stats::OptStats;
 use lec_cost::{AccessMethod, CostModel, JoinMethod};
 use lec_plan::{JoinQuery, Plan, RelSet};
 use lec_stats::Distribution;
@@ -60,10 +61,11 @@ fn cost_mask_bushy<M: CostModel + ?Sized>(
     table: &[Option<Entry>],
     set: RelSet,
     full: RelSet,
-) -> (Entry, Option<Entry>) {
+) -> (Entry, Option<Entry>, u64) {
     let out = tabs.pages(set);
     let mut best: Option<Entry> = None;
     let mut best_ordered: Option<Entry> = None;
+    let mut candidates = 0u64;
     // Enumerate 2-partitions: submasks containing the lowest member
     // (each unordered split once); both orientations are priced.
     let lowest = set.iter().next().expect("non-empty");
@@ -83,6 +85,7 @@ fn cost_mask_bushy<M: CostModel + ?Sized>(
                     let (a, b) = if left_first { (lp, rp) } else { (rp, lp) };
                     let step = mem.expect(|m| join_step(model, method, a, b, out, m));
                     let cost = le.cost + re.cost + step;
+                    candidates += 1;
                     let entry = Entry {
                         cost,
                         choice: Choice::Join {
@@ -110,7 +113,11 @@ fn cost_mask_bushy<M: CostModel + ?Sized>(
         }
         sub = (sub - 1) & rest;
     }
-    (best.expect("set has at least two members"), best_ordered)
+    (
+        best.expect("set has at least two members"),
+        best_ordered,
+        candidates,
+    )
 }
 
 /// Plan reconstruction from backpointers.
@@ -210,6 +217,17 @@ pub fn optimize<M: CostModel + ?Sized>(
     model: &M,
     memory: &MemoryModel,
 ) -> Result<Optimized, CoreError> {
+    Ok(optimize_with_stats(query, model, memory)?.0)
+}
+
+/// [`optimize`], also returning the search-space [`OptStats`].
+/// `candidates_priced` counts (split × orientation × join-method)
+/// combinations — the `O(3^n)` term made observable.
+pub fn optimize_with_stats<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+) -> Result<(Optimized, OptStats), CoreError> {
     let mem = static_memory(memory)?;
     let n = query.n();
     let full = query.all();
@@ -217,19 +235,31 @@ pub fn optimize<M: CostModel + ?Sized>(
     let mut table: Vec<Option<Entry>> = vec![None; (full.bits() + 1) as usize];
     seed_singletons(&tabs, n, &mut table);
 
+    let mut stats = OptStats::new("bushy", n);
+    stats.precompute = tabs.sizes();
+    stats.counters.entries_written = n as u64;
+
     let mut best_ordered: Option<Entry> = None;
-    for set in RelSet::all_subsets(n) {
-        if set.len() < 2 {
-            continue;
-        }
-        let (best, ordered) = cost_mask_bushy(query, model, &tabs, mem, &table, set, full);
-        table[set.bits() as usize] = Some(best);
-        if let Some(ord) = ordered {
-            best_ordered = Some(ord);
-        }
+    let ranks = par::ranks(n);
+    for rank in &ranks[1..] {
+        let ((), elapsed) = par::timed(|| {
+            for &set in rank {
+                let (best, ordered, candidates) =
+                    cost_mask_bushy(query, model, &tabs, mem, &table, set, full);
+                table[set.bits() as usize] = Some(best);
+                if let Some(ord) = ordered {
+                    best_ordered = Some(ord);
+                }
+                stats.counters.masks_expanded += 1;
+                stats.counters.candidates_priced += candidates;
+                stats.counters.entries_written += 1;
+            }
+        });
+        stats.rank_wall_ns.push(elapsed);
     }
 
-    finalize(query, model, &tabs, mem, &table, best_ordered)
+    let best = finalize(query, model, &tabs, mem, &table, best_ordered)?;
+    Ok((best, stats))
 }
 
 /// Rank-parallel [`optimize`]: the `O(3^n)` split enumeration is grouped
@@ -241,9 +271,20 @@ pub fn optimize_par<M: CostModel + Sync + ?Sized>(
     memory: &MemoryModel,
     par: &Parallelism,
 ) -> Result<Optimized, CoreError> {
+    Ok(optimize_with_stats_par(query, model, memory, par)?.0)
+}
+
+/// [`optimize_par`], also returning the search-space [`OptStats`]. The
+/// counters are identical to [`optimize_with_stats`]'s.
+pub fn optimize_with_stats_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &MemoryModel,
+    par: &Parallelism,
+) -> Result<(Optimized, OptStats), CoreError> {
     let n = query.n();
     if !par.use_parallel(n) {
-        return optimize(query, model, memory);
+        return optimize_with_stats(query, model, memory);
     }
     let mem = static_memory(memory)?;
     let full = query.all();
@@ -251,21 +292,32 @@ pub fn optimize_par<M: CostModel + Sync + ?Sized>(
     let mut table: Vec<Option<Entry>> = vec![None; (full.bits() + 1) as usize];
     seed_singletons(&tabs, n, &mut table);
 
+    let mut stats = OptStats::new("bushy", n);
+    stats.precompute = tabs.sizes();
+    stats.counters.entries_written = n as u64;
+
     let mut best_ordered: Option<Entry> = None;
     let ranks = par::ranks(n);
     for rank in &ranks[1..] {
-        let results = par::map_indexed(par, rank.len(), |i| {
-            cost_mask_bushy(query, model, &tabs, mem, &table, rank[i], full)
+        let (results, elapsed) = par::timed(|| {
+            par::map_indexed(par, rank.len(), |i| {
+                cost_mask_bushy(query, model, &tabs, mem, &table, rank[i], full)
+            })
         });
-        for (set, (best, ordered)) in rank.iter().zip(results) {
+        stats.rank_wall_ns.push(elapsed);
+        for (set, (best, ordered, candidates)) in rank.iter().zip(results) {
             table[set.bits() as usize] = Some(best);
             if let Some(ord) = ordered {
                 best_ordered = Some(ord);
             }
+            stats.counters.masks_expanded += 1;
+            stats.counters.candidates_priced += candidates;
+            stats.counters.entries_written += 1;
         }
     }
 
-    finalize(query, model, &tabs, mem, &table, best_ordered)
+    let best = finalize(query, model, &tabs, mem, &table, best_ordered)?;
+    Ok((best, stats))
 }
 
 #[cfg(test)]
@@ -300,9 +352,7 @@ mod tests {
     }
 
     fn memory() -> MemoryModel {
-        MemoryModel::Static(
-            Distribution::new([(15.0, 0.3), (90.0, 0.4), (1200.0, 0.3)]).unwrap(),
-        )
+        MemoryModel::Static(Distribution::new([(15.0, 0.3), (90.0, 0.4), (1200.0, 0.3)]).unwrap())
     }
 
     #[test]
@@ -313,8 +363,7 @@ mod tests {
                 let mem = memory();
                 let dp = optimize(&q, &PaperCostModel, &mem).unwrap();
                 let phases = mem.table(q.n()).unwrap();
-                let truth =
-                    exhaustive::exhaustive_lec_bushy(&q, &PaperCostModel, &phases).unwrap();
+                let truth = exhaustive::exhaustive_lec_bushy(&q, &PaperCostModel, &phases).unwrap();
                 assert!(
                     (dp.cost - truth.cost).abs() <= 1e-6 * truth.cost,
                     "seed {seed} star {star}: dp {} vs exhaustive {}",
@@ -359,6 +408,29 @@ mod tests {
             assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
             assert_eq!(serial.plan, parallel.plan);
         }
+    }
+
+    #[test]
+    fn stats_count_splits_identically_across_paths() {
+        let q = query(6, 11, false);
+        let mem = memory();
+        let (serial, sstats) = optimize_with_stats(&q, &PaperCostModel, &mem).unwrap();
+        // Σ over masks of (2-partitions × 2 orientations × 3 methods):
+        // the number of ordered splits of the lattice is 3^n - 2^(n+1) + 1,
+        // and each ordered split is one (orientation) candidate per method.
+        let n = 6u32;
+        let ordered_splits = 3u64.pow(n) - 2u64.pow(n + 1) + 1;
+        assert_eq!(sstats.counters.candidates_priced, ordered_splits * 3);
+        assert_eq!(sstats.counters.masks_expanded, (1 << n) - 1 - n as u64);
+        let par = Parallelism {
+            threads: 3,
+            sequential_cutoff: 2,
+        };
+        let (parallel, pstats) = optimize_with_stats_par(&q, &PaperCostModel, &mem, &par).unwrap();
+        assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
+        assert_eq!(serial.plan, parallel.plan);
+        assert_eq!(sstats.counters, pstats.counters);
+        assert_eq!(sstats.precompute, pstats.precompute);
     }
 
     #[test]

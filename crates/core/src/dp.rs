@@ -24,6 +24,7 @@ use crate::error::CoreError;
 use crate::evaluate::{join_step, sort_step};
 use crate::par::{self, Parallelism};
 use crate::precompute::QueryTables;
+use crate::stats::OptStats;
 use lec_cost::{AccessMethod, CostModel, JoinMethod};
 use lec_plan::{JoinQuery, KeyId, Plan, RelSet};
 
@@ -145,11 +146,13 @@ fn seed_singletons(tabs: &QueryTables, n: usize, table: &mut [Option<Entry>]) {
 
 /// Prices every way of forming `set` by a last join and returns the best
 /// entry, plus (at the full set, when an order is required) the best entry
-/// whose final join is a sort-merge on the required key.
+/// whose final join is a sort-merge on the required key, plus the number of
+/// candidate (subplan × access × join-method) combinations priced.
 ///
 /// This is the whole per-mask unit of work; both the serial subset sweep
 /// and the rank-parallel wavefront call it, so the two paths agree
-/// bit-for-bit by construction. Iteration order is fixed — members of
+/// bit-for-bit by construction (including the candidate count, which is a
+/// pure function of the mask). Iteration order is fixed — members of
 /// `set` ascending, then [`JoinMethod::ALL`] — and the winner is kept
 /// under strict `<`, making the result independent of scheduling.
 fn cost_mask<C: StepCoster>(
@@ -159,11 +162,12 @@ fn cost_mask<C: StepCoster>(
     set: RelSet,
     full: RelSet,
     required: Option<KeyId>,
-) -> (Entry, Option<Entry>) {
+) -> (Entry, Option<Entry>, u64) {
     let out = tabs.pages(set);
     let phase = set.len() - 2;
     let mut best: Option<Entry> = None;
     let mut best_ordered: Option<Entry> = None;
+    let mut candidates = 0u64;
     for j in set.iter() {
         let sub = set.remove(j);
         let left = table[sub.bits() as usize].expect("subset computed earlier");
@@ -172,6 +176,7 @@ fn cost_mask<C: StepCoster>(
         let key = tabs.join_key(sub, j);
         for method in JoinMethod::ALL {
             let cost = left.cost + acc_cost + coster.join(phase, method, left_out, acc_out, out);
+            candidates += 1;
             let entry = Entry {
                 cost,
                 choice: Choice::Join { last: j, method },
@@ -189,7 +194,11 @@ fn cost_mask<C: StepCoster>(
             }
         }
     }
-    (best.expect("set has at least two members"), best_ordered)
+    (
+        best.expect("set has at least two members"),
+        best_ordered,
+        candidates,
+    )
 }
 
 /// Root handling shared by the serial and parallel drivers: satisfy a
@@ -241,8 +250,17 @@ pub fn optimize_left_deep<C: StepCoster>(
     coster: &C,
     options: DpOptions,
 ) -> Result<Optimized, CoreError> {
+    Ok(optimize_left_deep_with_stats(query, coster, options)?.0)
+}
+
+/// [`optimize_left_deep`], also returning the search-space [`OptStats`].
+pub fn optimize_left_deep_with_stats<C: StepCoster>(
+    query: &JoinQuery,
+    coster: &C,
+    options: DpOptions,
+) -> Result<(Optimized, OptStats), CoreError> {
     let tabs = QueryTables::new(query);
-    optimize_left_deep_with_tables(query, &tabs, coster, options)
+    optimize_left_deep_with_tables_and_stats(query, &tabs, coster, options)
 }
 
 /// [`optimize_left_deep`] against caller-provided tables (lets batch
@@ -253,6 +271,20 @@ pub fn optimize_left_deep_with_tables<C: StepCoster>(
     coster: &C,
     options: DpOptions,
 ) -> Result<Optimized, CoreError> {
+    Ok(optimize_left_deep_with_tables_and_stats(query, tabs, coster, options)?.0)
+}
+
+/// The serial driver: caller-provided tables, stats returned. The subset
+/// sweep walks the lattice rank by rank (every subset still precedes its
+/// supersets, so DP order is preserved and results are bit-identical to a
+/// flat numeric sweep) so per-rank wall time is measured symmetrically
+/// with the parallel driver; counters accumulate in mask order.
+pub fn optimize_left_deep_with_tables_and_stats<C: StepCoster>(
+    query: &JoinQuery,
+    tabs: &QueryTables,
+    coster: &C,
+    options: DpOptions,
+) -> Result<(Optimized, OptStats), CoreError> {
     let n = query.n();
     let full = query.all();
     let mut table: Vec<Option<Entry>> = vec![None; (full.bits() + 1) as usize];
@@ -267,19 +299,31 @@ pub fn optimize_left_deep_with_tables<C: StepCoster>(
     };
     let mut best_ordered: Option<Entry> = None;
 
-    // Depths 2..n: masks enumerate with every subset before its supersets.
-    for set in RelSet::all_subsets(n) {
-        if set.len() < 2 {
-            continue;
-        }
-        let (best, ordered) = cost_mask(tabs, coster, &table, set, full, required);
-        table[set.bits() as usize] = Some(best);
-        if let Some(ord) = ordered {
-            best_ordered = Some(ord);
-        }
+    let mut stats = OptStats::new("dp", n);
+    stats.precompute = tabs.sizes();
+    stats.counters.entries_written = n as u64; // depth-1 seeds
+
+    // Depths 2..n: each rank lists its masks in increasing numeric order.
+    let ranks = par::ranks(n);
+    for rank in &ranks[1..] {
+        let ((), elapsed) = par::timed(|| {
+            for &set in rank {
+                let (best, ordered, candidates) =
+                    cost_mask(tabs, coster, &table, set, full, required);
+                table[set.bits() as usize] = Some(best);
+                if let Some(ord) = ordered {
+                    best_ordered = Some(ord);
+                }
+                stats.counters.masks_expanded += 1;
+                stats.counters.candidates_priced += candidates;
+                stats.counters.entries_written += 1;
+            }
+        });
+        stats.rank_wall_ns.push(elapsed);
     }
 
-    finalize(query, tabs, coster, &table, best_ordered)
+    let best = finalize(query, tabs, coster, &table, best_ordered)?;
+    Ok((best, stats))
 }
 
 /// Rank-parallel [`optimize_left_deep`]: subsets of cardinality `k` depend
@@ -294,8 +338,20 @@ pub fn optimize_left_deep_par<C: StepCoster + Sync>(
     options: DpOptions,
     par: &Parallelism,
 ) -> Result<Optimized, CoreError> {
+    Ok(optimize_left_deep_par_with_stats(query, coster, options, par)?.0)
+}
+
+/// [`optimize_left_deep_par`], also returning the search-space
+/// [`OptStats`]. Counters equal the serial driver's exactly: the wavefront
+/// gathers per-mask results in input order and sums them in that order.
+pub fn optimize_left_deep_par_with_stats<C: StepCoster + Sync>(
+    query: &JoinQuery,
+    coster: &C,
+    options: DpOptions,
+    par: &Parallelism,
+) -> Result<(Optimized, OptStats), CoreError> {
     let tabs = QueryTables::new(query);
-    optimize_left_deep_par_with_tables(query, &tabs, coster, options, par)
+    optimize_left_deep_par_with_tables_and_stats(query, &tabs, coster, options, par)
 }
 
 /// [`optimize_left_deep_par`] against caller-provided tables.
@@ -306,9 +362,20 @@ pub fn optimize_left_deep_par_with_tables<C: StepCoster + Sync>(
     options: DpOptions,
     par: &Parallelism,
 ) -> Result<Optimized, CoreError> {
+    Ok(optimize_left_deep_par_with_tables_and_stats(query, tabs, coster, options, par)?.0)
+}
+
+/// The parallel driver: caller-provided tables, stats returned.
+pub fn optimize_left_deep_par_with_tables_and_stats<C: StepCoster + Sync>(
+    query: &JoinQuery,
+    tabs: &QueryTables,
+    coster: &C,
+    options: DpOptions,
+    par: &Parallelism,
+) -> Result<(Optimized, OptStats), CoreError> {
     let n = query.n();
     if !par.use_parallel(n) {
-        return optimize_left_deep_with_tables(query, tabs, coster, options);
+        return optimize_left_deep_with_tables_and_stats(query, tabs, coster, options);
     }
     let full = query.all();
     let mut table: Vec<Option<Entry>> = vec![None; (full.bits() + 1) as usize];
@@ -321,21 +388,32 @@ pub fn optimize_left_deep_par_with_tables<C: StepCoster + Sync>(
     };
     let mut best_ordered: Option<Entry> = None;
 
+    let mut stats = OptStats::new("dp", n);
+    stats.precompute = tabs.sizes();
+    stats.counters.entries_written = n as u64;
+
     let ranks = par::ranks(n);
     for rank in &ranks[1..] {
         // The lower ranks are frozen; this rank's masks are independent.
-        let results = par::map_indexed(par, rank.len(), |i| {
-            cost_mask(tabs, coster, &table, rank[i], full, required)
+        let (results, elapsed) = par::timed(|| {
+            par::map_indexed(par, rank.len(), |i| {
+                cost_mask(tabs, coster, &table, rank[i], full, required)
+            })
         });
-        for (set, (best, ordered)) in rank.iter().zip(results) {
+        stats.rank_wall_ns.push(elapsed);
+        for (set, (best, ordered, candidates)) in rank.iter().zip(results) {
             table[set.bits() as usize] = Some(best);
             if let Some(ord) = ordered {
                 best_ordered = Some(ord);
             }
+            stats.counters.masks_expanded += 1;
+            stats.counters.candidates_priced += candidates;
+            stats.counters.entries_written += 1;
         }
     }
 
-    finalize(query, tabs, coster, &table, best_ordered)
+    let best = finalize(query, tabs, coster, &table, best_ordered)?;
+    Ok((best, stats))
 }
 
 /// Rebuilds the plan tree from backpointers; `override_root` substitutes a
@@ -456,6 +534,41 @@ mod tests {
         let parallel = optimize_left_deep_par(&q, &coster, DpOptions::default(), &par).unwrap();
         assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
         assert_eq!(serial.plan, parallel.plan);
+    }
+
+    #[test]
+    fn stats_count_the_lattice_and_match_across_paths() {
+        let q = chain_query(5);
+        let model = PaperCostModel;
+        let coster = FixedMemoryCoster::new(&model, 50.0);
+        let (opt, stats) =
+            optimize_left_deep_with_stats(&q, &coster, DpOptions::default()).unwrap();
+        // The plain entry point delegates to the stats driver and discards.
+        let plain = optimize_left_deep(&q, &coster, DpOptions::default()).unwrap();
+        assert_eq!(opt, plain);
+
+        // 2^5 - 1 subsets, minus 5 singletons, all expanded.
+        assert_eq!(stats.counters.masks_expanded, 26);
+        // Each mask prices |set| × |JoinMethod::ALL| combinations:
+        // 3 · Σ_{k=2..5} k·C(5,k) = 3 · 75.
+        assert_eq!(stats.counters.candidates_priced, 225);
+        assert_eq!(stats.counters.entries_written, 5 + 26);
+        assert_eq!(stats.precompute.access_entries, 5);
+        assert_eq!(stats.precompute.pages_entries, 1 << 5);
+        assert_eq!(stats.precompute.adjacency_entries, 8);
+        assert_eq!(stats.rank_wall_ns.len(), 4); // ranks 2..=5
+        assert!(stats.counters.frontier_per_rank.is_empty());
+
+        let par = Parallelism {
+            threads: 3,
+            sequential_cutoff: 2,
+        };
+        let (popt, pstats) =
+            optimize_left_deep_par_with_stats(&q, &coster, DpOptions::default(), &par).unwrap();
+        assert_eq!(opt.cost.to_bits(), popt.cost.to_bits());
+        assert_eq!(opt.plan, popt.plan);
+        assert_eq!(stats.counters, pstats.counters);
+        assert_eq!(stats.precompute, pstats.precompute);
     }
 
     #[test]

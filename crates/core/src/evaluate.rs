@@ -228,8 +228,15 @@ pub fn explain_with_costs<M: CostModel + ?Sized>(
                 let mut left_txt = String::new();
                 let (lc, lp) = walk(query, model, left, phase, phases, depth + 1, &mut left_txt);
                 let mut right_txt = String::new();
-                let (rc, rp) =
-                    walk(query, model, right, phase, phases, depth + 1, &mut right_txt);
+                let (rc, rp) = walk(
+                    query,
+                    model,
+                    right,
+                    phase,
+                    phases,
+                    depth + 1,
+                    &mut right_txt,
+                );
                 let out_pages = query.result_pages(plan.rel_set());
                 let dist = phases.at(*phase);
                 *phase += 1;
@@ -260,6 +267,25 @@ pub fn explain_with_costs<M: CostModel + ?Sized>(
     let (total, _) = walk(query, model, plan, &mut phase, phases, 0, &mut out);
     use std::fmt::Write;
     let _ = writeln!(out, "total expected cost: {total:.0}");
+    out
+}
+
+/// [`explain_with_costs`] enriched with the optimizer's search counters:
+/// the plan tree and cost totals followed by the [`OptStats`] block
+/// (masks expanded, candidates priced, entries written, precompute table
+/// sizes, per-rank frontier sizes and wall time) from the
+/// `*_with_stats` optimizer entry point that produced the plan.
+///
+/// [`OptStats`]: crate::stats::OptStats
+pub fn explain_with_costs_and_stats<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    plan: &Plan,
+    phases: &PhaseDists,
+    stats: &crate::stats::OptStats,
+) -> String {
+    let mut out = explain_with_costs(query, model, plan, phases);
+    out.push_str(&stats.render());
     out
 }
 
@@ -369,13 +395,23 @@ mod tests {
 
     fn plan1() -> Plan {
         // Sort-merge join: output already ordered.
-        Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0)))
+        Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::SortMerge,
+            Some(KeyId(0)),
+        )
     }
 
     fn plan2() -> Plan {
         // Grace hash join + explicit sort.
         Plan::sort(
-            Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::GraceHash, Some(KeyId(0))),
+            Plan::join(
+                Plan::scan(0),
+                Plan::scan(1),
+                JoinMethod::GraceHash,
+                Some(KeyId(0)),
+            ),
             KeyId(0),
         )
     }
@@ -458,14 +494,16 @@ mod tests {
         let profile = cost_profile(&q, &m, &plan1(), mem.values());
         assert_eq!(profile, vec![5_603_000.0, 2_803_000.0]);
         let dist = cost_distribution_static(&q, &m, &plan1(), &mem);
-        assert!((dist.mean()
-            - mem
-                .iter()
-                .zip(&profile)
-                .map(|((_, p), c)| p * c)
-                .sum::<f64>())
-        .abs()
-            < 1e-6);
+        assert!(
+            (dist.mean()
+                - mem
+                    .iter()
+                    .zip(&profile)
+                    .map(|((_, p), c)| p * c)
+                    .sum::<f64>())
+            .abs()
+                < 1e-6
+        );
         // Plan 2's cost is memory-independent here: distribution collapses.
         let dist2 = cost_distribution_static(&q, &m, &plan2(), &mem);
         assert!(dist2.is_point());
@@ -484,12 +522,7 @@ mod tests {
                 .lines()
                 .find(|l| l.starts_with("total expected cost:"))
                 .unwrap();
-            let total: f64 = total_line
-                .rsplit(' ')
-                .next()
-                .unwrap()
-                .parse()
-                .unwrap();
+            let total: f64 = total_line.rsplit(' ').next().unwrap().parse().unwrap();
             assert!(
                 (total - expected).abs() <= 1.0,
                 "explain total {total} vs {expected}\n{text}"
@@ -497,6 +530,26 @@ mod tests {
             assert!(text.contains("E[step]"));
             assert!(text.contains("scan A"));
         }
+    }
+
+    #[test]
+    fn explain_with_stats_appends_the_counter_block() {
+        let q = example_1_1();
+        let model = PaperCostModel;
+        let mem = Distribution::new([(700.0, 0.2), (2000.0, 0.8)]).unwrap();
+        let memory = MemoryModel::Static(mem);
+        let phases = memory.table(2).unwrap();
+        let (opt, stats) = crate::alg_c::optimize_with_stats(&q, &model, &memory).unwrap();
+        let plain = explain_with_costs(&q, &model, &opt.plan, &phases);
+        let rich = explain_with_costs_and_stats(&q, &model, &opt.plan, &phases, &stats);
+        assert!(
+            rich.starts_with(&plain),
+            "stats block is appended, not interleaved"
+        );
+        assert!(rich.contains("-- optimizer stats (alg_c, n=2) --"));
+        assert!(rich.contains("masks expanded:    1"));
+        assert!(rich.contains("candidates priced:"));
+        assert!(rich.contains("precompute:"));
     }
 
     #[test]
@@ -522,8 +575,7 @@ mod tests {
         let mem = Distribution::point(2000.0).unwrap();
         let phases = MemoryModel::Static(mem).table(2).unwrap();
         let mut sizes = crate::alg_d::SizeModel::certain(&q).unwrap();
-        sizes.rel_sizes[1] =
-            Distribution::new([(200_000.0, 0.5), (600_000.0, 0.5)]).unwrap();
+        sizes.rel_sizes[1] = Distribution::new([(200_000.0, 0.5), (600_000.0, 0.5)]).unwrap();
         let joint = expected_cost_joint(&q, &model, &plan1(), &sizes, &phases);
         let mut manual = 0.0;
         for b in [200_000.0, 600_000.0] {
@@ -553,7 +605,10 @@ mod tests {
         assert_eq!(access_choices(&plain), vec![AccessMethod::FullScan]);
 
         let filtered = Relation::new("r", 100.0, 1000.0).with_local_selectivity(0.1);
-        assert_eq!(access_step(&filtered, AccessMethod::FullScan), (110.0, 10.0));
+        assert_eq!(
+            access_step(&filtered, AccessMethod::FullScan),
+            (110.0, 10.0)
+        );
 
         let indexed = Relation::new("r", 100.0, 1000.0)
             .with_local_selectivity(0.1)

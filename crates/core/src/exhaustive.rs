@@ -8,6 +8,7 @@ use crate::env::PhaseDists;
 use crate::error::CoreError;
 use crate::evaluate::{access_choices, expected_cost};
 use crate::par::{self, Parallelism};
+use crate::stats::OptStats;
 use lec_cost::{CostModel, JoinMethod};
 use lec_plan::{JoinQuery, Plan, RelSet};
 
@@ -179,6 +180,44 @@ pub fn exhaustive_lec<M: CostModel + ?Sized>(
     best_by_expected_cost(query, model, phases, enumerate_left_deep(query))
 }
 
+/// [`exhaustive_lec`], also returning the search-space [`OptStats`]. The
+/// exhaustive enumerators do not walk the subset lattice, so
+/// `masks_expanded` and `entries_written` are zero; `candidates_priced` is
+/// the number of complete plans scored, and `rank_wall_ns` holds a single
+/// total.
+pub fn exhaustive_lec_with_stats<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    phases: &PhaseDists,
+) -> Result<(Optimized, OptStats), CoreError> {
+    let mut stats = OptStats::new("exhaustive", query.n());
+    let (best, elapsed) = par::timed(|| {
+        let plans = enumerate_left_deep(query);
+        stats.counters.candidates_priced = plans.len() as u64;
+        best_by_expected_cost(query, model, phases, plans)
+    });
+    stats.rank_wall_ns.push(elapsed);
+    Ok((best?, stats))
+}
+
+/// [`exhaustive_lec_par`], also returning the search-space [`OptStats`].
+/// The counters are identical to [`exhaustive_lec_with_stats`]'s.
+pub fn exhaustive_lec_par_with_stats<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    phases: &PhaseDists,
+    par: &Parallelism,
+) -> Result<(Optimized, OptStats), CoreError> {
+    let mut stats = OptStats::new("exhaustive", query.n());
+    let (best, elapsed) = par::timed(|| {
+        let plans = enumerate_left_deep(query);
+        stats.counters.candidates_priced = plans.len() as u64;
+        best_scored_par(query, model, phases, plans, par)
+    });
+    stats.rank_wall_ns.push(elapsed);
+    Ok((best?, stats))
+}
+
 /// The exact LEC plan over the bushy space.
 pub fn exhaustive_lec_bushy<M: CostModel + ?Sized>(
     query: &JoinQuery,
@@ -200,6 +239,16 @@ pub fn exhaustive_lec_par<M: CostModel + Sync + ?Sized>(
     par: &Parallelism,
 ) -> Result<Optimized, CoreError> {
     let plans = enumerate_left_deep(query);
+    best_scored_par(query, model, phases, plans, par)
+}
+
+fn best_scored_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    phases: &PhaseDists,
+    plans: Vec<Plan>,
+    par: &Parallelism,
+) -> Result<Optimized, CoreError> {
     let costs = par::map_indexed(par, plans.len(), |i| {
         expected_cost(query, model, &plans[i], phases)
     });
@@ -333,9 +382,7 @@ mod tests {
         use lec_stats::Distribution;
 
         let q = query(4);
-        let mem = MemoryModel::Static(
-            Distribution::new([(25.0, 0.4), (400.0, 0.6)]).unwrap(),
-        );
+        let mem = MemoryModel::Static(Distribution::new([(25.0, 0.4), (400.0, 0.6)]).unwrap());
         let phases = mem.table(q.n()).unwrap();
         let serial = exhaustive_lec(&q, &PaperCostModel, &phases).unwrap();
         let par = Parallelism {
@@ -345,6 +392,31 @@ mod tests {
         let parallel = exhaustive_lec_par(&q, &PaperCostModel, &phases, &par).unwrap();
         assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
         assert_eq!(serial.plan, parallel.plan);
+    }
+
+    #[test]
+    fn stats_count_scored_plans_identically_across_paths() {
+        use crate::env::MemoryModel;
+        use lec_cost::PaperCostModel;
+        use lec_stats::Distribution;
+
+        let q = query(4);
+        let mem = MemoryModel::Static(Distribution::new([(25.0, 0.4), (400.0, 0.6)]).unwrap());
+        let phases = mem.table(q.n()).unwrap();
+        let (serial, sstats) = exhaustive_lec_with_stats(&q, &PaperCostModel, &phases).unwrap();
+        // 4! · 3^3 plans, no lattice walk.
+        assert_eq!(sstats.counters.candidates_priced, 24 * 27);
+        assert_eq!(sstats.counters.masks_expanded, 0);
+        assert_eq!(sstats.counters.entries_written, 0);
+        let par = Parallelism {
+            threads: 4,
+            sequential_cutoff: 2,
+        };
+        let (parallel, pstats) =
+            exhaustive_lec_par_with_stats(&q, &PaperCostModel, &phases, &par).unwrap();
+        assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
+        assert_eq!(serial.plan, parallel.plan);
+        assert_eq!(sstats.counters, pstats.counters);
     }
 
     #[test]

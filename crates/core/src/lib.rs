@@ -22,7 +22,9 @@
 //! The shared machinery lives in [`env`] (static / Markov-dynamic memory
 //! models), [`evaluate`] (costing *given* plans: per-value, expected,
 //! profiles, distributions) and [`dp`] (the generic left-deep dynamic
-//! program all scalar algorithms instantiate).
+//! program all scalar algorithms instantiate). The [`stats`] module is the
+//! observability layer: every enumerator exposes `*_with_stats` variants
+//! returning deterministic [`OptStats`] search counters alongside the plan.
 //!
 //! ### Cost accounting
 //!
@@ -48,6 +50,7 @@ pub mod par;
 pub mod parametric;
 pub mod pareto;
 pub mod precompute;
+pub mod stats;
 pub mod topc;
 pub mod voi;
 
@@ -57,6 +60,7 @@ pub use error::CoreError;
 pub use evaluate::{cost_distribution_static, expected_cost, plan_cost_at};
 pub use par::Parallelism;
 pub use precompute::QueryTables;
+pub use stats::{OptStats, PrecomputeSizes, SearchCounters};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

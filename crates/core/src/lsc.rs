@@ -107,9 +107,24 @@ mod tests {
             Relation::new("d", 1200.0, 1.2e4),
         ];
         let predicates = vec![
-            JoinPred { left: 0, right: 1, selectivity: 1e-3, key: KeyId(0) },
-            JoinPred { left: 1, right: 2, selectivity: 1e-4, key: KeyId(1) },
-            JoinPred { left: 2, right: 3, selectivity: 1e-3, key: KeyId(2) },
+            JoinPred {
+                left: 0,
+                right: 1,
+                selectivity: 1e-3,
+                key: KeyId(0),
+            },
+            JoinPred {
+                left: 1,
+                right: 2,
+                selectivity: 1e-4,
+                key: KeyId(1),
+            },
+            JoinPred {
+                left: 2,
+                right: 3,
+                selectivity: 1e-3,
+                key: KeyId(2),
+            },
         ];
         let q = JoinQuery::new(relations, predicates, Some(KeyId(2))).unwrap();
         let model = PaperCostModel;

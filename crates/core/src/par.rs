@@ -131,6 +131,17 @@ where
     out
 }
 
+/// Runs `f` and returns its result together with the coarse wall-clock
+/// nanoseconds it took — the per-rank timing primitive behind
+/// [`OptStats::rank_wall_ns`](crate::stats::OptStats::rank_wall_ns).
+/// Timing is the *only* non-deterministic quantity the stats layer
+/// records; everything else is accumulated in mask order.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_nanos() as u64)
+}
+
 /// The subset lattice of `{0..n}` grouped by cardinality: `ranks()[k]`
 /// holds every mask of popcount `k + 1` in increasing numeric order.
 ///

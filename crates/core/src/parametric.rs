@@ -73,9 +73,7 @@ impl ParametricPlans {
         scenarios: &[Distribution],
     ) -> Result<Self, CoreError> {
         if scenarios.is_empty() {
-            return Err(CoreError::BadParameter(
-                "need at least one scenario".into(),
-            ));
+            return Err(CoreError::BadParameter("need at least one scenario".into()));
         }
         let mut out = Vec::with_capacity(scenarios.len());
         for s in scenarios {

@@ -24,8 +24,12 @@
 
 use crate::dp::Optimized;
 use crate::error::CoreError;
-use crate::evaluate::{access_choices, access_step, cost_distribution_static, join_step, sort_step};
+use crate::evaluate::{
+    access_choices, access_step, cost_distribution_static, join_step, sort_step,
+};
 use crate::exhaustive::enumerate_left_deep;
+use crate::par;
+use crate::stats::OptStats;
 use lec_cost::{CostModel, JoinMethod};
 use lec_plan::{JoinQuery, Plan, RelSet};
 use lec_stats::{Distribution, Utility};
@@ -42,6 +46,11 @@ pub struct UtilityResult {
     /// Largest Pareto frontier encountered at any dag node (1 for the
     /// scalar DP); a measure of the extra work exactness costs.
     pub max_frontier: usize,
+    /// The root Pareto frontier's cost profiles (one cost per memory
+    /// value, in `memory.values()` order). [`optimize`] reports the full
+    /// surviving root frontier, [`scalar_dp`] its single root profile, and
+    /// [`exhaustive_utility`] leaves this empty (it never builds one).
+    pub frontier_profiles: Vec<Vec<f64>>,
 }
 
 #[derive(Debug, Clone)]
@@ -51,12 +60,24 @@ struct ProfEntry {
 }
 
 /// `a` dominates `b` when it is at least as cheap at every parameter value.
+///
+/// The comparison is *exact*: an earlier implementation allowed `a` to
+/// exceed `b` by an epsilon per component, which breaks antisymmetry
+/// (near-tied profiles could each "dominate" the other), making the
+/// surviving frontier — and hence the chosen plan — depend on insertion
+/// order. With exact `<=`, two profiles dominate each other only when
+/// they are equal, and [`insert_frontier`] keeps the first-inserted of an
+/// exactly-equal pair, so the frontier is insertion-order independent as
+/// a set of profiles.
 fn dominates(a: &[f64], b: &[f64]) -> bool {
-    a.iter().zip(b).all(|(x, y)| *x <= y + 1e-12)
+    a.iter().zip(b).all(|(x, y)| *x <= *y)
 }
 
 fn insert_frontier(frontier: &mut Vec<ProfEntry>, entry: ProfEntry) {
-    if frontier.iter().any(|e| dominates(&e.profile, &entry.profile)) {
+    if frontier
+        .iter()
+        .any(|e| dominates(&e.profile, &entry.profile))
+    {
         return;
     }
     frontier.retain(|e| !dominates(&entry.profile, &e.profile));
@@ -99,12 +120,28 @@ pub fn optimize<M: CostModel + ?Sized>(
     memory: &Distribution,
     utility: Utility,
 ) -> Result<UtilityResult, CoreError> {
+    Ok(optimize_with_stats(query, model, memory, utility)?.0)
+}
+
+/// [`optimize`] plus the deterministic [`OptStats`] search counters:
+/// `candidates_priced` counts frontier-insert attempts (subplan × join
+/// method × extending relation), `entries_written` the singleton seeds
+/// plus every surviving frontier entry, and `frontier_per_rank` the
+/// largest frontier at any mask of each DP rank.
+pub fn optimize_with_stats<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &Distribution,
+    utility: Utility,
+) -> Result<(UtilityResult, OptStats), CoreError> {
     let n = query.n();
     let full = query.all();
     let values = memory.values();
     let b = values.len();
     let mut table: Vec<Vec<ProfEntry>> = vec![Vec::new(); (full.bits() + 1) as usize];
     let mut max_frontier = 1usize;
+    let mut stats = OptStats::new("pareto", n);
+    stats.counters.entries_written = n as u64;
 
     for i in 0..n {
         let rel = query.relation(i);
@@ -120,64 +157,79 @@ pub fn optimize<M: CostModel + ?Sized>(
         }];
     }
 
-    for set in RelSet::all_subsets(n) {
-        if set.len() < 2 {
-            continue;
-        }
-        let out = query.result_pages(set);
-        let is_root = set == full;
-        let mut frontier: Vec<ProfEntry> = Vec::new();
-        for j in set.iter() {
-            let sub = set.remove(j);
-            let left_out = query.result_pages(sub);
-            let rel = query.relation(j);
-            let (acc_cost, acc_out, acc_method) = access_choices(rel)
-                .into_iter()
-                .map(|m| {
-                    let (c, o) = access_step(rel, m);
-                    (c, o, m)
-                })
-                .min_by(|a, b| a.0.total_cmp(&b.0))
-                .expect("at least the full scan");
-            let key = query.join_key_between(sub, RelSet::single(j));
-            let left_list = table[sub.bits() as usize].clone();
-            for method in JoinMethod::ALL {
-                let step: Vec<f64> = values
-                    .iter()
-                    .map(|&m| join_step(model, method, left_out, acc_out, out, m))
-                    .collect();
-                for left in &left_list {
-                    let mut profile: Vec<f64> = left
-                        .profile
-                        .iter()
-                        .zip(&step)
-                        .map(|(l, s)| l + acc_cost + s)
-                        .collect();
-                    let mut plan = Plan::join(
-                        left.plan.clone(),
-                        Plan::Access { rel: j, method: acc_method },
-                        method,
-                        key,
-                    );
-                    // At the root, complete plans that miss a required order
-                    // *before* dominance pruning, so that ordered and sorted
-                    // alternatives compete fairly.
-                    if is_root {
-                        if let Some(required) = query.required_order() {
-                            if plan.output_order() != Some(required) {
-                                for (p, &m) in profile.iter_mut().zip(values) {
-                                    *p += sort_step(model, out, m);
+    // Rank-by-rank sweep: each mask depends only on strictly smaller
+    // subsets, so grouping by popcount is bit-identical to the flat
+    // numeric order while giving the stats layer per-rank wall times
+    // and frontier sizes.
+    for rank in &par::ranks(n)[1..] {
+        let mut rank_frontier = 0usize;
+        let ((), ns) = par::timed(|| {
+            for &set in rank {
+                let out = query.result_pages(set);
+                let is_root = set == full;
+                let mut frontier: Vec<ProfEntry> = Vec::new();
+                for j in set.iter() {
+                    let sub = set.remove(j);
+                    let left_out = query.result_pages(sub);
+                    let rel = query.relation(j);
+                    let (acc_cost, acc_out, acc_method) = access_choices(rel)
+                        .into_iter()
+                        .map(|m| {
+                            let (c, o) = access_step(rel, m);
+                            (c, o, m)
+                        })
+                        .min_by(|a, b| a.0.total_cmp(&b.0))
+                        .expect("at least the full scan");
+                    let key = query.join_key_between(sub, RelSet::single(j));
+                    let left_list = table[sub.bits() as usize].clone();
+                    for method in JoinMethod::ALL {
+                        let step: Vec<f64> = values
+                            .iter()
+                            .map(|&m| join_step(model, method, left_out, acc_out, out, m))
+                            .collect();
+                        for left in &left_list {
+                            let mut profile: Vec<f64> = left
+                                .profile
+                                .iter()
+                                .zip(&step)
+                                .map(|(l, s)| l + acc_cost + s)
+                                .collect();
+                            let mut plan = Plan::join(
+                                left.plan.clone(),
+                                Plan::Access {
+                                    rel: j,
+                                    method: acc_method,
+                                },
+                                method,
+                                key,
+                            );
+                            // At the root, complete plans that miss a required order
+                            // *before* dominance pruning, so that ordered and sorted
+                            // alternatives compete fairly.
+                            if is_root {
+                                if let Some(required) = query.required_order() {
+                                    if plan.output_order() != Some(required) {
+                                        for (p, &m) in profile.iter_mut().zip(values) {
+                                            *p += sort_step(model, out, m);
+                                        }
+                                        plan = Plan::sort(plan, required);
+                                    }
                                 }
-                                plan = Plan::sort(plan, required);
                             }
+                            stats.counters.candidates_priced += 1;
+                            insert_frontier(&mut frontier, ProfEntry { profile, plan });
                         }
                     }
-                    insert_frontier(&mut frontier, ProfEntry { profile, plan });
                 }
+                stats.counters.masks_expanded += 1;
+                stats.counters.entries_written += frontier.len() as u64;
+                rank_frontier = rank_frontier.max(frontier.len());
+                max_frontier = max_frontier.max(frontier.len());
+                table[set.bits() as usize] = frontier;
             }
-        }
-        max_frontier = max_frontier.max(frontier.len());
-        table[set.bits() as usize] = frontier;
+        });
+        stats.counters.frontier_per_rank.push(rank_frontier);
+        stats.rank_wall_ns.push(ns);
     }
 
     let roots = &table[full.bits() as usize];
@@ -197,14 +249,16 @@ pub fn optimize<M: CostModel + ?Sized>(
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .ok_or(CoreError::NoPlanFound)?;
 
-    Ok(UtilityResult {
+    let result = UtilityResult {
         best: Optimized {
             plan: best.0.plan.clone(),
             cost: best.1,
         },
         cost_distribution: best.2,
         max_frontier,
-    })
+        frontier_profiles: roots.iter().map(|e| e.profile.clone()).collect(),
+    };
+    Ok((result, stats))
 }
 
 /// The unsound scalar utility DP: keeps, at every dag node, the single
@@ -221,13 +275,8 @@ pub fn scalar_dp<M: CostModel + ?Sized>(
     let values = memory.values();
     let b = values.len();
     let score_of = |profile: &[f64]| -> f64 {
-        let dist = Distribution::new(
-            profile
-                .iter()
-                .zip(memory.probs())
-                .map(|(&c, &p)| (c, p)),
-        )
-        .expect("finite costs");
+        let dist = Distribution::new(profile.iter().zip(memory.probs()).map(|(&c, &p)| (c, p)))
+            .expect("finite costs");
         utility.score(&dist)
     };
     let mut table: Vec<Option<ProfEntry>> = vec![None; (full.bits() + 1) as usize];
@@ -270,11 +319,16 @@ pub fn scalar_dp<M: CostModel + ?Sized>(
                 let mut profile: Vec<f64> = values
                     .iter()
                     .zip(&left.profile)
-                    .map(|(&m, l)| l + acc_cost + join_step(model, method, left_out, acc_out, out, m))
+                    .map(|(&m, l)| {
+                        l + acc_cost + join_step(model, method, left_out, acc_out, out, m)
+                    })
                     .collect();
                 let mut plan = Plan::join(
                     left.plan.clone(),
-                    Plan::Access { rel: j, method: acc_method },
+                    Plan::Access {
+                        rel: j,
+                        method: acc_method,
+                    },
                     method,
                     key,
                 );
@@ -314,6 +368,7 @@ pub fn scalar_dp<M: CostModel + ?Sized>(
         },
         cost_distribution: dist,
         max_frontier: 1,
+        frontier_profiles: vec![root.profile],
     })
 }
 
@@ -333,6 +388,7 @@ pub fn exhaustive_utility<M: CostModel + ?Sized>(
                 best: Optimized { plan, cost: score },
                 cost_distribution: dist,
                 max_frontier: 0,
+                frontier_profiles: Vec::new(),
             }
         })
         .min_by(|a, b| a.best.cost.total_cmp(&b.best.cost))
@@ -351,7 +407,9 @@ mod tests {
         // Deterministic pseudo-random sizes from a tiny LCG.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 5000 + 50) as f64
         };
         let relations = (0..n)
@@ -441,8 +499,7 @@ mod tests {
             let q = query(4, seed);
             let mem = memory();
             let lin_scalar = scalar_dp(&q, &PaperCostModel, &mem, Utility::Linear).unwrap();
-            let lin_truth =
-                exhaustive_utility(&q, &PaperCostModel, &mem, Utility::Linear).unwrap();
+            let lin_truth = exhaustive_utility(&q, &PaperCostModel, &mem, Utility::Linear).unwrap();
             assert!(
                 (lin_scalar.best.cost - lin_truth.best.cost).abs()
                     <= 1e-6 * lin_truth.best.cost.max(1.0),
@@ -494,5 +551,130 @@ mod tests {
         assert!(averse.cost_distribution.is_point());
         assert!(matches!(averse.best.plan, Plan::Sort { .. }));
         assert!(averse.max_frontier >= 1);
+        assert!(!averse.frontier_profiles.is_empty());
+    }
+
+    fn leaf(rel: usize) -> Plan {
+        Plan::Access {
+            rel,
+            method: lec_cost::AccessMethod::FullScan,
+        }
+    }
+
+    fn sorted_profiles(frontier: &[ProfEntry]) -> Vec<Vec<f64>> {
+        let mut v: Vec<Vec<f64>> = frontier.iter().map(|e| e.profile.clone()).collect();
+        v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        v
+    }
+
+    #[test]
+    fn frontier_is_insertion_order_independent() {
+        // Near-tied incomparable profiles. Under the old epsilon-tolerant
+        // dominance each "dominated" the other, so whichever was inserted
+        // first evicted the second and the frontier — hence the chosen
+        // plan — depended on insertion order. Exact dominance keeps both.
+        let a = vec![1.0, 2.0 + 1e-13];
+        let c = vec![1.0 + 1e-13, 2.0];
+        // A genuinely dominated profile must still be evicted either way.
+        let d = vec![1.5, 2.5];
+
+        let mut fwd = Vec::new();
+        for (i, p) in [&a, &c, &d].into_iter().enumerate() {
+            insert_frontier(
+                &mut fwd,
+                ProfEntry {
+                    profile: p.clone(),
+                    plan: leaf(i),
+                },
+            );
+        }
+        let mut rev = Vec::new();
+        for (i, p) in [&d, &c, &a].into_iter().enumerate() {
+            insert_frontier(
+                &mut rev,
+                ProfEntry {
+                    profile: p.clone(),
+                    plan: leaf(i),
+                },
+            );
+        }
+
+        assert_eq!(fwd.len(), 2, "near-ties are incomparable, both survive");
+        assert_eq!(sorted_profiles(&fwd), sorted_profiles(&rev));
+
+        // With identical frontier contents, the root pick (min utility
+        // score with a total-order comparator) is order-independent too.
+        let pick = |f: &[ProfEntry]| {
+            f.iter()
+                .map(|e| e.profile.iter().sum::<f64>())
+                .min_by(f64::total_cmp)
+                .unwrap()
+        };
+        assert_eq!(pick(&fwd).to_bits(), pick(&rev).to_bits());
+    }
+
+    #[test]
+    fn frontier_keeps_first_inserted_of_exact_ties() {
+        let p = vec![3.0, 4.0];
+        let mut frontier = Vec::new();
+        insert_frontier(
+            &mut frontier,
+            ProfEntry {
+                profile: p.clone(),
+                plan: leaf(0),
+            },
+        );
+        insert_frontier(
+            &mut frontier,
+            ProfEntry {
+                profile: p.clone(),
+                plan: leaf(1),
+            },
+        );
+        assert_eq!(frontier.len(), 1);
+        assert!(
+            matches!(frontier[0].plan, Plan::Access { rel: 0, .. }),
+            "first-inserted entry wins an exact profile tie"
+        );
+    }
+
+    #[test]
+    fn stats_track_frontier_growth() {
+        let q = query(5, 1);
+        let mem = memory();
+        let (res, stats) = optimize_with_stats(
+            &q,
+            &PaperCostModel,
+            &mem,
+            Utility::Exponential { gamma: 1e-5 },
+        )
+        .unwrap();
+        assert_eq!(stats.algorithm, "pareto");
+        assert_eq!(stats.relations, 5);
+        assert_eq!(stats.counters.masks_expanded, (1 << 5) - 1 - 5);
+        assert_eq!(stats.counters.frontier_per_rank.len(), 4);
+        assert_eq!(stats.rank_wall_ns.len(), 4);
+        assert_eq!(
+            *stats.counters.frontier_per_rank.iter().max().unwrap(),
+            res.max_frontier,
+        );
+        // Seeds plus at least one surviving entry per expanded mask, and
+        // no more survivors than insert attempts.
+        assert!(stats.counters.entries_written >= 5 + stats.counters.masks_expanded);
+        assert!(stats.counters.candidates_priced >= stats.counters.entries_written - 5);
+        assert_eq!(
+            res.frontier_profiles.len(),
+            stats.counters.frontier_per_rank[3]
+        );
+        // Stats plumbing must not perturb the chosen plan.
+        let plain = optimize(
+            &q,
+            &PaperCostModel,
+            &mem,
+            Utility::Exponential { gamma: 1e-5 },
+        )
+        .unwrap();
+        assert_eq!(plain.best.cost.to_bits(), res.best.cost.to_bits());
+        assert_eq!(plain.best.plan, res.best.plan);
     }
 }

@@ -93,6 +93,17 @@ impl QueryTables {
         self.result_pages[set.bits() as usize]
     }
 
+    /// Table sizes for the observability layer: access entries, result-page
+    /// entries (including the unused empty-set slot), and adjacency entries
+    /// (two per join predicate).
+    pub fn sizes(&self) -> crate::stats::PrecomputeSizes {
+        crate::stats::PrecomputeSizes {
+            access_entries: self.best_access.len(),
+            pages_entries: self.result_pages.len(),
+            adjacency_entries: self.touching.iter().map(Vec::len).sum(),
+        }
+    }
+
     /// Join key between `set` and relation `j`
     /// (≡ `query.join_key_between(set, RelSet::single(j))`): the key of
     /// the first crossing predicate when all crossing predicates agree,
@@ -190,6 +201,15 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sizes_reflect_table_shapes() {
+        let q = query();
+        let s = QueryTables::new(&q).sizes();
+        assert_eq!(s.access_entries, 3);
+        assert_eq!(s.pages_entries, 1 << 3);
+        assert_eq!(s.adjacency_entries, 4); // two predicates, two endpoints each
     }
 
     #[test]

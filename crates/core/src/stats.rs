@@ -1,0 +1,237 @@
+//! Search-space observability for the optimizer family.
+//!
+//! Robust-plan work lives or dies by *observable* plan-space behavior, yet
+//! until this module only top-`c` reported anything about its search (the
+//! combination counters X4 measures). [`OptStats`] generalizes that: every
+//! enumerator (`dp`/`alg_c`, `alg_d`, `topc`, `bushy`, `exhaustive`) and the
+//! Pareto utility DP can report how many masks it expanded, how many
+//! candidate (subplan × access × join-method) combinations it priced, how
+//! many DP entries it wrote, how big the precomputed [`QueryTables`] were,
+//! the Pareto frontier sizes per DP rank, and coarse wall time per rank.
+//!
+//! ### Determinism contract
+//!
+//! The counters in [`SearchCounters`] are accumulated **in mask order** —
+//! the serial sweeps iterate the subset lattice rank by rank, and the
+//! rank-parallel wavefronts gather per-mask counts back in the same order
+//! (exactly how `topc` has always merged its combination counters). Serial
+//! and parallel runs of the same enumerator therefore produce *identical*
+//! counters, and plan results stay bit-for-bit unchanged; the equivalence
+//! property tests assert both. Wall time ([`OptStats::rank_wall_ns`]) is
+//! the one deliberately non-deterministic field and is excluded from every
+//! equality comparison.
+//!
+//! [`QueryTables`]: crate::precompute::QueryTables
+
+/// Deterministic search counters, identical between serial and
+/// rank-parallel runs of the same enumerator on the same query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchCounters {
+    /// Subset-lattice masks (cardinality ≥ 2) whose entry was computed.
+    /// Zero for the exhaustive enumerators, which do not walk the lattice.
+    pub masks_expanded: u64,
+    /// Candidate (subplan × access × join-method) combinations priced.
+    /// For `topc` this is the frontier-merge `combos_examined`; for the
+    /// exhaustive enumerators it is the number of complete plans scored.
+    pub candidates_priced: u64,
+    /// Entries written into the DP table: the depth-1 seeds plus one per
+    /// expanded mask (for `topc` and the Pareto DP, the *list/frontier
+    /// lengths* actually kept).
+    pub entries_written: u64,
+    /// Largest Pareto frontier encountered at any mask of each rank
+    /// (rank `k` holds subsets of cardinality `k + 2`). Empty for every
+    /// scalar enumerator; populated by `pareto::optimize_with_stats`.
+    pub frontier_per_rank: Vec<usize>,
+}
+
+/// Sizes of the precomputed per-query tables
+/// ([`QueryTables`](crate::precompute::QueryTables), or the enumerator's
+/// equivalent memoization).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrecomputeSizes {
+    /// Best-access entries (one per relation).
+    pub access_entries: usize,
+    /// Result-size entries (one per subset, `2^n` including the unused
+    /// empty-set slot).
+    pub pages_entries: usize,
+    /// Predicate-adjacency entries (two per join predicate).
+    pub adjacency_entries: usize,
+}
+
+/// Observability record for one optimizer invocation.
+///
+/// Everything except [`rank_wall_ns`](Self::rank_wall_ns) is deterministic;
+/// compare [`counters`](Self::counters) and
+/// [`precompute`](Self::precompute) across serial/parallel runs, never the
+/// wall times.
+#[derive(Debug, Clone, Default)]
+pub struct OptStats {
+    /// Which enumerator produced this record (`"alg_c"`, `"alg_d"`,
+    /// `"topc"`, `"bushy"`, `"exhaustive"`, `"pareto"`, `"batch"`, ...).
+    pub algorithm: &'static str,
+    /// Number of relations in the query.
+    pub relations: usize,
+    /// The deterministic search counters.
+    pub counters: SearchCounters,
+    /// Sizes of the precomputed tables the run consumed.
+    pub precompute: PrecomputeSizes,
+    /// Coarse wall-clock nanoseconds per DP rank (rank `k` covers subsets
+    /// of cardinality `k + 2`; a single entry for non-lattice enumerators).
+    /// Scheduling-dependent: excluded from all determinism comparisons.
+    pub rank_wall_ns: Vec<u64>,
+}
+
+impl OptStats {
+    /// An empty record for `algorithm` on an `n`-relation query.
+    pub fn new(algorithm: &'static str, relations: usize) -> Self {
+        OptStats {
+            algorithm,
+            relations,
+            ..Self::default()
+        }
+    }
+
+    /// Total wall time across all ranks, in nanoseconds.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.rank_wall_ns.iter().sum()
+    }
+
+    /// Folds another record into this one (for batch aggregation): counters
+    /// and precompute sizes add, `frontier_per_rank` and `rank_wall_ns` add
+    /// elementwise (shorter vectors are zero-extended), `relations` keeps
+    /// the maximum. Summation in input order keeps the aggregate
+    /// deterministic when the inputs are.
+    pub fn absorb(&mut self, other: &OptStats) {
+        self.relations = self.relations.max(other.relations);
+        self.counters.masks_expanded += other.counters.masks_expanded;
+        self.counters.candidates_priced += other.counters.candidates_priced;
+        self.counters.entries_written += other.counters.entries_written;
+        extend_max(
+            &mut self.counters.frontier_per_rank,
+            &other.counters.frontier_per_rank,
+        );
+        self.precompute.access_entries += other.precompute.access_entries;
+        self.precompute.pages_entries += other.precompute.pages_entries;
+        self.precompute.adjacency_entries += other.precompute.adjacency_entries;
+        extend_add(&mut self.rank_wall_ns, &other.rank_wall_ns);
+    }
+
+    /// Renders the record as the multi-line footer `explain_with_costs_and_stats`
+    /// appends below the plan tree.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "-- optimizer stats ({}, n={}) --",
+            self.algorithm, self.relations
+        );
+        let _ = writeln!(out, "masks expanded:    {}", self.counters.masks_expanded);
+        let _ = writeln!(
+            out,
+            "candidates priced: {}",
+            self.counters.candidates_priced
+        );
+        let _ = writeln!(out, "entries written:   {}", self.counters.entries_written);
+        let _ = writeln!(
+            out,
+            "precompute:        {} access, {} pages, {} adjacency",
+            self.precompute.access_entries,
+            self.precompute.pages_entries,
+            self.precompute.adjacency_entries
+        );
+        if !self.counters.frontier_per_rank.is_empty() {
+            let _ = writeln!(
+                out,
+                "frontier per rank: {:?}",
+                self.counters.frontier_per_rank
+            );
+        }
+        let _ = writeln!(
+            out,
+            "wall time:         {:.3} ms over {} rank(s)",
+            self.total_wall_ns() as f64 / 1e6,
+            self.rank_wall_ns.len()
+        );
+        out
+    }
+}
+
+fn extend_add(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+fn extend_max(dst: &mut Vec<usize>, src: &[usize]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_counters_and_extends_vectors() {
+        let mut a = OptStats::new("alg_c", 4);
+        a.counters.masks_expanded = 11;
+        a.counters.candidates_priced = 100;
+        a.counters.entries_written = 15;
+        a.precompute.access_entries = 4;
+        a.rank_wall_ns = vec![5, 7];
+
+        let mut b = OptStats::new("alg_c", 6);
+        b.counters.masks_expanded = 57;
+        b.counters.candidates_priced = 500;
+        b.counters.entries_written = 63;
+        b.counters.frontier_per_rank = vec![2, 3, 1];
+        b.precompute.access_entries = 6;
+        b.rank_wall_ns = vec![1, 2, 3];
+
+        a.absorb(&b);
+        assert_eq!(a.relations, 6);
+        assert_eq!(a.counters.masks_expanded, 68);
+        assert_eq!(a.counters.candidates_priced, 600);
+        assert_eq!(a.counters.entries_written, 78);
+        assert_eq!(a.counters.frontier_per_rank, vec![2, 3, 1]);
+        assert_eq!(a.precompute.access_entries, 10);
+        assert_eq!(a.rank_wall_ns, vec![6, 9, 3]);
+        assert_eq!(a.total_wall_ns(), 18);
+    }
+
+    #[test]
+    fn render_mentions_every_counter() {
+        let mut s = OptStats::new("pareto", 5);
+        s.counters.masks_expanded = 26;
+        s.counters.frontier_per_rank = vec![3, 4];
+        s.rank_wall_ns = vec![1000];
+        let text = s.render();
+        assert!(text.contains("optimizer stats (pareto, n=5)"));
+        assert!(text.contains("masks expanded:    26"));
+        assert!(text.contains("frontier per rank: [3, 4]"));
+        assert!(text.contains("rank(s)"));
+    }
+
+    #[test]
+    fn counters_equality_ignores_nothing_but_wall_time() {
+        // SearchCounters derives Eq: two runs with identical search
+        // behavior compare equal regardless of their wall times, because
+        // wall time lives on OptStats (which has no PartialEq) instead.
+        let a = SearchCounters {
+            masks_expanded: 1,
+            candidates_priced: 2,
+            entries_written: 3,
+            frontier_per_rank: vec![4],
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

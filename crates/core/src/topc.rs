@@ -17,6 +17,7 @@ use crate::error::CoreError;
 use crate::evaluate::{access_choices, access_step, join_step, sort_step};
 use crate::par::{self, Parallelism};
 use crate::precompute::QueryTables;
+use crate::stats::OptStats;
 use lec_cost::{CostModel, JoinMethod};
 use lec_plan::{JoinQuery, Plan, RelSet};
 
@@ -192,7 +193,8 @@ fn finalize_topc<M: CostModel + ?Sized>(
         for entry in &mut roots {
             if entry.plan.output_order() != Some(required) {
                 entry.cost += sort_step(model, tabs.pages(full), memory);
-                entry.plan = Plan::sort(std::mem::replace(&mut entry.plan, Plan::scan(0)), required);
+                entry.plan =
+                    Plan::sort(std::mem::replace(&mut entry.plan, Plan::scan(0)), required);
             }
         }
         ordered_roots.sort_by(|a, b| a.cost.total_cmp(&b.cost));
@@ -227,6 +229,19 @@ pub fn top_c_plans<M: CostModel + ?Sized>(
     c: usize,
     strategy: MergeStrategy,
 ) -> Result<TopCResult, CoreError> {
+    Ok(top_c_plans_with_stats(query, model, memory, c, strategy)?.0)
+}
+
+/// [`top_c_plans`], also returning the search-space [`OptStats`].
+/// `candidates_priced` equals the merge's `combos_examined`;
+/// `entries_written` counts the list entries actually kept per node.
+pub fn top_c_plans_with_stats<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: f64,
+    c: usize,
+    strategy: MergeStrategy,
+) -> Result<(TopCResult, OptStats), CoreError> {
     validate_topc(memory, c)?;
     let n = query.n();
     let full = query.all();
@@ -241,18 +256,31 @@ pub fn top_c_plans<M: CostModel + ?Sized>(
 
     seed_access_lists(query, c, &mut table);
 
-    for set in RelSet::all_subsets(n) {
-        if set.len() < 2 {
-            continue;
-        }
-        let mut result = merge_mask(query, model, &tabs, memory, c, strategy, &table, set, full);
-        combos_examined += result.examined;
-        combos_naive += result.naive;
-        ordered_roots.append(&mut result.ordered);
-        table[set.bits() as usize] = result.merged;
+    let mut stats = OptStats::new("topc", n);
+    stats.precompute = tabs.sizes();
+    stats.counters.entries_written = (0..n)
+        .map(|i| table[RelSet::single(i).bits() as usize].len() as u64)
+        .sum();
+
+    let ranks = par::ranks(n);
+    for rank in &ranks[1..] {
+        let ((), elapsed) = par::timed(|| {
+            for &set in rank {
+                let mut result =
+                    merge_mask(query, model, &tabs, memory, c, strategy, &table, set, full);
+                combos_examined += result.examined;
+                combos_naive += result.naive;
+                ordered_roots.append(&mut result.ordered);
+                stats.counters.masks_expanded += 1;
+                stats.counters.candidates_priced += result.examined;
+                stats.counters.entries_written += result.merged.len() as u64;
+                table[set.bits() as usize] = result.merged;
+            }
+        });
+        stats.rank_wall_ns.push(elapsed);
     }
 
-    finalize_topc(
+    let result = finalize_topc(
         query,
         model,
         &tabs,
@@ -262,7 +290,8 @@ pub fn top_c_plans<M: CostModel + ?Sized>(
         ordered_roots,
         combos_examined,
         combos_naive,
-    )
+    )?;
+    Ok((result, stats))
 }
 
 /// Rank-parallel [`top_c_plans`]: each rank of the subset lattice merges
@@ -278,9 +307,22 @@ pub fn top_c_plans_par<M: CostModel + Sync + ?Sized>(
     strategy: MergeStrategy,
     par: &Parallelism,
 ) -> Result<TopCResult, CoreError> {
+    Ok(top_c_plans_with_stats_par(query, model, memory, c, strategy, par)?.0)
+}
+
+/// [`top_c_plans_par`], also returning the search-space [`OptStats`]. The
+/// counters are identical to [`top_c_plans_with_stats`]'s.
+pub fn top_c_plans_with_stats_par<M: CostModel + Sync + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: f64,
+    c: usize,
+    strategy: MergeStrategy,
+    par: &Parallelism,
+) -> Result<(TopCResult, OptStats), CoreError> {
     let n = query.n();
     if !par.use_parallel(n) {
-        return top_c_plans(query, model, memory, c, strategy);
+        return top_c_plans_with_stats(query, model, memory, c, strategy);
     }
     validate_topc(memory, c)?;
     let full = query.all();
@@ -292,20 +334,34 @@ pub fn top_c_plans_par<M: CostModel + Sync + ?Sized>(
 
     seed_access_lists(query, c, &mut table);
 
+    let mut stats = OptStats::new("topc", n);
+    stats.precompute = tabs.sizes();
+    stats.counters.entries_written = (0..n)
+        .map(|i| table[RelSet::single(i).bits() as usize].len() as u64)
+        .sum();
+
     let ranks = par::ranks(n);
     for rank in &ranks[1..] {
-        let results = par::map_indexed(par, rank.len(), |i| {
-            merge_mask(query, model, &tabs, memory, c, strategy, &table, rank[i], full)
+        let (results, elapsed) = par::timed(|| {
+            par::map_indexed(par, rank.len(), |i| {
+                merge_mask(
+                    query, model, &tabs, memory, c, strategy, &table, rank[i], full,
+                )
+            })
         });
+        stats.rank_wall_ns.push(elapsed);
         for (set, mut result) in rank.iter().zip(results) {
             combos_examined += result.examined;
             combos_naive += result.naive;
             ordered_roots.append(&mut result.ordered);
+            stats.counters.masks_expanded += 1;
+            stats.counters.candidates_priced += result.examined;
+            stats.counters.entries_written += result.merged.len() as u64;
             table[set.bits() as usize] = result.merged;
         }
     }
 
-    finalize_topc(
+    let result = finalize_topc(
         query,
         model,
         &tabs,
@@ -315,7 +371,8 @@ pub fn top_c_plans_par<M: CostModel + Sync + ?Sized>(
         ordered_roots,
         combos_examined,
         combos_naive,
-    )
+    )?;
+    Ok((result, stats))
 }
 
 /// Proposition 3.1's bound on combinations per merge: `c + c·ln c`.
@@ -461,8 +518,18 @@ mod tests {
                 Relation::new("c", 20_000.0, 2e5),
             ],
             vec![
-                JoinPred { left: 0, right: 1, selectivity: 1e-3, key: KeyId(0) },
-                JoinPred { left: 1, right: 2, selectivity: 1e-4, key: KeyId(1) },
+                JoinPred {
+                    left: 0,
+                    right: 1,
+                    selectivity: 1e-3,
+                    key: KeyId(0),
+                },
+                JoinPred {
+                    left: 1,
+                    right: 2,
+                    selectivity: 1e-4,
+                    key: KeyId(1),
+                },
             ],
             Some(KeyId(1)),
         )
@@ -532,6 +599,29 @@ mod tests {
     }
 
     #[test]
+    fn stats_track_combo_counters_identically_across_paths() {
+        let q = query(6);
+        let model = PaperCostModel;
+        let (serial, sstats) =
+            top_c_plans_with_stats(&q, &model, 70.0, 4, MergeStrategy::Frontier).unwrap();
+        assert_eq!(sstats.counters.candidates_priced, serial.combos_examined);
+        assert_eq!(sstats.counters.masks_expanded, (1 << 6) - 1 - 6);
+        assert!(sstats.counters.entries_written > 0);
+        let par = Parallelism {
+            threads: 4,
+            sequential_cutoff: 2,
+        };
+        let (parallel, pstats) =
+            top_c_plans_with_stats_par(&q, &model, 70.0, 4, MergeStrategy::Frontier, &par).unwrap();
+        assert_eq!(sstats.counters, pstats.counters);
+        assert_eq!(sstats.precompute, pstats.precompute);
+        for (s, p) in serial.plans.iter().zip(&parallel.plans) {
+            assert_eq!(s.cost.to_bits(), p.cost.to_bits());
+            assert_eq!(s.plan, p.plan);
+        }
+    }
+
+    #[test]
     fn rejects_bad_parameters() {
         let q = query(3);
         assert!(top_c_plans(&q, &PaperCostModel, 50.0, 0, MergeStrategy::Frontier).is_err());
@@ -559,7 +649,10 @@ mod tests {
             naive.sort_by(f64::total_cmp);
             naive.truncate(c);
             assert_eq!(fast, naive, "c = {c}");
-            assert!(examined as f64 <= frontier_bound(c) + 1e-9, "c = {c}: {examined}");
+            assert!(
+                examined as f64 <= frontier_bound(c) + 1e-9,
+                "c = {c}: {examined}"
+            );
             if c >= 4 {
                 assert!(examined < (left.len() * right.len()) as u64);
             }

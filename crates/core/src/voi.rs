@@ -196,8 +196,18 @@ mod tests {
                 Relation::new("c", 5_000.0, 2.5e5),
             ],
             vec![
-                JoinPred { left: 0, right: 1, selectivity: 1e-3, key: KeyId(0) },
-                JoinPred { left: 1, right: 2, selectivity: 5e-4, key: KeyId(1) },
+                JoinPred {
+                    left: 0,
+                    right: 1,
+                    selectivity: 1e-3,
+                    key: KeyId(0),
+                },
+                JoinPred {
+                    left: 1,
+                    right: 2,
+                    selectivity: 5e-4,
+                    key: KeyId(1),
+                },
             ],
             None,
         )
@@ -213,7 +223,11 @@ mod tests {
         let q = query();
         let sizes = SizeModel::certain(&q).unwrap();
         let r = analyze(&q, &PaperCostModel, &memory(), &sizes).unwrap();
-        assert!(r.evpi.abs() < 1e-9 * r.committed_cost.max(1.0), "evpi {}", r.evpi);
+        assert!(
+            r.evpi.abs() < 1e-9 * r.committed_cost.max(1.0),
+            "evpi {}",
+            r.evpi
+        );
         for p in &r.partial {
             assert!(p.abs() < 1e-9 * r.committed_cost.max(1.0));
         }
@@ -229,7 +243,11 @@ mod tests {
         assert!(r.informed_cost <= r.committed_cost + 1e-9);
         // Learning one parameter can never beat learning everything.
         for (k, p) in r.partial.iter().enumerate() {
-            assert!(*p <= r.evpi + 1e-6 * r.committed_cost, "param {k}: {p} > {}", r.evpi);
+            assert!(
+                *p <= r.evpi + 1e-6 * r.committed_cost,
+                "param {k}: {p} > {}",
+                r.evpi
+            );
         }
     }
 

@@ -10,7 +10,15 @@
 //! * Algorithm C (the left-deep expected-cost DP),
 //! * Algorithm D (multi-parameter, with size/selectivity uncertainty),
 //! * top-`c` enumeration (including both combination counters),
-//! * the bushy DPsub program.
+//! * the bushy DPsub program,
+//! * the exhaustive left-deep enumerator (parallel plan scoring).
+//!
+//! Since the observability layer, the promise extends to the
+//! [`lec_core::OptStats`] search counters: serial and parallel runs must
+//! report *identical* `SearchCounters` and precompute sizes (wall times
+//! are scheduling noise and deliberately carry no equality). Each property
+//! therefore drives the `*_with_stats` entry points and asserts both the
+//! plan bits and the counters.
 //!
 //! The thread configuration forces the parallel path (cutoff 2) with more
 //! workers than the container has cores, so chunk boundaries are exercised
@@ -18,7 +26,7 @@
 
 use lec_core::alg_d::{self, AlgDConfig, SizeModel};
 use lec_core::topc::{self, MergeStrategy};
-use lec_core::{alg_c, bushy, MemoryModel, Parallelism};
+use lec_core::{alg_c, bushy, exhaustive, MemoryModel, Parallelism};
 use lec_cost::PaperCostModel;
 use lec_plan::{JoinPred, JoinQuery, KeyId, Relation};
 use lec_stats::Distribution;
@@ -94,9 +102,7 @@ fn build_query(topo: usize, n: usize, seed: u64, ordered: bool) -> JoinQuery {
 }
 
 fn memory_model(a: f64, b: f64) -> MemoryModel {
-    MemoryModel::Static(
-        Distribution::new([(a, 0.35), (b, 0.65)]).expect("valid distribution"),
-    )
+    MemoryModel::Static(Distribution::new([(a, 0.35), (b, 0.65)]).expect("valid distribution"))
 }
 
 /// More workers than cores, no sequential fallback: the parallel code path
@@ -124,10 +130,13 @@ proptest! {
     ) {
         let q = build_query(topo, n, seed, ordered);
         let mem = memory_model(lo, hi);
-        let serial = alg_c::optimize(&q, &PaperCostModel, &mem).unwrap();
-        let parallel = alg_c::optimize_par(&q, &PaperCostModel, &mem, &forced()).unwrap();
+        let (serial, sstats) = alg_c::optimize_with_stats(&q, &PaperCostModel, &mem).unwrap();
+        let (parallel, pstats) =
+            alg_c::optimize_with_stats_par(&q, &PaperCostModel, &mem, &forced()).unwrap();
         prop_assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
         prop_assert_eq!(&serial.plan, &parallel.plan);
+        prop_assert_eq!(&sstats.counters, &pstats.counters);
+        prop_assert_eq!(sstats.precompute, pstats.precompute);
         parallel.plan.validate(&q).unwrap();
     }
 
@@ -146,11 +155,14 @@ proptest! {
         let mem = memory_model(20.0, 900.0);
         let sizes = SizeModel::with_uncertainty(&q, size_cv, sel_cv, 3).unwrap();
         let cfg = AlgDConfig::default();
-        let serial = alg_d::optimize_fast(&q, &mem, &sizes, cfg).unwrap();
-        let parallel = alg_d::optimize_fast_par(&q, &mem, &sizes, cfg, &forced()).unwrap();
+        let (serial, sstats) = alg_d::optimize_fast_with_stats(&q, &mem, &sizes, cfg).unwrap();
+        let (parallel, pstats) =
+            alg_d::optimize_fast_with_stats_par(&q, &mem, &sizes, cfg, &forced()).unwrap();
         prop_assert_eq!(serial.best.cost.to_bits(), parallel.best.cost.to_bits());
         prop_assert_eq!(&serial.best.plan, &parallel.best.plan);
         prop_assert_eq!(&serial.result_size, &parallel.result_size);
+        prop_assert_eq!(&sstats.counters, &pstats.counters);
+        prop_assert_eq!(sstats.precompute, pstats.precompute);
         parallel.best.plan.validate(&q).unwrap();
     }
 
@@ -166,11 +178,18 @@ proptest! {
         mem in 10.0f64..2000.0,
     ) {
         let q = build_query(topo, n, seed, ordered);
-        let serial =
-            topc::top_c_plans(&q, &PaperCostModel, mem, c, MergeStrategy::Frontier).unwrap();
-        let parallel =
-            topc::top_c_plans_par(&q, &PaperCostModel, mem, c, MergeStrategy::Frontier, &forced())
+        let (serial, sstats) =
+            topc::top_c_plans_with_stats(&q, &PaperCostModel, mem, c, MergeStrategy::Frontier)
                 .unwrap();
+        let (parallel, pstats) = topc::top_c_plans_with_stats_par(
+            &q,
+            &PaperCostModel,
+            mem,
+            c,
+            MergeStrategy::Frontier,
+            &forced(),
+        )
+        .unwrap();
         prop_assert_eq!(serial.plans.len(), parallel.plans.len());
         for (s, p) in serial.plans.iter().zip(&parallel.plans) {
             prop_assert_eq!(s.cost.to_bits(), p.cost.to_bits());
@@ -178,6 +197,9 @@ proptest! {
         }
         prop_assert_eq!(serial.combos_examined, parallel.combos_examined);
         prop_assert_eq!(serial.combos_naive, parallel.combos_naive);
+        prop_assert_eq!(&sstats.counters, &pstats.counters);
+        prop_assert_eq!(sstats.precompute, pstats.precompute);
+        prop_assert_eq!(sstats.counters.candidates_priced, serial.combos_examined);
     }
 
     /// Bushy DPsub: identical plan and cost across the O(3^n) split
@@ -193,10 +215,39 @@ proptest! {
     ) {
         let q = build_query(topo, n, seed, ordered);
         let mem = memory_model(lo, hi);
-        let serial = bushy::optimize(&q, &PaperCostModel, &mem).unwrap();
-        let parallel = bushy::optimize_par(&q, &PaperCostModel, &mem, &forced()).unwrap();
+        let (serial, sstats) = bushy::optimize_with_stats(&q, &PaperCostModel, &mem).unwrap();
+        let (parallel, pstats) =
+            bushy::optimize_with_stats_par(&q, &PaperCostModel, &mem, &forced()).unwrap();
         prop_assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
         prop_assert_eq!(&serial.plan, &parallel.plan);
+        prop_assert_eq!(&sstats.counters, &pstats.counters);
+        prop_assert_eq!(sstats.precompute, pstats.precompute);
+        parallel.plan.validate(&q).unwrap();
+    }
+
+    /// Exhaustive left-deep enumeration with parallel scoring: same
+    /// winning plan, cost bits, and scored-plan counter.
+    #[test]
+    fn exhaustive_parallel_equivalent(
+        topo in 0usize..3,
+        n in 2usize..=6,
+        seed in 0u64..1_000_000,
+        ordered in proptest::bool::ANY,
+        lo in 8.0f64..120.0,
+        hi in 150.0f64..4000.0,
+    ) {
+        let q = build_query(topo, n, seed, ordered);
+        let phases = memory_model(lo, hi).table(n.max(2)).unwrap();
+        let (serial, sstats) =
+            exhaustive::exhaustive_lec_with_stats(&q, &PaperCostModel, &phases).unwrap();
+        let (parallel, pstats) =
+            exhaustive::exhaustive_lec_par_with_stats(&q, &PaperCostModel, &phases, &forced())
+                .unwrap();
+        prop_assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits());
+        prop_assert_eq!(&serial.plan, &parallel.plan);
+        prop_assert_eq!(&sstats.counters, &pstats.counters);
+        prop_assert!(sstats.counters.candidates_priced > 0);
+        prop_assert_eq!(sstats.counters.masks_expanded, 0);
         parallel.plan.validate(&q).unwrap();
     }
 }

@@ -128,7 +128,7 @@ mod tests {
     fn merge_pass_ladder() {
         assert_eq!(merge_passes(100.0, 200.0), 0); // fits
         assert_eq!(merge_passes(1000.0, 100.0), 1); // 10 runs, 99-way merge
-        // 1000 runs, 9-way merge: 1000 -> 112 -> 13 -> 2 -> 1.
+                                                    // 1000 runs, 9-way merge: 1000 -> 112 -> 13 -> 2 -> 1.
         assert_eq!(merge_passes(10_000.0, 10.0), 4);
     }
 
@@ -158,7 +158,10 @@ mod tests {
     fn grace_depth_and_cost() {
         let m = DetailedCostModel;
         // Smaller input fits: single read of both.
-        assert_eq!(m.join_cost(JoinMethod::GraceHash, 1000.0, 50.0, 64.0), 1050.0);
+        assert_eq!(
+            m.join_cost(JoinMethod::GraceHash, 1000.0, 50.0, 64.0),
+            1050.0
+        );
         // One partitioning level: 3(a+b).
         assert_eq!(grace_depth(1000.0, 64.0), 1);
         assert_eq!(

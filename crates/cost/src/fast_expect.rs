@@ -55,7 +55,11 @@ pub fn expected_join_fast(
 /// Expected cost of sorting a size-distributed input: `E[sort(N, M)]`.
 /// `O(b_N · b_M)`; sorts appear at most once per plan (at the root), so a
 /// linear kernel is not worth the complexity.
-pub fn expected_sort<M: CostModel + ?Sized>(model: &M, n: &Distribution, mem: &Distribution) -> f64 {
+pub fn expected_sort<M: CostModel + ?Sized>(
+    model: &M,
+    n: &Distribution,
+    mem: &Distribution,
+) -> f64 {
     let mut total = 0.0;
     for (nv, np) in n.iter() {
         for (mv, mp) in mem.iter() {
@@ -258,8 +262,7 @@ pub fn nl_expected_fast(a: &Distribution, b: &Distribution, mem: &Distribution) 
             let eb_ge = b_total_e - eb_lt;
             // M ≥ S+2:  Σ_{b≥a} P(b)(a + b)   = a·Pr[B≥a] + E[B·1{B≥a}]
             // M <  S+2: Σ_{b≥a} P(b)(a + a·b) = a·Pr[B≥a] + a·E[B·1{B≥a}]
-            t1 += ap
-                * (q * (av * pb_ge + eb_ge) + (1.0 - q) * (av * pb_ge + av * eb_ge));
+            t1 += ap * (q * (av * pb_ge + eb_ge) + (1.0 - q) * (av * pb_ge + av * eb_ge));
         }
     }
     // Pairs with A > B (S = B): iterate B's support.
@@ -331,7 +334,13 @@ mod tests {
         // strict boundary conventions.
         let a = d(&[(16.0, 0.5), (256.0, 0.5)]);
         let b = d(&[(16.0, 0.5), (65536.0, 0.5)]);
-        let mem = d(&[(2.0, 0.2), (4.0, 0.2), (16.0, 0.2), (18.0, 0.2), (256.0, 0.2)]);
+        let mem = d(&[
+            (2.0, 0.2),
+            (4.0, 0.2),
+            (16.0, 0.2),
+            (18.0, 0.2),
+            (256.0, 0.2),
+        ]);
         for method in JoinMethod::ALL {
             let naive = expected_join_naive(&PaperCostModel, method, &a, &b, &mem);
             let fast = expected_join_fast(method, &a, &b, &mem);

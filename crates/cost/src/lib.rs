@@ -57,13 +57,7 @@ pub trait CostModel {
     /// Cost of joining materialized inputs of `left_pages` and `right_pages`
     /// pages with `method` under `memory` pages of buffer, including reading
     /// both inputs and all intermediate passes, excluding writing the output.
-    fn join_cost(
-        &self,
-        method: JoinMethod,
-        left_pages: f64,
-        right_pages: f64,
-        memory: f64,
-    ) -> f64;
+    fn join_cost(&self, method: JoinMethod, left_pages: f64, right_pages: f64, memory: f64) -> f64;
 
     /// Cost of sorting a materialized input of `pages` pages under `memory`
     /// pages of buffer (zero when it fits in memory).
@@ -71,12 +65,7 @@ pub trait CostModel {
 
     /// Memory values at which `join_cost` for these sizes is discontinuous,
     /// in increasing order. Used by level-set bucketing (§3.7).
-    fn join_breakpoints(
-        &self,
-        method: JoinMethod,
-        left_pages: f64,
-        right_pages: f64,
-    ) -> Vec<f64>;
+    fn join_breakpoints(&self, method: JoinMethod, left_pages: f64, right_pages: f64) -> Vec<f64>;
 
     /// Memory values at which `sort_cost` for this size is discontinuous.
     fn sort_breakpoints(&self, pages: f64) -> Vec<f64>;

@@ -140,8 +140,14 @@ mod tests {
     fn nested_loop_two_cases() {
         let m = PaperCostModel;
         // Small side fits: one pass over each.
-        assert_eq!(m.join_cost(JoinMethod::NestedLoop, 100.0, 10.0, 12.0), 110.0);
-        assert_eq!(m.join_cost(JoinMethod::NestedLoop, 10.0, 100.0, 12.0), 110.0);
+        assert_eq!(
+            m.join_cost(JoinMethod::NestedLoop, 100.0, 10.0, 12.0),
+            110.0
+        );
+        assert_eq!(
+            m.join_cost(JoinMethod::NestedLoop, 10.0, 100.0, 12.0),
+            110.0
+        );
         // Small side does not fit: quadratic blowup, left is the outer.
         assert_eq!(
             m.join_cost(JoinMethod::NestedLoop, 100.0, 10.0, 11.0),

@@ -78,7 +78,14 @@ mod tests {
     fn analyze_counts_match_the_data() {
         let mut disk = Disk::new();
         let mut rng = ChaCha8Rng::seed_from_u64(81);
-        let rel = generate(&mut disk, &mut rng, &DataGenSpec { pages: 20, key_domain: 300 });
+        let rel = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: 20,
+                key_domain: 300,
+            },
+        );
         let mut pool = BufferPool::with_capacity(4);
         let stats = analyze(&disk, &mut pool, rel, 256).unwrap();
         assert_eq!(stats.pages, 20);
@@ -107,7 +114,14 @@ mod tests {
     fn sample_is_bounded() {
         let mut disk = Disk::new();
         let mut rng = ChaCha8Rng::seed_from_u64(82);
-        let rel = generate(&mut disk, &mut rng, &DataGenSpec { pages: 50, key_domain: 1000 });
+        let rel = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: 50,
+                key_domain: 1000,
+            },
+        );
         let mut pool = BufferPool::with_capacity(4);
         let stats = analyze(&disk, &mut pool, rel, 100).unwrap();
         assert!(stats.key_sample.len() <= 110, "{}", stats.key_sample.len());

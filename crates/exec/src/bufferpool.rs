@@ -95,7 +95,12 @@ impl BufferPool {
     }
 
     /// Reads a page through the pool: free on hit, one read I/O on miss.
-    pub fn read<'a>(&'a mut self, disk: &Disk, rel: RelId, idx: usize) -> Result<&'a Page, ExecError> {
+    pub fn read<'a>(
+        &'a mut self,
+        disk: &Disk,
+        rel: RelId,
+        idx: usize,
+    ) -> Result<&'a Page, ExecError> {
         let key = (rel, idx);
         self.tick += 1;
         let tick = self.tick;

@@ -66,8 +66,14 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let sel = 1e-3;
         let domain = domain_for_selectivity(sel);
-        let spec_a = DataGenSpec { pages: 40, key_domain: domain };
-        let spec_b = DataGenSpec { pages: 25, key_domain: domain };
+        let spec_a = DataGenSpec {
+            pages: 40,
+            key_domain: domain,
+        };
+        let spec_b = DataGenSpec {
+            pages: 25,
+            key_domain: domain,
+        };
         let a = generate(&mut disk, &mut rng, &spec_a);
         let b = generate(&mut disk, &mut rng, &spec_b);
         // Count matches by brute force.

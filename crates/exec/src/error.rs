@@ -45,7 +45,10 @@ impl fmt::Display for ExecError {
                 write!(f, "buffer pool exhausted: all {capacity} frames pinned")
             }
             ExecError::InsufficientMemory { granted, required } => {
-                write!(f, "memory grant {granted} below operator minimum {required}")
+                write!(
+                    f,
+                    "memory grant {granted} below operator minimum {required}"
+                )
             }
             ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }

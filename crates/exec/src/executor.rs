@@ -108,9 +108,7 @@ fn walk(
 ) -> Result<(RelId, bool), ExecError> {
     match plan {
         Plan::Access { rel, .. } => {
-            let id = *base
-                .get(*rel)
-                .ok_or(ExecError::UnknownRelation(*rel))?;
+            let id = *base.get(*rel).ok_or(ExecError::UnknownRelation(*rel))?;
             let sel = selections[*rel];
             if sel < 1.0 {
                 let filtered = crate::ops::filtered_scan(disk, pool, id, sel)?;
@@ -136,9 +134,7 @@ fn walk(
                     true,
                 ),
                 JoinMethod::GraceHash => (grace_hash_join(disk, pool, l, r, m)?, false),
-                JoinMethod::NestedLoop => {
-                    (block_nested_loop_join(disk, pool, l, r, m)?, false)
-                }
+                JoinMethod::NestedLoop => (block_nested_loop_join(disk, pool, l, r, m)?, false),
             };
             phases.push(PhaseReport {
                 memory: m,
@@ -178,8 +174,22 @@ mod tests {
         let mut disk = Disk::new();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let domain = crate::datagen::domain_for_selectivity(0.01);
-        let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: 20, key_domain: domain });
-        let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: 12, key_domain: domain });
+        let a = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: 20,
+                key_domain: domain,
+            },
+        );
+        let b = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: 12,
+                key_domain: domain,
+            },
+        );
         (disk, vec![a, b])
     }
 
@@ -201,9 +211,19 @@ mod tests {
     #[test]
     fn sort_after_hash_join_equals_sort_merge_output_order() {
         let (mut disk, base) = two_table_setup(32);
-        let sm = Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0)));
+        let sm = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::SortMerge,
+            Some(KeyId(0)),
+        );
         let gh_sorted = Plan::sort(
-            Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::GraceHash, Some(KeyId(0))),
+            Plan::join(
+                Plan::scan(0),
+                Plan::scan(1),
+                JoinMethod::GraceHash,
+                Some(KeyId(0)),
+            ),
             KeyId(0),
         );
         let mut env = ExecMemoryEnv::Fixed(10);
@@ -222,7 +242,12 @@ mod tests {
     fn sort_over_already_sorted_input_is_free() {
         let (mut disk, base) = two_table_setup(33);
         let plan = Plan::sort(
-            Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0))),
+            Plan::join(
+                Plan::scan(0),
+                Plan::scan(1),
+                JoinMethod::SortMerge,
+                Some(KeyId(0)),
+            ),
             KeyId(0),
         );
         let mut env = ExecMemoryEnv::Fixed(10);
@@ -239,11 +264,23 @@ mod tests {
         let base: Vec<RelId> = [6usize, 8, 4]
             .iter()
             .map(|&pages| {
-                generate(&mut disk, &mut rng, &DataGenSpec { pages, key_domain: domain })
+                generate(
+                    &mut disk,
+                    &mut rng,
+                    &DataGenSpec {
+                        pages,
+                        key_domain: domain,
+                    },
+                )
             })
             .collect();
         let plan = Plan::join(
-            Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::GraceHash, Some(KeyId(0))),
+            Plan::join(
+                Plan::scan(0),
+                Plan::scan(1),
+                JoinMethod::GraceHash,
+                Some(KeyId(0)),
+            ),
             Plan::scan(2),
             JoinMethod::SortMerge,
             Some(KeyId(0)),
@@ -264,7 +301,12 @@ mod tests {
         let mut last = u64::MAX;
         for m in [4, 6, 10, 24, 64] {
             let (mut disk, base) = two_table_setup(35);
-            let plan = Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0)));
+            let plan = Plan::join(
+                Plan::scan(0),
+                Plan::scan(1),
+                JoinMethod::SortMerge,
+                Some(KeyId(0)),
+            );
             let mut env = ExecMemoryEnv::Fixed(m);
             let report = execute_plan(&plan, &base, &mut disk, &mut env).unwrap();
             assert!(

@@ -80,8 +80,22 @@ mod tests {
     fn setup(pa: usize, pb: usize, domain: u64, seed: u64) -> (Disk, RelId, RelId) {
         let mut disk = Disk::new();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: pa, key_domain: domain });
-        let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: pb, key_domain: domain });
+        let a = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: pa,
+                key_domain: domain,
+            },
+        );
+        let b = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: pb,
+                key_domain: domain,
+            },
+        );
         (disk, a, b)
     }
 
@@ -124,7 +138,10 @@ mod tests {
         let expect = oracle_join(&disk, a, b).unwrap();
         let mut pool = BufferPool::with_capacity(10);
         let out = block_nested_loop_join(&mut disk, &mut pool, a, b, 10).unwrap();
-        assert!(multisets_equal(disk.all_tuples(out).unwrap(), expect.clone()));
+        assert!(multisets_equal(
+            disk.all_tuples(out).unwrap(),
+            expect.clone()
+        ));
         // Swapping roles changes payloads (join_tuple is asymmetric).
         let mut pool2 = BufferPool::with_capacity(10);
         let out2 = block_nested_loop_join(&mut disk, &mut pool2, b, a, 10).unwrap();

@@ -114,7 +114,11 @@ fn in_memory_join(
     b: RelId,
 ) -> Result<RelId, ExecError> {
     let (pa, pb) = (disk.pages(a)?, disk.pages(b)?);
-    let (build, probe, build_is_a) = if pa <= pb { (a, b, true) } else { (b, a, false) };
+    let (build, probe, build_is_a) = if pa <= pb {
+        (a, b, true)
+    } else {
+        (b, a, false)
+    };
     let mut table: HashMap<u64, Vec<Tuple>> = HashMap::new();
     for p in 0..disk.pages(build)? {
         for &t in pool.read(disk, build, p)?.tuples() {
@@ -158,8 +162,22 @@ mod tests {
     fn setup(pa: usize, pb: usize, domain: u64, seed: u64) -> (Disk, RelId, RelId) {
         let mut disk = Disk::new();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: pa, key_domain: domain });
-        let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: pb, key_domain: domain });
+        let a = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: pa,
+                key_domain: domain,
+            },
+        );
+        let b = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: pb,
+                key_domain: domain,
+            },
+        );
         (disk, a, b)
     }
 

@@ -39,8 +39,14 @@ mod tests {
 
     #[test]
     fn join_tuple_is_asymmetric() {
-        let a = Tuple { key: 5, payload: 100 };
-        let b = Tuple { key: 5, payload: 200 };
+        let a = Tuple {
+            key: 5,
+            payload: 100,
+        };
+        let b = Tuple {
+            key: 5,
+            payload: 200,
+        };
         assert_ne!(join_tuple(a, b), join_tuple(b, a));
         assert_eq!(join_tuple(a, b).key, 5);
     }

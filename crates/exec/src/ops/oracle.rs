@@ -48,12 +48,24 @@ mod tests {
     fn oracle_counts_duplicates() {
         let mut disk = Disk::new();
         let a = disk.load(vec![
-            Tuple { key: 1, payload: 10 },
-            Tuple { key: 1, payload: 11 },
+            Tuple {
+                key: 1,
+                payload: 10,
+            },
+            Tuple {
+                key: 1,
+                payload: 11,
+            },
         ]);
         let b = disk.load(vec![
-            Tuple { key: 1, payload: 20 },
-            Tuple { key: 2, payload: 21 },
+            Tuple {
+                key: 1,
+                payload: 20,
+            },
+            Tuple {
+                key: 2,
+                payload: 21,
+            },
         ]);
         let out = oracle_join(&disk, a, b).unwrap();
         assert_eq!(out.len(), 2);

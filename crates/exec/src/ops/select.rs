@@ -42,11 +42,10 @@ pub fn filtered_scan(
     for p in 0..disk.pages(input)? {
         let tuples: Vec<Tuple> = pool.read(disk, input, p)?.tuples().to_vec();
         for t in tuples {
-            if passes(t, selectivity)
-                && !page.push(t) {
-                    pool.append(disk, out, std::mem::take(&mut page))?;
-                    page.push(t);
-                }
+            if passes(t, selectivity) && !page.push(t) {
+                pool.append(disk, out, std::mem::take(&mut page))?;
+                page.push(t);
+            }
         }
     }
     if !page.is_empty() {
@@ -66,7 +65,14 @@ mod tests {
     fn realized_selectivity_tracks_request() {
         let mut disk = Disk::new();
         let mut rng = ChaCha8Rng::seed_from_u64(61);
-        let input = generate(&mut disk, &mut rng, &DataGenSpec { pages: 50, key_domain: 500 });
+        let input = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: 50,
+                key_domain: 500,
+            },
+        );
         let total = disk.tuples(input).unwrap() as f64;
         for sel in [0.05, 0.3, 0.8] {
             let mut pool = BufferPool::with_capacity(4);
@@ -84,7 +90,14 @@ mod tests {
     fn io_cost_is_read_all_write_out() {
         let mut disk = Disk::new();
         let mut rng = ChaCha8Rng::seed_from_u64(62);
-        let input = generate(&mut disk, &mut rng, &DataGenSpec { pages: 40, key_domain: 100 });
+        let input = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: 40,
+                key_domain: 100,
+            },
+        );
         let mut pool = BufferPool::with_capacity(4);
         let out = filtered_scan(&mut disk, &mut pool, input, 0.25).unwrap();
         let io = pool.counters();
@@ -96,7 +109,14 @@ mod tests {
     fn edge_selectivities() {
         let mut disk = Disk::new();
         let mut rng = ChaCha8Rng::seed_from_u64(63);
-        let input = generate(&mut disk, &mut rng, &DataGenSpec { pages: 5, key_domain: 50 });
+        let input = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: 5,
+                key_domain: 50,
+            },
+        );
         let mut pool = BufferPool::with_capacity(4);
         let none = filtered_scan(&mut disk, &mut pool, input, 0.0).unwrap();
         assert_eq!(disk.tuples(none).unwrap(), 0);
@@ -107,7 +127,10 @@ mod tests {
 
     #[test]
     fn filter_is_deterministic() {
-        let t = Tuple { key: 1, payload: 42 };
+        let t = Tuple {
+            key: 1,
+            payload: 42,
+        };
         assert_eq!(passes(t, 0.5), passes(t, 0.5));
     }
 }

@@ -33,7 +33,8 @@ pub fn external_sort(
     let mut idx = 0;
     while idx < npages {
         let end = (idx + m).min(npages);
-        let mut workspace: Vec<Tuple> = Vec::with_capacity((end - idx) * crate::tuple::PAGE_CAPACITY);
+        let mut workspace: Vec<Tuple> =
+            Vec::with_capacity((end - idx) * crate::tuple::PAGE_CAPACITY);
         for p in idx..end {
             workspace.extend_from_slice(pool.read(disk, input, p)?.tuples());
         }
@@ -115,11 +116,7 @@ impl Cursor {
 }
 
 /// K-way merges sorted runs into a new relation.
-fn merge_runs(
-    disk: &mut Disk,
-    pool: &mut BufferPool,
-    runs: &[RelId],
-) -> Result<RelId, ExecError> {
+fn merge_runs(disk: &mut Disk, pool: &mut BufferPool, runs: &[RelId]) -> Result<RelId, ExecError> {
     let out = disk.create();
     let mut cursors: Vec<Cursor> = runs
         .iter()
@@ -203,7 +200,10 @@ mod tests {
         // 100 pages, m = 4: 25 runs, 3-way merges: 25 -> 9 -> 3 -> 1,
         // i.e. three merge passes over (almost) all data.
         let (reads, _) = run_case(100, 4);
-        assert!(reads > 350, "expected multiple merge passes, reads = {reads}");
+        assert!(
+            reads > 350,
+            "expected multiple merge passes, reads = {reads}"
+        );
     }
 
     #[test]

@@ -28,8 +28,16 @@ pub fn sort_merge_join(
             required: MIN_MEMORY,
         });
     }
-    let sa = if a_sorted { a } else { external_sort(disk, pool, a, m)? };
-    let sb = if b_sorted { b } else { external_sort(disk, pool, b, m)? };
+    let sa = if a_sorted {
+        a
+    } else {
+        external_sort(disk, pool, a, m)?
+    };
+    let sb = if b_sorted {
+        b
+    } else {
+        external_sort(disk, pool, b, m)?
+    };
 
     let out = disk.create();
     let mut page = Page::new();
@@ -153,8 +161,22 @@ mod tests {
     fn setup(pa: usize, pb: usize, domain: u64, seed: u64) -> (Disk, RelId, RelId) {
         let mut disk = Disk::new();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: pa, key_domain: domain });
-        let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: pb, key_domain: domain });
+        let a = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: pa,
+                key_domain: domain,
+            },
+        );
+        let b = generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: pb,
+                key_domain: domain,
+            },
+        );
         (disk, a, b)
     }
 

@@ -81,10 +81,16 @@ mod tests {
     fn page_capacity_enforced() {
         let mut p = Page::new();
         for i in 0..PAGE_CAPACITY {
-            assert!(p.push(Tuple { key: i as u64, payload: 0 }));
+            assert!(p.push(Tuple {
+                key: i as u64,
+                payload: 0
+            }));
         }
         assert!(p.is_full());
-        assert!(!p.push(Tuple { key: 999, payload: 0 }));
+        assert!(!p.push(Tuple {
+            key: 999,
+            payload: 0
+        }));
         assert_eq!(p.len(), PAGE_CAPACITY);
     }
 

@@ -13,8 +13,22 @@ use rand_chacha::ChaCha8Rng;
 fn setup(pa: usize, pb: usize, domain: u64, seed: u64) -> (Disk, lec_exec::RelId, lec_exec::RelId) {
     let mut disk = Disk::new();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: pa, key_domain: domain });
-    let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: pb, key_domain: domain });
+    let a = generate(
+        &mut disk,
+        &mut rng,
+        &DataGenSpec {
+            pages: pa,
+            key_domain: domain,
+        },
+    );
+    let b = generate(
+        &mut disk,
+        &mut rng,
+        &DataGenSpec {
+            pages: pb,
+            key_domain: domain,
+        },
+    );
     (disk, a, b)
 }
 

@@ -169,10 +169,7 @@ impl Plan {
         let pad = "  ".repeat(depth);
         match self {
             Plan::Access { rel, method } => {
-                let name = query
-                    .relations()
-                    .get(*rel)
-                    .map_or("?", |r| r.name.as_str());
+                let name = query.relations().get(*rel).map_or("?", |r| r.name.as_str());
                 let _ = writeln!(out, "{pad}{method} {name}");
             }
             Plan::Join {
@@ -213,8 +210,18 @@ mod tests {
                 Relation::new("c", 300.0, 3000.0),
             ],
             vec![
-                JoinPred { left: 0, right: 1, selectivity: 0.01, key: KeyId(0) },
-                JoinPred { left: 1, right: 2, selectivity: 0.02, key: KeyId(1) },
+                JoinPred {
+                    left: 0,
+                    right: 1,
+                    selectivity: 0.01,
+                    key: KeyId(0),
+                },
+                JoinPred {
+                    left: 1,
+                    right: 2,
+                    selectivity: 0.02,
+                    key: KeyId(1),
+                },
             ],
             None,
         )
@@ -223,7 +230,12 @@ mod tests {
 
     fn left_deep() -> Plan {
         Plan::join(
-            Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0))),
+            Plan::join(
+                Plan::scan(0),
+                Plan::scan(1),
+                JoinMethod::SortMerge,
+                Some(KeyId(0)),
+            ),
             Plan::scan(2),
             JoinMethod::GraceHash,
             Some(KeyId(1)),
@@ -250,10 +262,20 @@ mod tests {
     #[test]
     fn order_propagation() {
         // Sort-merge join output carries the join key's order.
-        let sm = Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::SortMerge, Some(KeyId(0)));
+        let sm = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::SortMerge,
+            Some(KeyId(0)),
+        );
         assert_eq!(sm.output_order(), Some(KeyId(0)));
         // Hash join output is unordered; an explicit sort restores order.
-        let gh = Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::GraceHash, Some(KeyId(0)));
+        let gh = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::GraceHash,
+            Some(KeyId(0)),
+        );
         assert_eq!(gh.output_order(), None);
         assert_eq!(Plan::sort(gh, KeyId(0)).output_order(), Some(KeyId(0)));
     }

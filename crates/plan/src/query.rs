@@ -259,11 +259,21 @@ mod tests {
             JoinQuery::new(vec![], vec![], None),
             Err(PlanError::EmptyQuery)
         ));
-        let r = || vec![Relation::new("a", 10.0, 100.0), Relation::new("b", 10.0, 100.0)];
+        let r = || {
+            vec![
+                Relation::new("a", 10.0, 100.0),
+                Relation::new("b", 10.0, 100.0),
+            ]
+        };
         assert!(matches!(
             JoinQuery::new(
                 r(),
-                vec![JoinPred { left: 0, right: 5, selectivity: 0.5, key: KeyId(0) }],
+                vec![JoinPred {
+                    left: 0,
+                    right: 5,
+                    selectivity: 0.5,
+                    key: KeyId(0)
+                }],
                 None
             ),
             Err(PlanError::BadRelationIndex(5))
@@ -271,7 +281,12 @@ mod tests {
         assert!(matches!(
             JoinQuery::new(
                 r(),
-                vec![JoinPred { left: 1, right: 1, selectivity: 0.5, key: KeyId(0) }],
+                vec![JoinPred {
+                    left: 1,
+                    right: 1,
+                    selectivity: 0.5,
+                    key: KeyId(0)
+                }],
                 None
             ),
             Err(PlanError::SelfJoinPredicate(1))
@@ -279,7 +294,12 @@ mod tests {
         assert!(matches!(
             JoinQuery::new(
                 r(),
-                vec![JoinPred { left: 0, right: 1, selectivity: 0.0, key: KeyId(0) }],
+                vec![JoinPred {
+                    left: 0,
+                    right: 1,
+                    selectivity: 0.0,
+                    key: KeyId(0)
+                }],
                 None
             ),
             Err(PlanError::BadSelectivity(_))
@@ -356,17 +376,27 @@ mod tests {
     #[test]
     fn multi_key_join_has_no_single_key() {
         let q = JoinQuery::new(
+            vec![Relation::new("a", 10.0, 1.0), Relation::new("b", 10.0, 1.0)],
             vec![
-                Relation::new("a", 10.0, 1.0),
-                Relation::new("b", 10.0, 1.0),
-            ],
-            vec![
-                JoinPred { left: 0, right: 1, selectivity: 0.5, key: KeyId(0) },
-                JoinPred { left: 0, right: 1, selectivity: 0.5, key: KeyId(1) },
+                JoinPred {
+                    left: 0,
+                    right: 1,
+                    selectivity: 0.5,
+                    key: KeyId(0),
+                },
+                JoinPred {
+                    left: 0,
+                    right: 1,
+                    selectivity: 0.5,
+                    key: KeyId(1),
+                },
             ],
             None,
         )
         .unwrap();
-        assert_eq!(q.join_key_between(RelSet::single(0), RelSet::single(1)), None);
+        assert_eq!(
+            q.join_key_between(RelSet::single(0), RelSet::single(1)),
+            None
+        );
     }
 }

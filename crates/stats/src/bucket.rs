@@ -137,7 +137,11 @@ fn equi_depth(fine: &Distribution, b: usize) -> Result<Distribution, StatsError>
 }
 
 fn by_breakpoints(fine: &Distribution, breakpoints: &[f64]) -> Result<Distribution, StatsError> {
-    let mut bps: Vec<f64> = breakpoints.iter().copied().filter(|v| v.is_finite()).collect();
+    let mut bps: Vec<f64> = breakpoints
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
     bps.sort_by(f64::total_cmp);
     bps.dedup();
     group_contiguous(fine, |_, v| bps.partition_point(|&b| b < v))
@@ -202,7 +206,9 @@ mod tests {
     fn breakpoints_split_where_told() {
         // Memory breakpoints at 633 and 1000 (Example 1.1's buckets).
         let d = Distribution::uniform_over([100.0, 500.0, 700.0, 900.0, 1500.0, 2500.0]).unwrap();
-        let c = Bucketing::Breakpoints(vec![633.0, 1000.0]).apply(&d).unwrap();
+        let c = Bucketing::Breakpoints(vec![633.0, 1000.0])
+            .apply(&d)
+            .unwrap();
         assert_eq!(c.len(), 3);
         // [0,633]: {100,500} mass 1/3 mean 300; (633,1000]: {700,900}; (1000,inf): rest.
         assert!((c.values()[0] - 300.0).abs() < 1e-9);

@@ -46,7 +46,10 @@ impl fmt::Display for StatsError {
             }
             StatsError::EmptyChain => write!(f, "Markov chain has no states"),
             StatsError::StationaryDidNotConverge => {
-                write!(f, "stationary distribution power iteration did not converge")
+                write!(
+                    f,
+                    "stationary distribution power iteration did not converge"
+                )
             }
         }
     }

@@ -118,7 +118,7 @@ mod tests {
     }
 
     #[test]
-    fn values_are_positive(){
+    fn values_are_positive() {
         let d = lognormal_bucketed(1e-6, 3.0, 32).unwrap();
         assert!(d.min() > 0.0);
     }

@@ -33,7 +33,7 @@ pub mod families;
 pub mod markov;
 pub mod utility;
 
-pub use bucket::{Bucketing, rebucket};
+pub use bucket::{rebucket, Bucketing};
 pub use dist::Distribution;
 pub use error::StatsError;
 pub use markov::MarkovChain;

@@ -197,11 +197,7 @@ impl MarkovChain {
         let mut p = vec![1.0 / n as f64; n];
         for _ in 0..100_000 {
             let next = self.step(&p);
-            let delta: f64 = next
-                .iter()
-                .zip(&p)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = next.iter().zip(&p).map(|(a, b)| (a - b).abs()).sum();
             p = next;
             if delta < 1e-12 {
                 return Ok(p);
@@ -316,7 +312,12 @@ mod tests {
         let initial = [1.0, 0.0, 0.0, 0.0];
         let d0 = c.distribution(&c.marginal_after(&initial, 0)).unwrap();
         let d3 = c.distribution(&c.marginal_after(&initial, 3)).unwrap();
-        assert!(d3.mean() > d0.mean() * 2.0, "{} vs {}", d3.mean(), d0.mean());
+        assert!(
+            d3.mean() > d0.mean() * 2.0,
+            "{} vs {}",
+            d3.mean(),
+            d0.mean()
+        );
         assert!(MarkovChain::birth_death(vec![1.0], 0.7, 0.7).is_err());
     }
 
@@ -389,7 +390,11 @@ mod tests {
             let marg = c.marginal_after(&initial, k);
             for j in 0..3 {
                 let freq = phase_counts[j] as f64 / n as f64;
-                assert!((freq - marg[j]).abs() < 0.02, "phase {k} state {j}: {freq} vs {}", marg[j]);
+                assert!(
+                    (freq - marg[j]).abs() < 0.02,
+                    "phase {k} state {j}: {freq} vs {}",
+                    marg[j]
+                );
             }
         }
     }

@@ -113,9 +113,7 @@ pub fn query_from_catalog(
         }
         .estimate(catalog)?
         .clamp(1e-9, 1.0);
-        relations[idx] = relations[idx]
-            .clone()
-            .with_local_selectivity(sel);
+        relations[idx] = relations[idx].clone().with_local_selectivity(sel);
         if f.indexed {
             relations[idx] = relations[idx].clone().with_index();
         }
@@ -134,7 +132,10 @@ pub fn query_from_catalog(
         .estimate(catalog)?;
         // Row-domain selectivity → page-domain: out_pages =
         // rows_l·rows_r·sel / tpp_out with tpp_out ≈ max(tpp_l, tpp_r).
-        let (lt, rt) = (catalog.table(&j.left_table)?, catalog.table(&j.right_table)?);
+        let (lt, rt) = (
+            catalog.table(&j.left_table)?,
+            catalog.table(&j.right_table)?,
+        );
         let tpp_out = lt.tuples_per_page().max(rt.tuples_per_page());
         let sel_pages =
             (sel_rows * lt.tuples_per_page() * rt.tuples_per_page() / tpp_out).clamp(1e-12, 1.0);
@@ -146,11 +147,7 @@ pub fn query_from_catalog(
         });
     }
 
-    Ok(JoinQuery::new(
-        relations,
-        predicates,
-        order_by.map(KeyId),
-    )?)
+    Ok(JoinQuery::new(relations, predicates, order_by.map(KeyId))?)
 }
 
 #[cfg(test)]
@@ -232,7 +229,11 @@ mod tests {
         .unwrap();
         // ~10% of the date span without a histogram → span-based estimate.
         let r = q.relation(0);
-        assert!((r.local_selectivity - 0.0986).abs() < 0.01, "{}", r.local_selectivity);
+        assert!(
+            (r.local_selectivity - 0.0986).abs() < 0.01,
+            "{}",
+            r.local_selectivity
+        );
         assert!(r.has_index);
     }
 

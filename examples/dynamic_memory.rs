@@ -11,8 +11,8 @@
 
 use lecopt::core::{alg_c, evaluate, lsc, MemoryModel};
 use lecopt::cost::PaperCostModel;
-use lecopt::workload::queries::{QueryGen, Topology};
 use lecopt::workload::envs;
+use lecopt::workload::queries::{QueryGen, Topology};
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,9 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let score = |plan| evaluate::expected_cost(&query, &model, plan, &phases);
     println!("\nexpected cost under the true dynamics:");
     println!("  LEC, dynamic-aware (Thm 3.4): {:.0}", lec_dynamic.cost);
-    println!("  LEC, static assumption:       {:.0}", score(&lec_static.plan));
-    println!("  LSC at initial mean:          {:.0}", score(&lsc_plan.plan));
+    println!(
+        "  LEC, static assumption:       {:.0}",
+        score(&lec_static.plan)
+    );
+    println!(
+        "  LSC at initial mean:          {:.0}",
+        score(&lsc_plan.plan)
+    );
 
-    println!("\ndynamic-aware plan:\n{}", lec_dynamic.plan.explain(&query));
+    println!(
+        "\ndynamic-aware plan:\n{}",
+        lec_dynamic.plan.explain(&query)
+    );
     Ok(())
 }

@@ -46,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Relation::new("A", 400.0, 400.0 * 64.0),
             Relation::new("B", 100.0, 100.0 * 64.0),
         ],
-        vec![JoinPred { left: 0, right: 1, selectivity: 3e-4, key: KeyId(0) }],
+        vec![JoinPred {
+            left: 0,
+            right: 1,
+            selectivity: 3e-4,
+            key: KeyId(0),
+        }],
         Some(KeyId(0)),
     )?;
     let smem = Distribution::new([(12.0, 0.2), (25.0, 0.8)])?;
@@ -57,8 +62,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
     let domain = domain_for_selectivity(3e-4);
     let base = vec![
-        generate(&mut disk, &mut rng, &DataGenSpec { pages: 400, key_domain: domain }),
-        generate(&mut disk, &mut rng, &DataGenSpec { pages: 100, key_domain: domain }),
+        generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: 400,
+                key_domain: domain,
+            },
+        ),
+        generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: 100,
+                key_domain: domain,
+            },
+        ),
     ];
 
     let iters = 100;
@@ -66,9 +85,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut io_lec = 0u64;
     for i in 0..iters {
         let mut env = ExecMemoryEnv::draw_once(smem.clone(), i);
-        io_lsc += execute_plan(&s_lsc.plan, &base, &mut disk, &mut env)?.total.total();
+        io_lsc += execute_plan(&s_lsc.plan, &base, &mut disk, &mut env)?
+            .total
+            .total();
         let mut env = ExecMemoryEnv::draw_once(smem.clone(), i);
-        io_lec += execute_plan(&s_lec.plan, &base, &mut disk, &mut env)?.total.total();
+        io_lec += execute_plan(&s_lec.plan, &base, &mut disk, &mut env)?
+            .total
+            .total();
     }
     println!(
         "realized page I/O over {iters} paired runs: LSC plan {:.0}/run, LEC plan {:.0}/run",

@@ -31,14 +31,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Start-up, day 1: the compile-time belief holds.
     let day1 = envs::example_1_1_memory();
     let pick = set.pick(&query, &model, &day1)?;
-    println!("day 1 (compile-time belief): scenario #{}, E[cost] {:.0}", pick.scenario, pick.expected_cost);
+    println!(
+        "day 1 (compile-time belief): scenario #{}, E[cost] {:.0}",
+        pick.scenario, pick.expected_cost
+    );
 
     // Start-up, day 2: monitoring says the system is busy — condition the
     // belief on "memory below 1000 pages" and re-pick.
     let day2 = day1.condition(|m| m < 1000.0)?;
     let pick2 = set.pick(&query, &model, &day2)?;
-    println!("day 2 (observed busy, belief sharpened to <1000 pages): scenario #{}, E[cost] {:.0}",
-        pick2.scenario, pick2.expected_cost);
+    println!(
+        "day 2 (observed busy, belief sharpened to <1000 pages): scenario #{}, E[cost] {:.0}",
+        pick2.scenario, pick2.expected_cost
+    );
 
     // How much did start-up picking give up vs a full re-optimization?
     for (name, observed) in [("day 1", day1), ("day 2", day2)] {

@@ -23,8 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Relation::new("customer", 3_000.0, 1.5e5),
         ],
         vec![
-            JoinPred { left: 0, right: 1, selectivity: 2e-5, key: KeyId(0) },
-            JoinPred { left: 0, right: 2, selectivity: 3e-4, key: KeyId(1) },
+            JoinPred {
+                left: 0,
+                right: 1,
+                selectivity: 2e-5,
+                key: KeyId(0),
+            },
+            JoinPred {
+                left: 0,
+                right: 2,
+                selectivity: 3e-4,
+                key: KeyId(1),
+            },
         ],
         Some(KeyId(1)),
     )?;

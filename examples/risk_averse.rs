@@ -23,9 +23,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Relation::new("dim_c", 2_500.0, 1.25e5),
         ],
         vec![
-            JoinPred { left: 0, right: 1, selectivity: 1e-3, key: KeyId(0) },
-            JoinPred { left: 0, right: 2, selectivity: 5e-5, key: KeyId(1) },
-            JoinPred { left: 0, right: 3, selectivity: 4e-4, key: KeyId(2) },
+            JoinPred {
+                left: 0,
+                right: 1,
+                selectivity: 1e-3,
+                key: KeyId(0),
+            },
+            JoinPred {
+                left: 0,
+                right: 2,
+                selectivity: 5e-5,
+                key: KeyId(1),
+            },
+            JoinPred {
+                left: 0,
+                right: 3,
+                selectivity: 4e-4,
+                key: KeyId(2),
+            },
         ],
         None,
     )?;
@@ -46,9 +61,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let objectives = [
         ("risk-neutral (LEC)", Utility::Linear),
-        ("risk-averse exp(1e-5)", Utility::Exponential { gamma: 1e-5 }),
-        ("risk-averse exp(1e-4)", Utility::Exponential { gamma: 1e-4 }),
-        ("deadline-driven", Utility::Deadline { threshold: deadline }),
+        (
+            "risk-averse exp(1e-5)",
+            Utility::Exponential { gamma: 1e-5 },
+        ),
+        (
+            "risk-averse exp(1e-4)",
+            Utility::Exponential { gamma: 1e-4 },
+        ),
+        (
+            "deadline-driven",
+            Utility::Deadline {
+                threshold: deadline,
+            },
+        ),
     ];
     for (name, u) in objectives {
         let r = pareto::optimize(&query, &model, &memory, u)?;

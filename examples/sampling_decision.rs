@@ -23,8 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Relation::new("sessions", 5_000.0, 2.5e5),
         ],
         vec![
-            JoinPred { left: 0, right: 1, selectivity: 1e-3, key: KeyId(0) },
-            JoinPred { left: 1, right: 2, selectivity: 5e-4, key: KeyId(1) },
+            JoinPred {
+                left: 0,
+                right: 1,
+                selectivity: 1e-3,
+                key: KeyId(0),
+            },
+            JoinPred {
+                left: 1,
+                right: 2,
+                selectivity: 5e-4,
+                key: KeyId(1),
+            },
         ],
         None,
     )?;
@@ -34,10 +44,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sizes = SizeModel::with_uncertainty(&query, 0.0, 1.5, 3)?;
     let report = voi::analyze(&query, &PaperCostModel, &memory, &sizes)?;
 
-    println!("committed to one plan under uncertainty: E[cost] = {:.0}", report.committed_cost);
-    println!("with perfect information before planning: E[cost] = {:.0}", report.informed_cost);
-    println!("EVPI = {:.0} pages ({:.2}% of the committed cost)\n",
-        report.evpi, 100.0 * report.evpi / report.committed_cost);
+    println!(
+        "committed to one plan under uncertainty: E[cost] = {:.0}",
+        report.committed_cost
+    );
+    println!(
+        "with perfect information before planning: E[cost] = {:.0}",
+        report.informed_cost
+    );
+    println!(
+        "EVPI = {:.0} pages ({:.2}% of the committed cost)\n",
+        report.evpi,
+        100.0 * report.evpi / report.committed_cost
+    );
 
     let names = ["|events|", "|users|", "|sessions|", "sel(k0)", "sel(k1)"];
     println!("value of learning each parameter alone:");
@@ -47,8 +66,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The decision: a 1%-sample of `users` costs ~2 pages; of `events` ~20.
     println!();
-    for (what, cost) in [("1% sample of users", 2.0), ("1% sample of events", 20.0), ("full scan of sessions", 5000.0)] {
-        let verdict = if report.sampling_worthwhile(cost) { "worth it" } else { "not worth it" };
+    for (what, cost) in [
+        ("1% sample of users", 2.0),
+        ("1% sample of events", 20.0),
+        ("full scan of sessions", 5000.0),
+    ] {
+        let verdict = if report.sampling_worthwhile(cost) {
+            "worth it"
+        } else {
+            "not worth it"
+        };
         println!("{what} (≈{cost:.0} pages): {verdict}");
     }
     Ok(())

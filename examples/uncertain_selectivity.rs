@@ -25,8 +25,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Relation::new("sessions", 22_000.0, 1.1e6),
         ],
         vec![
-            JoinPred { left: 0, right: 1, selectivity: 2e-4, key: KeyId(0) },
-            JoinPred { left: 0, right: 2, selectivity: 4e-5, key: KeyId(1) },
+            JoinPred {
+                left: 0,
+                right: 1,
+                selectivity: 2e-4,
+                key: KeyId(0),
+            },
+            JoinPred {
+                left: 0,
+                right: 2,
+                selectivity: 4e-5,
+                key: KeyId(1),
+            },
         ],
         None,
     )?;
@@ -55,8 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d = alg_d::optimize_fast(&query, &mem_model, &sizes, AlgDConfig::default())?;
     let c = alg_c::optimize(&query, &model, &mem_model)?;
 
-    println!("\npoint-estimate (Algorithm C) plan:\n{}", c.plan.explain(&query));
-    println!("distribution-aware (Algorithm D) plan:\n{}", d.best.plan.explain(&query));
+    println!(
+        "\npoint-estimate (Algorithm C) plan:\n{}",
+        c.plan.explain(&query)
+    );
+    println!(
+        "distribution-aware (Algorithm D) plan:\n{}",
+        d.best.plan.explain(&query)
+    );
     println!(
         "Algorithm D result-size distribution (pages): {}",
         d.result_size

@@ -15,7 +15,7 @@
 use lec_core::alg_c;
 use lec_core::dp::{DpOptions, Optimized};
 use lec_core::par::{map_indexed, Parallelism};
-use lec_core::{CoreError, MemoryModel};
+use lec_core::{CoreError, MemoryModel, OptStats};
 use lec_cost::CostModel;
 use lec_plan::JoinQuery;
 
@@ -79,6 +79,37 @@ impl<'a, M: CostModel + Sync + ?Sized> BatchOptimizer<'a, M> {
             alg_c::optimize_with_options(&queries[i], self.model, self.memory, self.options)
         })
     }
+
+    /// [`optimize_all`](Self::optimize_all) plus the aggregate
+    /// [`OptStats`] of the whole batch: per-query search counters are
+    /// folded together with [`OptStats::absorb`] in input order, so the
+    /// aggregate is deterministic regardless of the thread count (queries
+    /// that fail contribute nothing). `relations` holds the largest query
+    /// in the batch.
+    pub fn optimize_all_with_stats(
+        &self,
+        queries: &[JoinQuery],
+    ) -> (Vec<Result<Optimized, CoreError>>, OptStats) {
+        let runs = map_indexed(&self.par, queries.len(), |i| {
+            alg_c::optimize_with_options_and_stats(
+                &queries[i],
+                self.model,
+                self.memory,
+                self.options,
+            )
+        });
+        let mut aggregate = OptStats::new("batch", 0);
+        let results = runs
+            .into_iter()
+            .map(|run| {
+                run.map(|(opt, stats)| {
+                    aggregate.absorb(&stats);
+                    opt
+                })
+            })
+            .collect();
+        (results, aggregate)
+    }
 }
 
 #[cfg(test)]
@@ -112,8 +143,8 @@ mod tests {
         let queries: Vec<JoinQuery> = (2..=7).map(|n| chain_query(n, 80.0 + n as f64)).collect();
         let mem = memory();
         let model = PaperCostModel;
-        let batch = BatchOptimizer::new(&model, &mem)
-            .with_parallelism(Parallelism::with_threads(4));
+        let batch =
+            BatchOptimizer::new(&model, &mem).with_parallelism(Parallelism::with_threads(4));
         let results = batch.optimize_all(&queries);
         assert_eq!(results.len(), queries.len());
         for (q, r) in queries.iter().zip(&results) {
@@ -126,7 +157,9 @@ mod tests {
 
     #[test]
     fn serial_and_parallel_batches_agree() {
-        let queries: Vec<JoinQuery> = (0..10).map(|i| chain_query(4, 50.0 + 10.0 * i as f64)).collect();
+        let queries: Vec<JoinQuery> = (0..10)
+            .map(|i| chain_query(4, 50.0 + 10.0 * i as f64))
+            .collect();
         let mem = memory();
         let model = PaperCostModel;
         let serial = BatchOptimizer::new(&model, &mem)
@@ -147,5 +180,40 @@ mod tests {
         let mem = memory();
         let batch = BatchOptimizer::new(&PaperCostModel, &mem);
         assert!(batch.optimize_all(&[]).is_empty());
+        let (results, stats) = batch.optimize_all_with_stats(&[]);
+        assert!(results.is_empty());
+        assert_eq!(stats.counters.masks_expanded, 0);
+    }
+
+    #[test]
+    fn batch_stats_aggregate_deterministically() {
+        let queries: Vec<JoinQuery> = (2..=6).map(|n| chain_query(n, 70.0 + n as f64)).collect();
+        let mem = memory();
+        let model = PaperCostModel;
+        let (serial_res, serial_stats) = BatchOptimizer::new(&model, &mem)
+            .with_parallelism(Parallelism::serial())
+            .optimize_all_with_stats(&queries);
+        let (par_res, par_stats) = BatchOptimizer::new(&model, &mem)
+            .with_parallelism(Parallelism::with_threads(3))
+            .optimize_all_with_stats(&queries);
+        assert_eq!(serial_stats.algorithm, "batch");
+        assert_eq!(serial_stats.relations, 6);
+        assert_eq!(serial_stats.counters, par_stats.counters);
+        assert_eq!(serial_stats.precompute, par_stats.precompute);
+        // The aggregate equals the sum of per-query solo runs, and the
+        // plans match the stat-less path.
+        let mut expected = lec_core::OptStats::new("batch", 0);
+        for (q, r) in queries.iter().zip(&serial_res) {
+            let (solo, stats) = alg_c::optimize_with_stats(q, &model, &mem).unwrap();
+            expected.absorb(&stats);
+            assert_eq!(solo.cost.to_bits(), r.as_ref().unwrap().cost.to_bits());
+        }
+        assert_eq!(expected.counters, serial_stats.counters);
+        for (s, p) in serial_res.iter().zip(&par_res) {
+            assert_eq!(
+                s.as_ref().unwrap().cost.to_bits(),
+                p.as_ref().unwrap().cost.to_bits()
+            );
+        }
     }
 }

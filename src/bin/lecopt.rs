@@ -155,7 +155,14 @@ fn optimize(args: &[String]) -> Result<(), AnyError> {
         return Ok(());
     }
     if let Some(t) = f.get("deadline") {
-        let r = pareto::optimize(&q, &model, &mem, Utility::Deadline { threshold: t.parse()? })?;
+        let r = pareto::optimize(
+            &q,
+            &model,
+            &mem,
+            Utility::Deadline {
+                threshold: t.parse()?,
+            },
+        )?;
         println!("{}", r.best.plan.explain(&q));
         println!("deadline-miss probability: {:.3}", r.best.cost);
         return Ok(());
@@ -206,7 +213,10 @@ fn execute(args: &[String]) -> Result<(), AnyError> {
             generate(
                 &mut disk,
                 &mut rng,
-                &DataGenSpec { pages: r.pages as usize, key_domain: domain },
+                &DataGenSpec {
+                    pages: r.pages as usize,
+                    key_domain: domain,
+                },
             )
         })
         .collect();
@@ -214,9 +224,13 @@ fn execute(args: &[String]) -> Result<(), AnyError> {
     let (mut io_lsc, mut io_lec) = (0u64, 0u64);
     for i in 0..runs {
         let mut env = ExecMemoryEnv::draw_once(mem.clone(), i as u64);
-        io_lsc += execute_plan(&lsc_plan.plan, &base, &mut disk, &mut env)?.total.total();
+        io_lsc += execute_plan(&lsc_plan.plan, &base, &mut disk, &mut env)?
+            .total
+            .total();
         let mut env = ExecMemoryEnv::draw_once(mem.clone(), i as u64);
-        io_lec += execute_plan(&lec.plan, &base, &mut disk, &mut env)?.total.total();
+        io_lec += execute_plan(&lec.plan, &base, &mut disk, &mut env)?
+            .total
+            .total();
     }
     println!("LSC(mode) plan:\n{}", lsc_plan.plan.explain(&q));
     println!("LEC plan:\n{}", lec.plan.explain(&q));
@@ -248,9 +262,12 @@ mod tests {
     #[test]
     fn query_parsing() {
         let f = flags(&strings(&[
-            "--pages", "100,200,300",
-            "--joins", "0:1:1e-3,1:2:5e-4",
-            "--order", "1",
+            "--pages",
+            "100,200,300",
+            "--joins",
+            "0:1:1e-3,1:2:5e-4",
+            "--order",
+            "1",
         ]))
         .unwrap();
         let q = parse_query(&f).unwrap();

@@ -56,8 +56,22 @@ fn analyze_to_execution_pipeline() {
     let mut rng = ChaCha8Rng::seed_from_u64(91);
     let true_sel = 2e-3;
     let domain = domain_for_selectivity(true_sel);
-    let a = generate(&mut disk, &mut rng, &DataGenSpec { pages: 60, key_domain: domain });
-    let b = generate(&mut disk, &mut rng, &DataGenSpec { pages: 25, key_domain: domain });
+    let a = generate(
+        &mut disk,
+        &mut rng,
+        &DataGenSpec {
+            pages: 60,
+            key_domain: domain,
+        },
+    );
+    let b = generate(
+        &mut disk,
+        &mut rng,
+        &DataGenSpec {
+            pages: 25,
+            key_domain: domain,
+        },
+    );
 
     // 2. ANALYZE both into a catalog (statistics gathering is charged I/O).
     let mut catalog = Catalog::new();
@@ -86,7 +100,10 @@ fn analyze_to_execution_pipeline() {
     // domain / distinct(max side) — a classic, documented estimator bias.
     // The estimate must bracket the truth from above, within that factor.
     let est = q.predicates()[0].selectivity;
-    assert!(est >= true_sel * 0.9, "estimate {est} below truth {true_sel}");
+    assert!(
+        est >= true_sel * 0.9,
+        "estimate {est} below truth {true_sel}"
+    );
     assert!(
         est <= true_sel * 15.0,
         "estimate {est} wildly above truth {true_sel}"
@@ -117,7 +134,14 @@ fn analyzed_histogram_estimates_ranges() {
     // The sampled histogram's range estimates track the uniform truth.
     let mut disk = Disk::new();
     let mut rng = ChaCha8Rng::seed_from_u64(92);
-    let rel = generate(&mut disk, &mut rng, &DataGenSpec { pages: 40, key_domain: 1000 });
+    let rel = generate(
+        &mut disk,
+        &mut rng,
+        &DataGenSpec {
+            pages: 40,
+            key_domain: 1000,
+        },
+    );
     let mut pool = BufferPool::with_capacity(8);
     let stats = analyze(&disk, &mut pool, rel, 1024).unwrap();
     let h = Histogram::equi_depth(&stats.key_sample, 16).unwrap();

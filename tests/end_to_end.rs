@@ -13,11 +13,7 @@ use rand_chacha::ChaCha8Rng;
 
 /// A same-key star query (the executor's supported class) with matching
 /// generated data.
-fn star_setup(
-    pages: &[usize],
-    sel: f64,
-    seed: u64,
-) -> (JoinQuery, Disk, Vec<RelId>) {
+fn star_setup(pages: &[usize], sel: f64, seed: u64) -> (JoinQuery, Disk, Vec<RelId>) {
     let relations: Vec<Relation> = pages
         .iter()
         .enumerate()
@@ -38,7 +34,16 @@ fn star_setup(
     let domain = domain_for_selectivity(sel);
     let base: Vec<RelId> = pages
         .iter()
-        .map(|&p| generate(&mut disk, &mut rng, &DataGenSpec { pages: p, key_domain: domain }))
+        .map(|&p| {
+            generate(
+                &mut disk,
+                &mut rng,
+                &DataGenSpec {
+                    pages: p,
+                    key_domain: domain,
+                },
+            )
+        })
         .collect();
     (query, disk, base)
 }
@@ -78,7 +83,12 @@ fn left_deep_plan_matches_oracle_provenance() {
     use lecopt::cost::JoinMethod;
     use lecopt::plan::Plan;
     let plan = Plan::join(
-        Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::GraceHash, Some(KeyId(0))),
+        Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::GraceHash,
+            Some(KeyId(0)),
+        ),
         Plan::scan(2),
         JoinMethod::SortMerge,
         Some(KeyId(0)),

@@ -1,8 +1,8 @@
 //! Integration tests: every theorem and proposition in the paper, checked
 //! through the public facade against brute force.
 
-use lecopt::core::{alg_a, alg_b, alg_c, evaluate, exhaustive, lsc, MemoryModel};
 use lecopt::core::topc::{frontier_bound, frontier_merge, top_c_plans, MergeStrategy};
+use lecopt::core::{alg_a, alg_b, alg_c, evaluate, exhaustive, lsc, MemoryModel};
 use lecopt::cost::PaperCostModel;
 use lecopt::stats::{Distribution, MarkovChain};
 use lecopt::workload::queries::{QueryGen, Topology};

@@ -19,7 +19,12 @@ fn selective_query() -> JoinQuery {
                 .with_index(),
             Relation::new("small", 30.0, 30.0 * 64.0),
         ],
-        vec![JoinPred { left: 0, right: 1, selectivity: 2e-3, key: KeyId(0) }],
+        vec![JoinPred {
+            left: 0,
+            right: 1,
+            selectivity: 2e-3,
+            key: KeyId(0),
+        }],
         None,
     )
     .unwrap()
@@ -50,7 +55,11 @@ fn index_scan_chosen_for_selective_access() {
         }
     }
     scan_methods(&lec.plan, &mut found_index);
-    assert!(found_index, "expected an index scan in:\n{}", lec.plan.explain(&q));
+    assert!(
+        found_index,
+        "expected an index scan in:\n{}",
+        lec.plan.explain(&q)
+    );
 }
 
 /// Executing with selections: realized result size tracks the optimizer's
@@ -62,8 +71,22 @@ fn filtered_execution_matches_size_estimates() {
     let mut rng = ChaCha8Rng::seed_from_u64(71);
     let domain = domain_for_selectivity(2e-3);
     let base: Vec<RelId> = vec![
-        generate(&mut disk, &mut rng, &DataGenSpec { pages: 80, key_domain: domain }),
-        generate(&mut disk, &mut rng, &DataGenSpec { pages: 30, key_domain: domain }),
+        generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: 80,
+                key_domain: domain,
+            },
+        ),
+        generate(
+            &mut disk,
+            &mut rng,
+            &DataGenSpec {
+                pages: 30,
+                key_domain: domain,
+            },
+        ),
     ];
     // Execute a hash-join plan with the local filter on `big`.
     let plan = Plan::join(
@@ -107,7 +130,10 @@ fn misaligned_selections_error() {
     let base = vec![generate(
         &mut disk,
         &mut rng,
-        &DataGenSpec { pages: 4, key_domain: 100 },
+        &DataGenSpec {
+            pages: 4,
+            key_domain: 100,
+        },
     )];
     let plan = Plan::scan(0);
     let mut env = ExecMemoryEnv::Fixed(8);

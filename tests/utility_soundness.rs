@@ -31,7 +31,9 @@ fn pareto_dp_is_exact_for_every_utility() {
             Utility::Linear,
             Utility::Exponential { gamma: 1e-5 },
             Utility::Exponential { gamma: -1e-5 },
-            Utility::Deadline { threshold: deadline },
+            Utility::Deadline {
+                threshold: deadline,
+            },
         ] {
             let p = pareto::optimize(&q, &model, &mem, u).unwrap();
             let t = pareto::exhaustive_utility(&q, &model, &mem, u).unwrap();
@@ -61,7 +63,9 @@ fn scalar_dp_sound_iff_linear() {
         );
         // Deadline: never better, sometimes strictly worse.
         let deadline = t.cost_distribution.quantile(0.6).unwrap();
-        let u = Utility::Deadline { threshold: deadline };
+        let u = Utility::Deadline {
+            threshold: deadline,
+        };
         let su = pareto::scalar_dp(&q, &model, &mem, u).unwrap();
         let tu = pareto::exhaustive_utility(&q, &model, &mem, u).unwrap();
         assert!(su.best.cost >= tu.best.cost - 1e-12, "seed {seed}");
