@@ -23,8 +23,10 @@ xtable:
 	cargo run --release -p lec-bench --bin xtable all
 
 # Full local CI gate: formatting, lints, the whole test suite (unit +
-# integration + doc-tests), and an X19 smoke run that must leave a
-# well-formed results/BENCH_stats.json behind.
+# integration + doc-tests), and X19/X20 smoke runs that must leave
+# well-formed results/BENCH_stats.json and results/BENCH_serve.json behind
+# (X20 additionally self-asserts the control-run closed forms and the
+# drift-recovery bounds).
 ci:
 	cargo fmt --all -- --check
 	cargo clippy --workspace --all-targets -- -D warnings
@@ -33,3 +35,6 @@ ci:
 	cargo run --release -p lec-bench --bin xtable x19 > /dev/null
 	test -s results/BENCH_stats.json
 	grep -q '"experiment": "x19_stats"' results/BENCH_stats.json
+	cargo run --release -p lec-bench --bin xtable x20 > /dev/null
+	test -s results/BENCH_serve.json
+	grep -q '"experiment": "x20_serve"' results/BENCH_serve.json

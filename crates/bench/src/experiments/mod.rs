@@ -19,3 +19,4 @@ pub mod x16_frontier_growth;
 pub mod x17_bushy;
 pub mod x18_parallel;
 pub mod x19_stats;
+pub mod x20_serve;

@@ -35,6 +35,14 @@ impl Catalog {
             .ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
     }
 
+    /// Mutable lookup, for statistics maintenance (execution-feedback
+    /// recalibration updates column histograms in place).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut TableMeta, CatalogError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
+    }
+
     /// Number of registered tables.
     pub fn len(&self) -> usize {
         self.tables.len()
@@ -63,6 +71,15 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.table("a").unwrap().rows, 10);
         assert!(matches!(c.table("zz"), Err(CatalogError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn mutable_lookup_updates_statistics() {
+        let mut c = Catalog::new();
+        c.register(TableMeta::new("a", 10, 1).unwrap()).unwrap();
+        c.table_mut("a").unwrap().rows = 99;
+        assert_eq!(c.table("a").unwrap().rows, 99);
+        assert!(c.table_mut("zz").is_err());
     }
 
     #[test]

@@ -115,6 +115,95 @@ impl Histogram {
         self.fractions[b] / d
     }
 
+    /// Folds observed `(value, count)` feedback into the bucket fractions
+    /// without a full rebuild — the recalibration primitive of the
+    /// `lec-serve` drift loop.
+    ///
+    /// The observed counts are bucketed against the current boundaries and
+    /// blended with the stored fractions: each bucket's new fraction is
+    /// `(1 - blend) · old + blend · observed`. `blend` in `(0, 1]` is the
+    /// trust placed in the feedback (1.0 replaces the histogram's shape
+    /// outright). Values outside the current domain widen the first/last
+    /// boundary so the edge buckets absorb them — after drift pushes the
+    /// true distribution past the believed domain, estimates must stop
+    /// returning zero. Per-bucket distinct counts only grow (feedback can
+    /// reveal values, never un-see them). Boundaries otherwise stay fixed:
+    /// this is deliberately an O(observations + buckets) *merge*, not a
+    /// rebuild.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lec_catalog::Histogram;
+    ///
+    /// let values: Vec<f64> = (0..100).map(f64::from).collect();
+    /// let mut h = Histogram::equi_width(&values, 4)?;
+    /// // Execution reveals the data is actually concentrated low.
+    /// h.merge_observations(&[(10.0, 900), (80.0, 100)], 0.5)?;
+    /// assert!(h.fractions()[0] > h.fractions()[3]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn merge_observations(
+        &mut self,
+        observations: &[(f64, u64)],
+        blend: f64,
+    ) -> Result<(), CatalogError> {
+        if !(blend.is_finite() && blend > 0.0 && blend <= 1.0) {
+            return Err(CatalogError::MalformedHistogram(format!(
+                "blend {blend} outside (0, 1]"
+            )));
+        }
+        if observations.iter().any(|(v, _)| !v.is_finite()) {
+            return Err(CatalogError::MalformedHistogram(
+                "non-finite observed value".into(),
+            ));
+        }
+        let total: u64 = observations.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return Err(CatalogError::MalformedHistogram("no observed rows".into()));
+        }
+
+        // Widen the domain to cover everything observed.
+        for &(v, c) in observations {
+            if c == 0 {
+                continue;
+            }
+            if v < self.boundaries[0] {
+                self.boundaries[0] = v;
+            }
+            let last = self.boundaries.len() - 1;
+            if v > self.boundaries[last] {
+                self.boundaries[last] = v;
+            }
+        }
+
+        let nb = self.buckets();
+        let mut observed = vec![0.0f64; nb];
+        let mut uniques: Vec<std::collections::BTreeSet<u64>> =
+            vec![std::collections::BTreeSet::new(); nb];
+        for &(v, c) in observations {
+            if c == 0 {
+                continue;
+            }
+            let b = bucket_of(&self.boundaries, v);
+            observed[b] += c as f64 / total as f64;
+            uniques[b].insert(v.to_bits());
+        }
+        for i in 0..nb {
+            self.fractions[i] = (1.0 - blend) * self.fractions[i] + blend * observed[i];
+            self.distinct[i] = self.distinct[i].max(uniques[i].len() as u64);
+        }
+        // Blending two unit vectors is a unit vector up to rounding; pin
+        // the invariant exactly so repeated merges cannot drift.
+        let sum: f64 = self.fractions.iter().sum();
+        if sum > 0.0 {
+            for f in &mut self.fractions {
+                *f /= sum;
+            }
+        }
+        Ok(())
+    }
+
     /// Estimated selectivity of `lo <= column <= hi` under the uniform-
     /// within-bucket assumption.
     pub fn selectivity_range(&self, lo: f64, hi: f64) -> f64 {
@@ -221,6 +310,85 @@ mod tests {
         assert!(Histogram::equi_width(&[], 4).is_err());
         assert!(Histogram::equi_width(&[1.0], 0).is_err());
         assert!(Histogram::equi_width(&[f64::NAN], 2).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_estimates() {
+        let h = Histogram::equi_width(&uniform_values(100), 5).unwrap();
+        // Equality outside the domain, including exactly at the ends.
+        assert_eq!(h.selectivity_eq(-0.001), 0.0);
+        assert_eq!(h.selectivity_eq(100.0), 0.0);
+        assert!(h.selectivity_eq(0.0) > 0.0);
+        assert!(h.selectivity_eq(99.0) > 0.0);
+        // Ranges entirely below / above the domain.
+        assert_eq!(h.selectivity_range(-50.0, -1.0), 0.0);
+        assert_eq!(h.selectivity_range(200.0, 300.0), 0.0);
+        // Ranges straddling a domain edge clamp to the covered part.
+        let low = h.selectivity_range(-50.0, 49.5);
+        assert!((low - 0.5).abs() < 0.05, "selectivity {low}");
+        let high = h.selectivity_range(49.5, 1e6);
+        assert!((high - 0.5).abs() < 0.05, "selectivity {high}");
+        // An inverted range is empty even when out of bounds.
+        assert_eq!(h.selectivity_range(300.0, 200.0), 0.0);
+    }
+
+    #[test]
+    fn merge_observations_shifts_mass() {
+        let mut h = Histogram::equi_width(&uniform_values(1000), 4).unwrap();
+        let before = h.selectivity_range(0.0, 250.0);
+        assert!((before - 0.25).abs() < 0.01);
+        // Feedback says ~all rows live in the first quarter.
+        h.merge_observations(&[(100.0, 950), (600.0, 50)], 1.0)
+            .unwrap();
+        let after = h.selectivity_range(0.0, 250.0);
+        assert!((after - 0.95).abs() < 0.01, "selectivity {after}");
+        assert!((h.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_blend_interpolates() {
+        let mut h = Histogram::equi_width(&uniform_values(1000), 4).unwrap();
+        h.merge_observations(&[(100.0, 100)], 0.5).unwrap();
+        // Old fraction 0.25, observed 1.0, blend 0.5 → 0.625.
+        assert!((h.fractions()[0] - 0.625).abs() < 1e-9);
+        assert!((h.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_widens_domain_for_outliers() {
+        let mut h = Histogram::equi_width(&uniform_values(100), 4).unwrap();
+        assert_eq!(h.selectivity_eq(150.0), 0.0);
+        h.merge_observations(&[(150.0, 50), (-10.0, 50)], 0.5)
+            .unwrap();
+        // Edge buckets widened; the outliers are now inside the domain.
+        assert!(h.selectivity_eq(150.0) > 0.0);
+        assert!(h.selectivity_eq(-10.0) > 0.0);
+        assert_eq!(h.boundaries()[0], -10.0);
+        assert_eq!(*h.boundaries().last().unwrap(), 150.0);
+        assert_eq!(h.buckets(), 4);
+    }
+
+    #[test]
+    fn merge_grows_distinct_counts_monotonically() {
+        let vals = vec![1.0, 1.0, 2.0, 2.0];
+        let mut h = Histogram::equi_width(&vals, 1).unwrap();
+        assert_eq!(h.distinct_total(), 2);
+        h.merge_observations(&[(1.0, 1), (1.5, 1), (1.75, 1)], 0.5)
+            .unwrap();
+        assert_eq!(h.distinct_total(), 3);
+        // A merge that reveals fewer distinct values does not shrink.
+        h.merge_observations(&[(1.0, 10)], 0.5).unwrap();
+        assert_eq!(h.distinct_total(), 3);
+    }
+
+    #[test]
+    fn merge_rejects_bad_input() {
+        let mut h = Histogram::equi_width(&uniform_values(10), 2).unwrap();
+        assert!(h.merge_observations(&[(1.0, 1)], 0.0).is_err());
+        assert!(h.merge_observations(&[(1.0, 1)], 1.5).is_err());
+        assert!(h.merge_observations(&[(f64::NAN, 1)], 0.5).is_err());
+        assert!(h.merge_observations(&[(1.0, 0)], 0.5).is_err());
+        assert!(h.merge_observations(&[], 0.5).is_err());
     }
 
     #[test]

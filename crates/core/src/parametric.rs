@@ -15,6 +15,8 @@ use crate::dp::Optimized;
 use crate::env::MemoryModel;
 use crate::error::CoreError;
 use crate::evaluate::expected_cost;
+use crate::par::Parallelism;
+use crate::stats::OptStats;
 use lec_cost::CostModel;
 use lec_plan::{JoinQuery, Plan};
 use lec_stats::Distribution;
@@ -81,6 +83,63 @@ impl ParametricPlans {
             out.push((s.clone(), opt));
         }
         Ok(Self { scenarios: out })
+    }
+
+    /// [`precompute`](Self::precompute), also returning the aggregate
+    /// [`OptStats`] of the per-scenario optimizer runs (absorbed in
+    /// scenario order, so the aggregate is deterministic).
+    pub fn precompute_with_stats<M: CostModel + ?Sized>(
+        query: &JoinQuery,
+        model: &M,
+        scenarios: &[Distribution],
+    ) -> Result<(Self, OptStats), CoreError> {
+        if scenarios.is_empty() {
+            return Err(CoreError::BadParameter("need at least one scenario".into()));
+        }
+        let mut out = Vec::with_capacity(scenarios.len());
+        let mut aggregate = OptStats::new("parametric", query.n());
+        for s in scenarios {
+            let (opt, stats) =
+                alg_c::optimize_with_stats(query, model, &MemoryModel::Static(s.clone()))?;
+            aggregate.absorb(&stats);
+            out.push((s.clone(), opt));
+        }
+        Ok((Self { scenarios: out }, aggregate))
+    }
+
+    /// [`precompute_with_stats`](Self::precompute_with_stats) on the
+    /// rank-parallel DP: per-scenario plans, costs, and counters are
+    /// bit-identical to the serial run — only scheduling changes.
+    pub fn precompute_with_stats_par<M: CostModel + Sync + ?Sized>(
+        query: &JoinQuery,
+        model: &M,
+        scenarios: &[Distribution],
+        par: &Parallelism,
+    ) -> Result<(Self, OptStats), CoreError> {
+        if scenarios.is_empty() {
+            return Err(CoreError::BadParameter("need at least one scenario".into()));
+        }
+        let mut out = Vec::with_capacity(scenarios.len());
+        let mut aggregate = OptStats::new("parametric", query.n());
+        for s in scenarios {
+            let (opt, stats) =
+                alg_c::optimize_with_stats_par(query, model, &MemoryModel::Static(s.clone()), par)?;
+            aggregate.absorb(&stats);
+            out.push((s.clone(), opt));
+        }
+        Ok((Self { scenarios: out }, aggregate))
+    }
+
+    /// Rebuilds a set from already-optimized per-scenario plans (the
+    /// `lec-serve` cache-entry *migration* path: after a recalibration
+    /// judged not worth a re-optimization, stored plans are carried over
+    /// and re-cost at the next [`pick`](Self::pick) — their stored costs
+    /// are allowed to be stale, `pick` never reads them).
+    pub fn from_parts(scenarios: Vec<(Distribution, Optimized)>) -> Result<Self, CoreError> {
+        if scenarios.is_empty() {
+            return Err(CoreError::BadParameter("need at least one scenario".into()));
+        }
+        Ok(Self { scenarios })
     }
 
     /// Number of stored scenarios.
@@ -220,5 +279,50 @@ mod tests {
             ParametricPlans::precompute(&q, &PaperCostModel, &[]),
             Err(CoreError::BadParameter(_))
         ));
+        assert!(matches!(
+            ParametricPlans::precompute_with_stats(&q, &PaperCostModel, &[]),
+            Err(CoreError::BadParameter(_))
+        ));
+        assert!(matches!(
+            ParametricPlans::precompute_with_stats_par(
+                &q,
+                &PaperCostModel,
+                &[],
+                &Parallelism::serial()
+            ),
+            Err(CoreError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn stats_variants_match_plain_precompute() {
+        let q = query();
+        let model = PaperCostModel;
+        let plain = ParametricPlans::precompute(&q, &model, &scenarios()).unwrap();
+        let (with_stats, stats) =
+            ParametricPlans::precompute_with_stats(&q, &model, &scenarios()).unwrap();
+        let (par_set, par_stats) = ParametricPlans::precompute_with_stats_par(
+            &q,
+            &model,
+            &scenarios(),
+            &Parallelism::with_threads(3),
+        )
+        .unwrap();
+        assert_eq!(stats.algorithm, "parametric");
+        // One alg_c run per scenario, absorbed deterministically.
+        assert_eq!(stats.counters, par_stats.counters);
+        assert_eq!(stats.precompute, par_stats.precompute);
+        assert!(stats.counters.candidates_priced > 0);
+        for ((ds, os), ((dw, ow), (dp, op))) in plain
+            .scenarios()
+            .iter()
+            .zip(with_stats.scenarios().iter().zip(par_set.scenarios()))
+        {
+            assert!(ds.approx_eq(dw, 0.0) && ds.approx_eq(dp, 0.0));
+            assert_eq!(os.cost.to_bits(), ow.cost.to_bits());
+            assert_eq!(os.cost.to_bits(), op.cost.to_bits());
+            assert_eq!(os.plan, ow.plan);
+            assert_eq!(os.plan, op.plan);
+        }
     }
 }

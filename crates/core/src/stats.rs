@@ -44,6 +44,43 @@ pub struct SearchCounters {
     pub frontier_per_rank: Vec<usize>,
 }
 
+/// Plan-cache behavior counters, folded into [`OptStats`] by the
+/// `lec-serve` query service.
+///
+/// Deterministic under the same determinism contract as
+/// [`SearchCounters`]: the serving loop processes its request stream
+/// sequentially, so hits/misses/evictions/invalidations depend only on the
+/// stream — never on the optimizer backend's thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Requests answered from a cached parametric entry.
+    pub hits: u64,
+    /// Requests that fell through to the optimizer.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound (LRU order).
+    pub evictions: u64,
+    /// Entries dropped or migrated because drift recalibrated a statistic
+    /// they were optimized under.
+    pub invalidations: u64,
+}
+
+impl CacheCounters {
+    /// Hit fraction over all lookups (zero when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// True when every field is zero (render elides the cache line then).
+    pub fn is_zero(&self) -> bool {
+        *self == CacheCounters::default()
+    }
+}
+
 /// Sizes of the precomputed per-query tables
 /// ([`QueryTables`](crate::precompute::QueryTables), or the enumerator's
 /// equivalent memoization).
@@ -75,6 +112,9 @@ pub struct OptStats {
     pub counters: SearchCounters,
     /// Sizes of the precomputed tables the run consumed.
     pub precompute: PrecomputeSizes,
+    /// Plan-cache behavior, when the record comes from a caching layer
+    /// (all zeros for a bare optimizer run).
+    pub cache: CacheCounters,
     /// Coarse wall-clock nanoseconds per DP rank (rank `k` covers subsets
     /// of cardinality `k + 2`; a single entry for non-lattice enumerators).
     /// Scheduling-dependent: excluded from all determinism comparisons.
@@ -113,6 +153,10 @@ impl OptStats {
         self.precompute.access_entries += other.precompute.access_entries;
         self.precompute.pages_entries += other.precompute.pages_entries;
         self.precompute.adjacency_entries += other.precompute.adjacency_entries;
+        self.cache.hits += other.cache.hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.evictions += other.cache.evictions;
+        self.cache.invalidations += other.cache.invalidations;
         extend_add(&mut self.rank_wall_ns, &other.rank_wall_ns);
     }
 
@@ -140,6 +184,17 @@ impl OptStats {
             self.precompute.pages_entries,
             self.precompute.adjacency_entries
         );
+        if !self.cache.is_zero() {
+            let _ = writeln!(
+                out,
+                "plan cache:        {} hit / {} miss / {} evict / {} invalidate ({:.1}% hit rate)",
+                self.cache.hits,
+                self.cache.misses,
+                self.cache.evictions,
+                self.cache.invalidations,
+                100.0 * self.cache.hit_rate()
+            );
+        }
         if !self.counters.frontier_per_rank.is_empty() {
             let _ = writeln!(
                 out,
@@ -218,6 +273,29 @@ mod tests {
         assert!(text.contains("masks expanded:    26"));
         assert!(text.contains("frontier per rank: [3, 4]"));
         assert!(text.contains("rank(s)"));
+    }
+
+    #[test]
+    fn cache_counters_absorb_and_render() {
+        let mut a = OptStats::new("serve", 3);
+        a.cache = CacheCounters {
+            hits: 7,
+            misses: 3,
+            evictions: 1,
+            invalidations: 2,
+        };
+        let mut b = OptStats::new("serve", 3);
+        b.cache.hits = 3;
+        a.absorb(&b);
+        assert_eq!(a.cache.hits, 10);
+        assert_eq!(a.cache.misses, 3);
+        assert!((a.cache.hit_rate() - 10.0 / 13.0).abs() < 1e-12);
+        let text = a.render();
+        assert!(text.contains("plan cache:        10 hit / 3 miss / 1 evict / 2 invalidate"));
+        // A bare optimizer record says nothing about caching.
+        assert!(CacheCounters::default().is_zero());
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
+        assert!(!OptStats::new("alg_c", 3).render().contains("plan cache"));
     }
 
     #[test]

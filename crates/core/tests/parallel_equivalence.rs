@@ -25,6 +25,7 @@
 //! even on single-core CI.
 
 use lec_core::alg_d::{self, AlgDConfig, SizeModel};
+use lec_core::parametric::ParametricPlans;
 use lec_core::topc::{self, MergeStrategy};
 use lec_core::{alg_c, bushy, exhaustive, MemoryModel, Parallelism};
 use lec_cost::PaperCostModel;
@@ -223,6 +224,47 @@ proptest! {
         prop_assert_eq!(&sstats.counters, &pstats.counters);
         prop_assert_eq!(sstats.precompute, pstats.precompute);
         parallel.plan.validate(&q).unwrap();
+    }
+
+    /// Parametric precompute (the serving layer's cache-miss path): the
+    /// per-scenario plans, their cost bits, the aggregate counters, and
+    /// the start-up pick all match between serial and rank-parallel runs.
+    #[test]
+    fn parametric_precompute_parallel_equivalent(
+        topo in 0usize..3,
+        n in 2usize..=7,
+        seed in 0u64..1_000_000,
+        ordered in proptest::bool::ANY,
+        lo in 8.0f64..120.0,
+        hi in 150.0f64..4000.0,
+        p_lo in 0.05f64..0.95,
+    ) {
+        let q = build_query(topo, n, seed, ordered);
+        let scenarios = vec![
+            Distribution::new([(lo, 0.8), (hi, 0.2)]).unwrap(),
+            Distribution::new([(lo, 0.2), (hi, 0.8)]).unwrap(),
+        ];
+        let (serial, sstats) =
+            ParametricPlans::precompute_with_stats(&q, &PaperCostModel, &scenarios).unwrap();
+        let (parallel, pstats) = ParametricPlans::precompute_with_stats_par(
+            &q,
+            &PaperCostModel,
+            &scenarios,
+            &forced(),
+        )
+        .unwrap();
+        prop_assert_eq!(&sstats.counters, &pstats.counters);
+        prop_assert_eq!(sstats.precompute, pstats.precompute);
+        for ((_, s), (_, p)) in serial.scenarios().iter().zip(parallel.scenarios()) {
+            prop_assert_eq!(s.cost.to_bits(), p.cost.to_bits());
+            prop_assert_eq!(&s.plan, &p.plan);
+        }
+        let observed = Distribution::new([(lo, p_lo), (hi, 1.0 - p_lo)]).unwrap();
+        let s_choice = serial.pick(&q, &PaperCostModel, &observed).unwrap();
+        let p_choice = parallel.pick(&q, &PaperCostModel, &observed).unwrap();
+        prop_assert_eq!(s_choice.scenario, p_choice.scenario);
+        prop_assert_eq!(s_choice.expected_cost.to_bits(), p_choice.expected_cost.to_bits());
+        prop_assert_eq!(&s_choice.plan, &p_choice.plan);
     }
 
     /// Exhaustive left-deep enumeration with parallel scoring: same

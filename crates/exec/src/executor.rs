@@ -9,7 +9,7 @@ use crate::env::ExecMemoryEnv;
 use crate::error::ExecError;
 use crate::ops::{block_nested_loop_join, external_sort, grace_hash_join, sort_merge_join};
 use lec_cost::JoinMethod;
-use lec_plan::Plan;
+use lec_plan::{Plan, RelSet};
 
 /// Per-phase execution record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +29,67 @@ pub struct ExecReport {
     pub total: IoCounters,
     /// Per-phase breakdown, in phase order.
     pub phases: Vec<PhaseReport>,
+}
+
+/// What execution observed about one local selection: true input and
+/// output sizes of the filter applied to base relation `rel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionObs {
+    /// Relation index in the plan's numbering.
+    pub rel: usize,
+    /// Pages scanned.
+    pub in_pages: usize,
+    /// Pages surviving the filter.
+    pub out_pages: usize,
+    /// Rows scanned.
+    pub in_rows: usize,
+    /// Rows surviving the filter.
+    pub out_rows: usize,
+}
+
+impl SelectionObs {
+    /// Observed row-domain selectivity of the filter.
+    pub fn observed_selectivity(&self) -> f64 {
+        self.out_rows as f64 / (self.in_rows as f64).max(1.0)
+    }
+}
+
+/// What execution observed about one join: true input and output sizes,
+/// keyed by the set of base relations the output covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinObs {
+    /// Base relations covered by the join output.
+    pub rels: RelSet,
+    /// Left input size in pages.
+    pub left_pages: usize,
+    /// Right input size in pages.
+    pub right_pages: usize,
+    /// Left input size in rows.
+    pub left_rows: usize,
+    /// Right input size in rows.
+    pub right_rows: usize,
+    /// Output size in pages.
+    pub out_pages: usize,
+    /// Output size in rows.
+    pub out_rows: usize,
+}
+
+impl JoinObs {
+    /// Observed row-domain join selectivity:
+    /// `out_rows / (left_rows · right_rows)`.
+    pub fn observed_selectivity(&self) -> f64 {
+        self.out_rows as f64 / (self.left_rows as f64 * self.right_rows as f64).max(1.0)
+    }
+}
+
+/// Execution feedback: the observed cardinalities the serving layer's
+/// drift detector compares against the optimizer's estimates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecFeedback {
+    /// One record per filtered base-relation access, in visit order.
+    pub selections: Vec<SelectionObs>,
+    /// One record per join phase, in phase (post-) order.
+    pub joins: Vec<JoinObs>,
 }
 
 /// Executes `plan` over the base relations `base` (indexed by the plan's
@@ -79,6 +140,31 @@ pub fn execute_plan_with_selections(
     disk: &mut Disk,
     env: &mut ExecMemoryEnv,
 ) -> Result<ExecReport, ExecError> {
+    execute_plan_with_selections_and_feedback(plan, base, selections, disk, env)
+        .map(|(report, _)| report)
+}
+
+/// [`execute_plan`] that also returns [`ExecFeedback`] — the observed
+/// selection and join cardinalities the `lec-serve` recalibration loop
+/// compares against the optimizer's estimates.
+pub fn execute_plan_with_feedback(
+    plan: &Plan,
+    base: &[RelId],
+    disk: &mut Disk,
+    env: &mut ExecMemoryEnv,
+) -> Result<(ExecReport, ExecFeedback), ExecError> {
+    let selections = vec![1.0; base.len()];
+    execute_plan_with_selections_and_feedback(plan, base, &selections, disk, env)
+}
+
+/// [`execute_plan_with_selections`] plus [`ExecFeedback`] capture.
+pub fn execute_plan_with_selections_and_feedback(
+    plan: &Plan,
+    base: &[RelId],
+    selections: &[f64],
+    disk: &mut Disk,
+    env: &mut ExecMemoryEnv,
+) -> Result<(ExecReport, ExecFeedback), ExecError> {
     if selections.len() != base.len() {
         return Err(ExecError::Unsupported(
             "selections must align with base relations".into(),
@@ -87,16 +173,30 @@ pub fn execute_plan_with_selections(
     env.next_execution();
     let mut pool = BufferPool::with_capacity(8);
     let mut phases = Vec::new();
-    let (output, _) = walk(plan, base, selections, disk, &mut pool, env, &mut phases)?;
-    Ok(ExecReport {
-        output,
-        total: pool.counters(),
-        phases,
-    })
+    let mut feedback = ExecFeedback::default();
+    let (output, _) = walk(
+        plan,
+        base,
+        selections,
+        disk,
+        &mut pool,
+        env,
+        &mut phases,
+        &mut feedback,
+    )?;
+    Ok((
+        ExecReport {
+            output,
+            total: pool.counters(),
+            phases,
+        },
+        feedback,
+    ))
 }
 
 /// Recursive execution; returns the result relation and whether it is
 /// physically sorted by the join key.
+#[allow(clippy::too_many_arguments)]
 fn walk(
     plan: &Plan,
     base: &[RelId],
@@ -105,13 +205,22 @@ fn walk(
     pool: &mut BufferPool,
     env: &mut ExecMemoryEnv,
     phases: &mut Vec<PhaseReport>,
+    feedback: &mut ExecFeedback,
 ) -> Result<(RelId, bool), ExecError> {
     match plan {
         Plan::Access { rel, .. } => {
             let id = *base.get(*rel).ok_or(ExecError::UnknownRelation(*rel))?;
             let sel = selections[*rel];
             if sel < 1.0 {
+                let (in_pages, in_rows) = (disk.pages(id)?, disk.tuples(id)?);
                 let filtered = crate::ops::filtered_scan(disk, pool, id, sel)?;
+                feedback.selections.push(SelectionObs {
+                    rel: *rel,
+                    in_pages,
+                    out_pages: disk.pages(filtered)?,
+                    in_rows,
+                    out_rows: disk.tuples(filtered)?,
+                });
                 Ok((filtered, false))
             } else {
                 Ok((id, false))
@@ -123,8 +232,10 @@ fn walk(
             method,
             ..
         } => {
-            let (l, l_sorted) = walk(left, base, selections, disk, pool, env, phases)?;
-            let (r, r_sorted) = walk(right, base, selections, disk, pool, env, phases)?;
+            let (l, l_sorted) = walk(left, base, selections, disk, pool, env, phases, feedback)?;
+            let (r, r_sorted) = walk(right, base, selections, disk, pool, env, phases, feedback)?;
+            let (left_pages, left_rows) = (disk.pages(l)?, disk.tuples(l)?);
+            let (right_pages, right_rows) = (disk.pages(r)?, disk.tuples(r)?);
             let m = env.grant();
             pool.regrant(m);
             let before = pool.counters();
@@ -140,10 +251,19 @@ fn walk(
                 memory: m,
                 io: pool.counters() - before,
             });
+            feedback.joins.push(JoinObs {
+                rels: plan.rel_set(),
+                left_pages,
+                right_pages,
+                left_rows,
+                right_rows,
+                out_pages: disk.pages(out)?,
+                out_rows: disk.tuples(out)?,
+            });
             Ok((out, sorted))
         }
         Plan::Sort { input, .. } => {
-            let (rel, sorted) = walk(input, base, selections, disk, pool, env, phases)?;
+            let (rel, sorted) = walk(input, base, selections, disk, pool, env, phases, feedback)?;
             let m = env.grant();
             pool.regrant(m);
             let before = pool.counters();
@@ -316,6 +436,81 @@ mod tests {
             );
             last = report.total.total();
         }
+    }
+
+    #[test]
+    fn feedback_reports_join_cardinalities() {
+        let (mut disk, base) = two_table_setup(40);
+        let plan = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::GraceHash,
+            Some(KeyId(0)),
+        );
+        let mut env = ExecMemoryEnv::Fixed(8);
+        let (report, feedback) =
+            execute_plan_with_feedback(&plan, &base, &mut disk, &mut env).unwrap();
+        assert!(feedback.selections.is_empty());
+        assert_eq!(feedback.joins.len(), 1);
+        let j = feedback.joins[0];
+        assert_eq!(j.rels, RelSet::single(0).insert(1));
+        assert_eq!(j.left_pages, disk.pages(base[0]).unwrap());
+        assert_eq!(j.right_pages, disk.pages(base[1]).unwrap());
+        assert_eq!(j.left_rows, disk.tuples(base[0]).unwrap());
+        assert_eq!(j.out_rows, disk.tuples(report.output).unwrap());
+        // The oracle sees the same output cardinality.
+        let expect = oracle_join(&disk, base[0], base[1]).unwrap();
+        assert_eq!(j.out_rows, expect.len());
+        let sel = j.observed_selectivity();
+        assert!(sel > 0.0 && sel < 1.0, "selectivity {sel}");
+    }
+
+    #[test]
+    fn feedback_reports_selection_cardinalities() {
+        let (mut disk, base) = two_table_setup(41);
+        let plan = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::GraceHash,
+            Some(KeyId(0)),
+        );
+        let mut env = ExecMemoryEnv::Fixed(8);
+        let (_, feedback) = crate::executor::execute_plan_with_selections_and_feedback(
+            &plan,
+            &base,
+            &[0.25, 1.0],
+            &mut disk,
+            &mut env,
+        )
+        .unwrap();
+        assert_eq!(feedback.selections.len(), 1);
+        let s = feedback.selections[0];
+        assert_eq!(s.rel, 0);
+        assert_eq!(s.in_pages, disk.pages(base[0]).unwrap());
+        assert!(s.out_rows < s.in_rows);
+        let obs = s.observed_selectivity();
+        // The hash filter realizes the requested selectivity in expectation.
+        assert!((obs - 0.25).abs() < 0.1, "observed {obs}");
+        // The join after the filter sees the filtered input size.
+        assert_eq!(feedback.joins[0].left_rows, s.out_rows);
+    }
+
+    #[test]
+    fn feedback_free_paths_match_feedback_path() {
+        let (mut disk, base) = two_table_setup(42);
+        let plan = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::SortMerge,
+            Some(KeyId(0)),
+        );
+        let mut env = ExecMemoryEnv::Fixed(8);
+        let with = execute_plan_with_feedback(&plan, &base, &mut disk, &mut env)
+            .unwrap()
+            .0;
+        let without = execute_plan(&plan, &base, &mut disk, &mut env).unwrap();
+        assert_eq!(with.total, without.total);
+        assert_eq!(with.phases, without.phases);
     }
 
     #[test]

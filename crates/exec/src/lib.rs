@@ -43,7 +43,10 @@ pub use datagen::DataGenSpec;
 pub use disk::{Disk, RelId};
 pub use env::ExecMemoryEnv;
 pub use error::ExecError;
-pub use executor::{execute_plan, ExecReport};
+pub use executor::{
+    execute_plan, execute_plan_with_feedback, execute_plan_with_selections,
+    execute_plan_with_selections_and_feedback, ExecFeedback, ExecReport, JoinObs, SelectionObs,
+};
 pub use tuple::{Page, Tuple, PAGE_CAPACITY};
 
 /// Convenience result alias for this crate.

@@ -16,11 +16,13 @@
 
 pub mod bitset;
 pub mod error;
+pub mod fingerprint;
 pub mod plan;
 pub mod query;
 
 pub use bitset::RelSet;
 pub use error::PlanError;
+pub use fingerprint::{canonicalize, Canonical, Fingerprint};
 pub use plan::{KeyId, Plan};
 pub use query::{JoinPred, JoinQuery, Relation};
 

@@ -122,6 +122,34 @@ impl Plan {
         }
     }
 
+    /// Rebuilds the plan with every relation index passed through `rel`
+    /// and every [`KeyId`] (join keys and sort keys) through `key`. Used by
+    /// [`crate::fingerprint::Canonical`] to translate plans between a
+    /// query's original numbering and its canonical numbering.
+    pub fn remap(&self, rel: &dyn Fn(usize) -> usize, key: &dyn Fn(KeyId) -> KeyId) -> Plan {
+        match self {
+            Plan::Access { rel: r, method } => Plan::Access {
+                rel: rel(*r),
+                method: *method,
+            },
+            Plan::Join {
+                left,
+                right,
+                method,
+                key: k,
+            } => Plan::Join {
+                left: Box::new(left.remap(rel, key)),
+                right: Box::new(right.remap(rel, key)),
+                method: *method,
+                key: k.map(key),
+            },
+            Plan::Sort { input, key: k } => Plan::Sort {
+                input: Box::new(input.remap(rel, key)),
+                key: key(*k),
+            },
+        }
+    }
+
     /// Checks structural sanity: join children must cover disjoint relation
     /// sets and the plan must cover exactly `query.all()`.
     pub fn validate(&self, query: &JoinQuery) -> Result<(), PlanError> {

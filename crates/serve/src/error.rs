@@ -1,0 +1,70 @@
+//! Error type for the serving layer.
+
+use lec_catalog::CatalogError;
+use lec_core::CoreError;
+use lec_exec::ExecError;
+use lec_workload::from_catalog::BuildError;
+use std::fmt;
+
+/// Errors surfaced by [`crate::QueryService`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// The optimizer failed.
+    Core(CoreError),
+    /// Plan execution failed.
+    Exec(ExecError),
+    /// Catalog lookup or statistics maintenance failed.
+    Catalog(CatalogError),
+    /// Building the optimizer query from the request failed.
+    Build(BuildError),
+    /// The service configuration was invalid.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "optimizer: {e}"),
+            ServeError::Exec(e) => write!(f, "execution: {e}"),
+            ServeError::Catalog(e) => write!(f, "catalog: {e}"),
+            ServeError::Build(e) => write!(f, "query build: {e}"),
+            ServeError::Config(msg) => write!(f, "configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            ServeError::Exec(e) => Some(e),
+            ServeError::Catalog(e) => Some(e),
+            ServeError::Build(e) => Some(e),
+            ServeError::Config(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<ExecError> for ServeError {
+    fn from(e: ExecError) -> Self {
+        ServeError::Exec(e)
+    }
+}
+
+impl From<CatalogError> for ServeError {
+    fn from(e: CatalogError) -> Self {
+        ServeError::Catalog(e)
+    }
+}
+
+impl From<BuildError> for ServeError {
+    fn from(e: BuildError) -> Self {
+        ServeError::Build(e)
+    }
+}

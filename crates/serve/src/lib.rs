@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Query-serving subsystem for the LEC optimizer family.
+//!
+//! The paper optimizes one query at a time under *assumed* distributions;
+//! this crate closes the loop a deployed optimizer actually runs in:
+//!
+//! 1. **Cache** — incoming queries are keyed by a canonical fingerprint
+//!    ([`lec_plan::fingerprint`]), so isomorphic requests (same statistics,
+//!    different relation numbering or predicate order) share one cached
+//!    [`ParametricPlans`](lec_core::parametric::ParametricPlans) entry: one
+//!    precomputed LEC plan per anticipated memory scenario, re-*cost* (not
+//!    re-optimized) under the observed distribution at serve time.
+//! 2. **Execute** — served plans run for real on `lec-exec`'s page-level
+//!    simulator, which reports observed selection and join cardinalities
+//!    alongside the I/O counts.
+//! 3. **Recalibrate** — a [`DriftDetector`] compares observations against
+//!    the belief catalog's estimates; sustained error recalibrates the
+//!    catalog ([`Histogram::merge_observations`]
+//!    (lec_catalog::Histogram::merge_observations)), invalidates the
+//!    affected cache entries, and a value-of-information analysis
+//!    ([`lec_core::voi`]) decides whether they are re-optimized or merely
+//!    migrated and re-cost.
+//!
+//! Everything is deterministic for a given request stream — including the
+//! cache and recalibration counters, which are identical between the
+//! serial and rank-parallel optimizer backends.
+
+pub mod cache;
+pub mod drift;
+pub mod error;
+pub mod service;
+
+pub use cache::PlanCache;
+pub use drift::{DriftConfig, DriftDetector, DriftEvent, DriftTarget};
+pub use error::ServeError;
+pub use service::{
+    QueryRequest, QueryService, Recalibration, RecalibrationDecision, ServeConfig, ServedQuery,
+};

@@ -1,0 +1,846 @@
+//! The query service: fingerprint → cache → optimize → execute →
+//! feedback → recalibrate.
+//!
+//! A [`QueryService`] owns two catalogs. The **belief** catalog is what the
+//! optimizer sees; the **truth** catalog describes the data actually on the
+//! simulated disk. Requests are canonicalized (so isomorphic queries share
+//! one cache entry), served from a sharded [`PlanCache`] of parametric plan
+//! sets when possible, and executed for real through `lec-exec`. Execution
+//! feedback (observed selection and join cardinalities) feeds a
+//! [`DriftDetector`]; when a statistic has drifted, the belief catalog is
+//! recalibrated from the observations, affected cache entries are pulled,
+//! and a value-of-information analysis ([`lec_core::voi`]) decides whether
+//! the pulled entries are re-optimized from scratch on their next request
+//! or migrated (plans carried over, re-cost at pick time).
+//!
+//! ### Determinism contract
+//!
+//! The request stream is processed sequentially, so every counter — cache
+//! hits/misses/evictions/invalidations, optimizer invocations,
+//! recalibrations — is a pure function of the stream and the initial
+//! catalogs. The optimizer backend (serial vs. rank-parallel) is the one
+//! configurable source of concurrency, and the DP is bit-identical either
+//! way; `tests/parallel_equivalence.rs` asserts the end-to-end equality.
+
+use crate::cache::PlanCache;
+use crate::drift::{DriftConfig, DriftDetector, DriftEvent, DriftTarget};
+use crate::error::ServeError;
+use lec_catalog::{Catalog, Histogram, Predicate};
+use lec_core::alg_d::SizeModel;
+use lec_core::parametric::ParametricPlans;
+use lec_core::{voi, MemoryModel, OptStats, Parallelism};
+use lec_cost::CostModel;
+use lec_exec::datagen::{generate, DataGenSpec};
+use lec_exec::{
+    execute_plan_with_selections_and_feedback, Disk, ExecFeedback, ExecMemoryEnv, ExecReport, RelId,
+};
+use lec_plan::Plan;
+use lec_plan::{canonicalize, JoinQuery};
+use lec_stats::Distribution;
+use lec_workload::from_catalog::{query_from_catalog, FilterSpec, JoinSpec};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Configuration for a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Compile-time memory scenarios: one LEC plan is precomputed per
+    /// scenario on every cache miss.
+    pub scenarios: Vec<Distribution>,
+    /// The start-up-time observed memory distribution: stored plans are
+    /// re-cost under it at every serve, and execution draws its actual
+    /// grant from it (draw-once, §3.4).
+    pub observed_memory: Distribution,
+    /// Total plan-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Drift-detection thresholds.
+    pub drift: DriftConfig,
+    /// Cost (in the cost model's units) of a full re-optimization; drift
+    /// triggers one only when the EVPI of the drifted statistic exceeds it.
+    pub reoptimize_cost: f64,
+    /// Base seed for data generation and per-execution memory draws.
+    pub exec_seed: u64,
+    /// Optimizer backend: `None` runs the serial DP, `Some` the
+    /// rank-parallel one (bit-identical results either way).
+    pub parallelism: Option<Parallelism>,
+}
+
+impl ServeConfig {
+    /// A config with the given scenarios and observed memory distribution
+    /// and serviceable defaults everywhere else.
+    pub fn new(scenarios: Vec<Distribution>, observed_memory: Distribution) -> Self {
+        ServeConfig {
+            scenarios,
+            observed_memory,
+            cache_capacity: 64,
+            cache_shards: 4,
+            drift: DriftConfig::default(),
+            reoptimize_cost: 0.0,
+            exec_seed: 0x5EC5,
+            parallelism: None,
+        }
+    }
+}
+
+/// One incoming query, phrased against catalog names (the serving-layer
+/// analogue of SQL): which tables, which equi-joins, which range filters,
+/// and an optional interesting order.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Tables joined, in the request's own numbering.
+    pub tables: Vec<String>,
+    /// Equi-join predicates between the tables.
+    pub joins: Vec<JoinSpec>,
+    /// Local range filters.
+    pub filters: Vec<FilterSpec>,
+    /// Required output order, as an index into `joins`.
+    pub order_by: Option<usize>,
+}
+
+/// A cached parametric entry plus the provenance the service needs to
+/// migrate or invalidate it.
+#[derive(Clone)]
+pub struct CacheEntry {
+    /// A representative request for this equivalence class (used to
+    /// rebuild the query after a recalibration).
+    request: QueryRequest,
+    /// Plans are stored in this canonical numbering.
+    plans: ParametricPlans,
+    /// Canonicalization of the representative request's query.
+    canon: lec_plan::Canonical,
+    /// Tables the entry's estimates depend on (sorted, deduplicated).
+    tables: Vec<String>,
+}
+
+/// What drift did to the service's state during one serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecalibrationDecision {
+    /// EVPI exceeded the re-optimization cost: affected entries were
+    /// dropped, so their next request re-optimizes under the new beliefs.
+    Reoptimize,
+    /// EVPI was below the re-optimization cost: affected entries were
+    /// migrated — stored plans carried over and re-keyed under the new
+    /// beliefs, to be merely re-cost at their next pick.
+    RecostOnly,
+}
+
+/// One recalibration round: the drift event that triggered it and what the
+/// service decided to do about the cache.
+#[derive(Debug, Clone)]
+pub struct Recalibration {
+    /// The fired drift window.
+    pub event: DriftEvent,
+    /// Cache policy chosen by the value-of-information analysis.
+    pub decision: RecalibrationDecision,
+    /// Entries pulled from the cache because they depended on the drifted
+    /// statistic.
+    pub entries_invalidated: usize,
+    /// Of those, how many were migrated back (always zero under
+    /// [`RecalibrationDecision::Reoptimize`]).
+    pub entries_migrated: usize,
+}
+
+/// The result of serving one request.
+#[derive(Debug, Clone)]
+pub struct ServedQuery {
+    /// The plan that ran, in the request's own numbering.
+    pub plan: Plan,
+    /// Its expected cost under the observed memory distribution, computed
+    /// against the *canonical* query (so hits and misses agree bit-for-bit).
+    pub expected_cost: f64,
+    /// Which precomputed scenario's plan won the pick.
+    pub scenario: usize,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Execution report (realized I/O, per-phase memory).
+    pub report: ExecReport,
+    /// Observed cardinalities harvested from the execution.
+    pub feedback: ExecFeedback,
+    /// Recalibrations triggered by this serve's feedback.
+    pub recalibrations: Vec<Recalibration>,
+}
+
+/// Generated base data: one simulated relation per catalog table.
+struct TableStore {
+    disk: Disk,
+    rels: BTreeMap<String, RelId>,
+}
+
+impl TableStore {
+    /// Generates data for every table in `truth`, in name order. The
+    /// simulator joins on the single shared key attribute; its domain is
+    /// taken from each table's *first* column (the store's join-key
+    /// convention).
+    fn generate(truth: &Catalog, seed: u64) -> Self {
+        let mut disk = Disk::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rels = BTreeMap::new();
+        for meta in truth.iter() {
+            let key_domain = meta
+                .columns
+                .first()
+                .map(|c| c.distinct.max(1))
+                .unwrap_or(meta.rows.max(1));
+            let rel = generate(
+                &mut disk,
+                &mut rng,
+                &DataGenSpec {
+                    pages: meta.pages as usize,
+                    key_domain,
+                },
+            );
+            rels.insert(meta.name.clone(), rel);
+        }
+        TableStore { disk, rels }
+    }
+}
+
+/// The serving loop. See the module docs for the data flow.
+pub struct QueryService<M: CostModel + Sync> {
+    model: M,
+    beliefs: Catalog,
+    truth: Catalog,
+    store: TableStore,
+    cache: PlanCache<CacheEntry>,
+    drift: DriftDetector,
+    config: ServeConfig,
+    stats: OptStats,
+    optimizer_invocations: u64,
+    recalibrations: u64,
+    reoptimize_decisions: u64,
+    recost_decisions: u64,
+    queries_served: u64,
+}
+
+impl<M: CostModel + Sync> QueryService<M> {
+    /// Builds a service: generates the simulated data from `truth` and
+    /// starts with an empty cache and quiet drift windows.
+    pub fn new(
+        model: M,
+        beliefs: Catalog,
+        truth: Catalog,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        if config.scenarios.is_empty() {
+            return Err(ServeError::Config(
+                "need at least one compile-time memory scenario".into(),
+            ));
+        }
+        if config.cache_capacity == 0 || config.cache_shards == 0 {
+            return Err(ServeError::Config(
+                "cache capacity and shard count must be positive".into(),
+            ));
+        }
+        if !(config.drift.blend.is_finite()
+            && config.drift.blend > 0.0
+            && config.drift.blend <= 1.0)
+        {
+            return Err(ServeError::Config(format!(
+                "drift blend {} outside (0, 1]",
+                config.drift.blend
+            )));
+        }
+        let store = TableStore::generate(&truth, config.exec_seed);
+        let cache = PlanCache::new(config.cache_shards, config.cache_capacity);
+        let drift = DriftDetector::new(config.drift);
+        Ok(QueryService {
+            model,
+            beliefs,
+            truth,
+            store,
+            cache,
+            drift,
+            config,
+            stats: OptStats::new("serve", 0),
+            optimizer_invocations: 0,
+            recalibrations: 0,
+            reoptimize_decisions: 0,
+            recost_decisions: 0,
+            queries_served: 0,
+        })
+    }
+
+    /// Serves one request end to end: plan (cache or optimizer), execute,
+    /// harvest feedback, recalibrate on drift.
+    pub fn serve(&mut self, request: &QueryRequest) -> Result<ServedQuery, ServeError> {
+        let query = self.build_query(request)?;
+        let canon = canonicalize(&query);
+
+        // Both the hit and the miss path optimize *and* cost against the
+        // canonical query, so a hit's expected cost is bit-identical to the
+        // miss that populated it; only the served plan is remapped into the
+        // request's numbering.
+        let (entry, cache_hit) = match self.cache.get(&canon.fingerprint) {
+            Some(entry) => (entry, true),
+            None => {
+                let (plans, pstats) = match &self.config.parallelism {
+                    Some(par) => ParametricPlans::precompute_with_stats_par(
+                        &canon.query,
+                        &self.model,
+                        &self.config.scenarios,
+                        par,
+                    )?,
+                    None => ParametricPlans::precompute_with_stats(
+                        &canon.query,
+                        &self.model,
+                        &self.config.scenarios,
+                    )?,
+                };
+                self.stats.absorb(&pstats);
+                self.optimizer_invocations += 1;
+                let entry = CacheEntry {
+                    request: request.clone(),
+                    plans,
+                    canon: canon.clone(),
+                    tables: sorted_tables(request),
+                };
+                self.cache.insert(&canon.fingerprint, entry.clone());
+                (entry, false)
+            }
+        };
+
+        let choice = entry
+            .plans
+            .pick(&canon.query, &self.model, &self.config.observed_memory)?;
+        let plan = canon.plan_to_original(&choice.plan);
+
+        let (report, feedback) = self.execute(request, &plan)?;
+        let recalibrations = self.ingest_feedback(request, &query, &feedback)?;
+        self.queries_served += 1;
+
+        Ok(ServedQuery {
+            plan,
+            expected_cost: choice.expected_cost,
+            scenario: choice.scenario,
+            cache_hit,
+            report,
+            feedback,
+            recalibrations,
+        })
+    }
+
+    /// Builds the optimizer query for `request` from the belief catalog.
+    fn build_query(&self, request: &QueryRequest) -> Result<JoinQuery, ServeError> {
+        let tables: Vec<&str> = request.tables.iter().map(String::as_str).collect();
+        Ok(query_from_catalog(
+            &self.beliefs,
+            &tables,
+            &request.joins,
+            &request.filters,
+            request.order_by,
+        )?)
+    }
+
+    /// Executes `plan` over the generated data, realizing the *truth*
+    /// catalog's filter selectivities.
+    fn execute(
+        &mut self,
+        request: &QueryRequest,
+        plan: &Plan,
+    ) -> Result<(ExecReport, ExecFeedback), ServeError> {
+        let mut base = Vec::with_capacity(request.tables.len());
+        for t in &request.tables {
+            base.push(
+                *self.store.rels.get(t).ok_or_else(|| {
+                    ServeError::Config(format!("table `{t}` has no generated data"))
+                })?,
+            );
+        }
+        let mut selections = vec![1.0; request.tables.len()];
+        for f in &request.filters {
+            let idx = request
+                .tables
+                .iter()
+                .position(|t| *t == f.table)
+                .ok_or_else(|| {
+                    ServeError::Config(format!("filter on `{}` not in table list", f.table))
+                })?;
+            let true_sel = Predicate::Range {
+                table: f.table.clone(),
+                column: f.column.clone(),
+                lo: f.lo,
+                hi: f.hi,
+            }
+            .estimate(&self.truth)?
+            .clamp(1e-9, 1.0);
+            selections[idx] *= true_sel;
+        }
+        let mut env = ExecMemoryEnv::draw_once(
+            self.config.observed_memory.clone(),
+            self.config.exec_seed.wrapping_add(self.queries_served),
+        );
+        Ok(execute_plan_with_selections_and_feedback(
+            plan,
+            &base,
+            &selections,
+            &mut self.store.disk,
+            &mut env,
+        )?)
+    }
+
+    /// Feeds execution observations to the drift detector and handles any
+    /// events it fires. `query` is the belief-side query the request was
+    /// planned under (its estimates are what the observations refute).
+    fn ingest_feedback(
+        &mut self,
+        request: &QueryRequest,
+        query: &JoinQuery,
+        feedback: &ExecFeedback,
+    ) -> Result<Vec<Recalibration>, ServeError> {
+        let mut events = Vec::new();
+
+        for obs in &feedback.selections {
+            let table = &request.tables[obs.rel];
+            // Attribute the relation's observed shrinkage to its first
+            // filter (a relation with several filters gets one composite
+            // window; the recalibration re-spreads mass over all of them).
+            let Some(filter) = request.filters.iter().find(|f| f.table == *table) else {
+                continue;
+            };
+            let target = DriftTarget::Selection {
+                table: table.clone(),
+                column: filter.column.clone(),
+            };
+            let estimated = query.relation(obs.rel).local_selectivity;
+            if let Some(e) = self
+                .drift
+                .observe(target, estimated, obs.observed_selectivity())
+            {
+                events.push(e);
+            }
+        }
+
+        for obs in &feedback.joins {
+            // Only leaf joins (output covering exactly two base relations)
+            // isolate a single predicate's selectivity.
+            if obs.rels.len() != 2 {
+                continue;
+            }
+            let members: Vec<usize> = obs.rels.iter().collect();
+            let Some(spec) = request.joins.iter().find(|j| {
+                let l = request.tables.iter().position(|t| *t == j.left_table);
+                let r = request.tables.iter().position(|t| *t == j.right_table);
+                matches!((l, r), (Some(l), Some(r))
+                    if (l == members[0] && r == members[1]) || (l == members[1] && r == members[0]))
+            }) else {
+                continue;
+            };
+            let estimated = Predicate::EquiJoin {
+                left_table: spec.left_table.clone(),
+                left_column: spec.left_column.clone(),
+                right_table: spec.right_table.clone(),
+                right_column: spec.right_column.clone(),
+            }
+            .estimate(&self.beliefs)?;
+            let target = DriftTarget::Join {
+                left_table: spec.left_table.clone(),
+                left_column: spec.left_column.clone(),
+                right_table: spec.right_table.clone(),
+                right_column: spec.right_column.clone(),
+            };
+            if let Some(e) = self
+                .drift
+                .observe(target, estimated, obs.observed_selectivity())
+            {
+                events.push(e);
+            }
+        }
+
+        let mut rounds = Vec::with_capacity(events.len());
+        for event in events {
+            rounds.push(self.recalibrate(request, event)?);
+        }
+        Ok(rounds)
+    }
+
+    /// Recalibrates the belief catalog from one drift event, pulls the
+    /// affected cache entries, and decides (via EVPI) whether they are
+    /// dropped for re-optimization or migrated for re-costing.
+    fn recalibrate(
+        &mut self,
+        request: &QueryRequest,
+        event: DriftEvent,
+    ) -> Result<Recalibration, ServeError> {
+        match &event.target {
+            DriftTarget::Selection { table, column } => {
+                let filter = request
+                    .filters
+                    .iter()
+                    .find(|f| f.table == *table && f.column == *column)
+                    .ok_or_else(|| {
+                        ServeError::Config(format!(
+                            "drift on `{table}.{column}` without a matching filter"
+                        ))
+                    })?;
+                self.recalibrate_selection(filter, event.mean_observed)?;
+            }
+            DriftTarget::Join {
+                left_table,
+                left_column,
+                right_table,
+                right_column,
+            } => {
+                self.recalibrate_join(
+                    left_table,
+                    left_column,
+                    right_table,
+                    right_column,
+                    event.mean_observed,
+                )?;
+            }
+        }
+        self.recalibrations += 1;
+
+        // Every cached entry optimized under the stale statistic is pulled.
+        let affected: Vec<&str> = event.target.tables();
+        let mut removed = self
+            .cache
+            .invalidate_collect(|e| e.tables.iter().any(|t| affected.contains(&t.as_str())));
+        // invalidate_collect's order follows shard/map layout; sort by the
+        // entries' canonical encodings so migration re-inserts (and thus
+        // future LRU ticks) are deterministic.
+        removed.sort_by(|a, b| {
+            a.canon
+                .fingerprint
+                .encoding()
+                .cmp(b.canon.fingerprint.encoding())
+        });
+        let entries_invalidated = removed.len();
+
+        let decision = self.decide(request, &event)?;
+        let mut entries_migrated = 0;
+        match decision {
+            RecalibrationDecision::Reoptimize => {
+                self.reoptimize_decisions += 1;
+            }
+            RecalibrationDecision::RecostOnly => {
+                self.recost_decisions += 1;
+                for entry in removed {
+                    entries_migrated += self.migrate(entry)? as usize;
+                }
+            }
+        }
+
+        Ok(Recalibration {
+            event,
+            decision,
+            entries_invalidated,
+            entries_migrated,
+        })
+    }
+
+    /// Folds an observed filter selectivity into the belief column's
+    /// histogram (installing a uniform one first if the column had none).
+    fn recalibrate_selection(
+        &mut self,
+        filter: &FilterSpec,
+        observed_sel: f64,
+    ) -> Result<(), ServeError> {
+        let blend = self.config.drift.blend;
+        let meta = self.beliefs.table_mut(&filter.table)?;
+        let col = meta
+            .columns
+            .iter_mut()
+            .find(|c| c.name == filter.column)
+            .ok_or_else(|| {
+                ServeError::Config(format!(
+                    "filtered column `{}.{}` missing from beliefs",
+                    filter.table, filter.column
+                ))
+            })?;
+        if col.histogram.is_none() {
+            // Seed a uniform prior over the column's span so there is
+            // something to blend the observations into.
+            let span: Vec<f64> = (0..=16)
+                .map(|i| col.min + (col.max - col.min) * i as f64 / 16.0)
+                .collect();
+            col.histogram = Some(Histogram::equi_width(&span, 8)?);
+        }
+        let h = col.histogram.as_mut().expect("just installed");
+
+        // Synthesize a sample realizing the observed in-range fraction:
+        // spread the in-range mass over points inside [lo, hi] and the
+        // remainder over the rest of the histogram's domain, both evenly.
+        const SAMPLE: u64 = 10_000;
+        const POINTS: u64 = 8;
+        let in_total = ((observed_sel.clamp(0.0, 1.0) * SAMPLE as f64).round() as u64).min(SAMPLE);
+        let out_total = SAMPLE - in_total;
+        let mut obs: Vec<(f64, u64)> = Vec::new();
+        spread(&mut obs, filter.lo, filter.hi, in_total, POINTS);
+        let (dom_lo, dom_hi) = (
+            h.boundaries()[0].min(filter.lo),
+            h.boundaries()[h.boundaries().len() - 1].max(filter.hi),
+        );
+        let left_w = (filter.lo - dom_lo).max(0.0);
+        let right_w = (dom_hi - filter.hi).max(0.0);
+        let total_w = left_w + right_w;
+        if out_total > 0 && total_w > 0.0 {
+            let left_share = ((out_total as f64) * left_w / total_w).round() as u64;
+            spread(
+                &mut obs,
+                dom_lo,
+                filter.lo,
+                left_share.min(out_total),
+                POINTS,
+            );
+            spread(
+                &mut obs,
+                filter.hi,
+                dom_hi,
+                out_total - left_share.min(out_total),
+                POINTS,
+            );
+        }
+        if obs.iter().map(|&(_, c)| c).sum::<u64>() > 0 {
+            h.merge_observations(&obs, blend)?;
+        }
+        Ok(())
+    }
+
+    /// Nudges the binding distinct count of an equi-join toward the value
+    /// implied by the observed row selectivity (System R containment:
+    /// `sel = 1 / max(d_left, d_right)`).
+    fn recalibrate_join(
+        &mut self,
+        left_table: &str,
+        left_column: &str,
+        right_table: &str,
+        right_column: &str,
+        observed_sel: f64,
+    ) -> Result<(), ServeError> {
+        let blend = self.config.drift.blend;
+        let implied = (1.0 / observed_sel.max(1e-12)).round().max(1.0);
+        let d_left = self
+            .beliefs
+            .table(left_table)?
+            .column(left_column)?
+            .distinct;
+        let d_right = self
+            .beliefs
+            .table(right_table)?
+            .column(right_column)?
+            .distinct;
+        // The containment estimate only reads the larger side; blend it
+        // toward the implied value.
+        let (table, column, old) = if d_left >= d_right {
+            (left_table, left_column, d_left)
+        } else {
+            (right_table, right_column, d_right)
+        };
+        let new = ((1.0 - blend) * old as f64 + blend * implied)
+            .round()
+            .max(1.0) as u64;
+        let meta = self.beliefs.table_mut(table)?;
+        let col = meta
+            .columns
+            .iter_mut()
+            .find(|c| c.name == column)
+            .ok_or_else(|| {
+                ServeError::Config(format!(
+                    "join column `{table}.{column}` missing from beliefs"
+                ))
+            })?;
+        col.distinct = new;
+        Ok(())
+    }
+
+    /// EVPI-based cache policy: is re-planning under the (now sharper)
+    /// statistic worth a full optimizer run?
+    fn decide(
+        &self,
+        request: &QueryRequest,
+        event: &DriftEvent,
+    ) -> Result<RecalibrationDecision, ServeError> {
+        // The exact joint analysis is exponential; beyond 4 relations the
+        // conservative answer is to re-optimize.
+        let query = self.build_query(request)?;
+        if query.n() > 4 {
+            return Ok(RecalibrationDecision::Reoptimize);
+        }
+        let mut sizes = SizeModel::certain(&query)?;
+        let two_point = |est: f64, obs: f64| -> Option<Distribution> {
+            let (a, b) = (est.max(1e-12), obs.max(1e-12));
+            if (a - b).abs() <= 1e-9 * a.max(b) {
+                return None;
+            }
+            Distribution::new([(a, 0.5), (b, 0.5)]).ok()
+        };
+        let uncertain = match &event.target {
+            DriftTarget::Selection { table, .. } => {
+                let Some(idx) = request.tables.iter().position(|t| t == table) else {
+                    return Ok(RecalibrationDecision::Reoptimize);
+                };
+                let pages = query.relation(idx).pages;
+                match two_point(pages * event.mean_estimated, pages * event.mean_observed) {
+                    Some(d) => {
+                        sizes.rel_sizes[idx] = d;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            DriftTarget::Join {
+                left_table,
+                right_table,
+                ..
+            } => {
+                let Some(k) = request
+                    .joins
+                    .iter()
+                    .position(|j| j.left_table == *left_table && j.right_table == *right_table)
+                else {
+                    return Ok(RecalibrationDecision::Reoptimize);
+                };
+                // Convert the row-domain means to the page domain the
+                // query's predicate selectivities live in.
+                let (lt, rt) = (
+                    self.beliefs.table(left_table)?,
+                    self.beliefs.table(right_table)?,
+                );
+                let tpp_out = lt.tuples_per_page().max(rt.tuples_per_page());
+                let to_pages = |s: f64| {
+                    (s * lt.tuples_per_page() * rt.tuples_per_page() / tpp_out).clamp(1e-12, 1.0)
+                };
+                match two_point(
+                    to_pages(event.mean_estimated),
+                    to_pages(event.mean_observed),
+                ) {
+                    Some(d) => {
+                        sizes.selectivities[k] = d;
+                        true
+                    }
+                    None => false,
+                }
+            }
+        };
+        if !uncertain {
+            // The statistic barely moved: nothing an optimizer run could
+            // exploit.
+            return Ok(RecalibrationDecision::RecostOnly);
+        }
+        let memory = MemoryModel::Static(self.config.observed_memory.clone());
+        let report = voi::analyze(&query, &self.model, &memory, &sizes)?;
+        if report.sampling_worthwhile(self.config.reoptimize_cost) {
+            Ok(RecalibrationDecision::Reoptimize)
+        } else {
+            Ok(RecalibrationDecision::RecostOnly)
+        }
+    }
+
+    /// Migrates one pulled entry under the updated beliefs: rebuilds its
+    /// query, re-canonicalizes, carries the stored plans across the two
+    /// numberings, and re-inserts. Returns `false` when the entry's plans
+    /// no longer validate against the rebuilt query (it is then dropped and
+    /// will be re-optimized on its next request).
+    fn migrate(&mut self, entry: CacheEntry) -> Result<bool, ServeError> {
+        let query = self.build_query(&entry.request)?;
+        let canon = canonicalize(&query);
+        let mut scenarios = Vec::with_capacity(entry.plans.scenarios().len());
+        for (dist, opt) in entry.plans.scenarios() {
+            // Old canonical → the entry's request numbering → new canonical.
+            let in_request = entry.canon.plan_to_original(&opt.plan);
+            let plan = canon.plan_to_canonical(&in_request);
+            if plan.validate(&canon.query).is_err() {
+                return Ok(false);
+            }
+            scenarios.push((
+                dist.clone(),
+                lec_core::Optimized {
+                    plan,
+                    // Stale by design: `pick` re-costs, never reads this.
+                    cost: opt.cost,
+                },
+            ));
+        }
+        let plans = ParametricPlans::from_parts(scenarios)?;
+        let migrated = CacheEntry {
+            request: entry.request,
+            plans,
+            canon: canon.clone(),
+            tables: entry.tables,
+        };
+        self.cache.insert(&canon.fingerprint, migrated);
+        Ok(true)
+    }
+
+    /// Aggregate optimizer statistics with the live cache counters folded
+    /// in.
+    pub fn stats(&self) -> OptStats {
+        let mut s = self.stats.clone();
+        s.cache = self.cache.counters();
+        s
+    }
+
+    /// The belief catalog (what the optimizer currently assumes).
+    pub fn beliefs(&self) -> &Catalog {
+        &self.beliefs
+    }
+
+    /// The truth catalog (what the simulated data realizes).
+    pub fn truth(&self) -> &Catalog {
+        &self.truth
+    }
+
+    /// Mutable truth catalog — experiments inject drift here. The
+    /// generated data is *not* regenerated; only filter selectivities
+    /// realized at execution time change.
+    pub fn truth_mut(&mut self) -> &mut Catalog {
+        &mut self.truth
+    }
+
+    /// Number of full optimizer invocations (cache misses) so far.
+    pub fn optimizer_invocations(&self) -> u64 {
+        self.optimizer_invocations
+    }
+
+    /// Number of recalibration rounds performed so far.
+    pub fn recalibrations(&self) -> u64 {
+        self.recalibrations
+    }
+
+    /// `(reoptimize, recost-only)` decision counts so far.
+    pub fn decisions(&self) -> (u64, u64) {
+        (self.reoptimize_decisions, self.recost_decisions)
+    }
+
+    /// Requests served so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// Live cache size in entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// The request's tables, sorted and deduplicated (invalidation keys).
+fn sorted_tables(request: &QueryRequest) -> Vec<String> {
+    let mut tables = request.tables.clone();
+    tables.sort();
+    tables.dedup();
+    tables
+}
+
+/// Appends `points` evenly spaced observation sites across `[lo, hi]`
+/// carrying `count` rows in total (remainder goes to the first site).
+fn spread(obs: &mut Vec<(f64, u64)>, lo: f64, hi: f64, count: u64, points: u64) {
+    if count == 0 || hi < lo {
+        return;
+    }
+    let points = points.max(1);
+    let per = count / points;
+    let mut rem = count % points;
+    for i in 0..points {
+        let frac = (i as f64 + 0.5) / points as f64;
+        let v = lo + (hi - lo) * frac;
+        let c = per + if rem > 0 { 1 } else { 0 };
+        rem = rem.saturating_sub(1);
+        if c > 0 {
+            obs.push((v, c));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The serving loop's determinism contract across optimizer backends: the
+//! same request stream — including drift injection and recalibration —
+//! produces bit-identical served plans, expected costs, cache counters,
+//! recalibration schedules, and final belief catalogs whether cache misses
+//! run the serial DP or the rank-parallel one.
+
+use lec_catalog::{Catalog, ColumnMeta, Histogram, TableMeta};
+use lec_core::Parallelism;
+use lec_cost::PaperCostModel;
+use lec_exec::PAGE_CAPACITY;
+use lec_serve::{DriftConfig, QueryRequest, QueryService, ServeConfig};
+use lec_stats::Distribution;
+use lec_workload::from_catalog::{FilterSpec, JoinSpec};
+
+/// Parallelism that takes the threaded path even on tiny queries.
+fn forced() -> Parallelism {
+    Parallelism {
+        threads: 3,
+        sequential_cutoff: 2,
+    }
+}
+
+fn catalog(hot: bool) -> Catalog {
+    let mut c = Catalog::new();
+    let values: Vec<f64> = (0..800)
+        .map(|i| {
+            if hot {
+                // 80% of the mass below 20, the rest spread over [20, 100].
+                if i < 640 {
+                    (i as f64) * 20.0 / 640.0
+                } else {
+                    20.0 + ((i - 640) as f64) * 80.0 / 160.0
+                }
+            } else {
+                i as f64 * 100.0 / 800.0
+            }
+        })
+        .collect();
+    c.register(
+        TableMeta::new("cust", 10 * PAGE_CAPACITY as u64, 10)
+            .unwrap()
+            .with_column(ColumnMeta::new("ck", 512, 0.0, 511.0))
+            .with_column(
+                ColumnMeta::new("v", 800, 0.0, 100.0)
+                    .with_histogram(Histogram::equi_width(&values, 8).unwrap()),
+            ),
+    )
+    .unwrap();
+    c.register(
+        TableMeta::new("ord", 20 * PAGE_CAPACITY as u64, 20)
+            .unwrap()
+            .with_column(ColumnMeta::new("ok", 512, 0.0, 511.0)),
+    )
+    .unwrap();
+    c.register(
+        TableMeta::new("item", 14 * PAGE_CAPACITY as u64, 14)
+            .unwrap()
+            .with_column(ColumnMeta::new("ik", 512, 0.0, 511.0)),
+    )
+    .unwrap();
+    c
+}
+
+fn config(parallelism: Option<Parallelism>) -> ServeConfig {
+    let mut cfg = ServeConfig::new(
+        vec![
+            Distribution::new([(4.0, 0.6), (40.0, 0.4)]).unwrap(),
+            Distribution::new([(16.0, 0.5), (80.0, 0.5)]).unwrap(),
+        ],
+        Distribution::new([(8.0, 0.5), (48.0, 0.5)]).unwrap(),
+    );
+    cfg.drift = DriftConfig {
+        error_threshold: 0.5,
+        min_observations: 3,
+        blend: 0.8,
+    };
+    cfg.parallelism = parallelism;
+    cfg
+}
+
+fn join(l: &str, lc: &str, r: &str, rc: &str) -> JoinSpec {
+    JoinSpec {
+        left_table: l.into(),
+        left_column: lc.into(),
+        right_table: r.into(),
+        right_column: rc.into(),
+    }
+}
+
+/// A mixed stream: repeated templates (cache hits), an isomorphic
+/// renumbering, a filtered template that drifts once the truth shifts, and
+/// a three-table star.
+fn stream() -> Vec<QueryRequest> {
+    let filtered = QueryRequest {
+        tables: vec!["cust".into(), "ord".into()],
+        joins: vec![join("cust", "ck", "ord", "ok")],
+        filters: vec![FilterSpec {
+            table: "cust".into(),
+            column: "v".into(),
+            lo: 0.0,
+            hi: 20.0,
+            indexed: false,
+        }],
+        order_by: None,
+    };
+    let swapped = QueryRequest {
+        tables: vec!["ord".into(), "cust".into()],
+        joins: filtered.joins.clone(),
+        filters: filtered.filters.clone(),
+        order_by: None,
+    };
+    let star = QueryRequest {
+        tables: vec!["cust".into(), "ord".into(), "item".into()],
+        joins: vec![
+            join("cust", "ck", "ord", "ok"),
+            join("cust", "ck", "item", "ik"),
+        ],
+        filters: vec![],
+        order_by: None,
+    };
+    let mut out = vec![filtered.clone(), star.clone(), swapped];
+    for _ in 0..5 {
+        out.push(filtered.clone());
+    }
+    out.push(star);
+    out.push(filtered);
+    out
+}
+
+#[test]
+fn serial_and_parallel_backends_serve_identically() {
+    let beliefs = catalog(false);
+    let truth = catalog(false);
+    let mut serial =
+        QueryService::new(PaperCostModel, beliefs.clone(), truth.clone(), config(None)).unwrap();
+    let mut parallel =
+        QueryService::new(PaperCostModel, beliefs, truth, config(Some(forced()))).unwrap();
+
+    for (i, req) in stream().iter().enumerate() {
+        // Inject drift mid-stream into both truths identically: the `v`
+        // histogram shifts hot, so the filter template starts passing ~4x
+        // the believed rows.
+        if i == 4 {
+            for svc in [&mut serial, &mut parallel] {
+                let hot = catalog(true);
+                *svc.truth_mut() = hot;
+            }
+        }
+        let a = serial.serve(req).unwrap();
+        let b = parallel.serve(req).unwrap();
+        assert_eq!(a.plan, b.plan, "request {i}");
+        assert_eq!(
+            a.expected_cost.to_bits(),
+            b.expected_cost.to_bits(),
+            "request {i}"
+        );
+        assert_eq!(a.scenario, b.scenario, "request {i}");
+        assert_eq!(a.cache_hit, b.cache_hit, "request {i}");
+        assert_eq!(a.feedback, b.feedback, "request {i}");
+        assert_eq!(
+            a.recalibrations.len(),
+            b.recalibrations.len(),
+            "request {i}"
+        );
+        for (ra, rb) in a.recalibrations.iter().zip(&b.recalibrations) {
+            assert_eq!(ra.event.target, rb.event.target);
+            assert_eq!(ra.decision, rb.decision);
+            assert_eq!(ra.entries_invalidated, rb.entries_invalidated);
+            assert_eq!(ra.entries_migrated, rb.entries_migrated);
+        }
+    }
+
+    // End-state equality: counters, catalogs, decisions.
+    let (sa, sb) = (serial.stats(), parallel.stats());
+    assert_eq!(sa.cache, sb.cache);
+    assert_eq!(sa.counters, sb.counters);
+    assert_eq!(sa.precompute, sb.precompute);
+    assert_eq!(
+        serial.optimizer_invocations(),
+        parallel.optimizer_invocations()
+    );
+    assert_eq!(serial.recalibrations(), parallel.recalibrations());
+    assert_eq!(serial.decisions(), parallel.decisions());
+    assert_eq!(serial.queries_served(), parallel.queries_served());
+    assert_eq!(serial.cache_len(), parallel.cache_len());
+    assert_eq!(serial.beliefs(), parallel.beliefs());
+
+    // And the stream did exercise the interesting paths.
+    assert!(sa.cache.hits >= 4, "hits: {}", sa.cache.hits);
+    assert!(
+        serial.recalibrations() >= 1,
+        "the injected drift must recalibrate"
+    );
+    assert!(sa.cache.invalidations >= 1);
+}

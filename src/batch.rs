@@ -17,7 +17,9 @@ use lec_core::dp::{DpOptions, Optimized};
 use lec_core::par::{map_indexed, Parallelism};
 use lec_core::{CoreError, MemoryModel, OptStats};
 use lec_cost::CostModel;
+use lec_plan::fingerprint::canonicalize;
 use lec_plan::JoinQuery;
+use std::collections::HashMap;
 
 /// Optimizes slices of queries across a thread pool.
 ///
@@ -110,6 +112,69 @@ impl<'a, M: CostModel + Sync + ?Sized> BatchOptimizer<'a, M> {
             .collect();
         (results, aggregate)
     }
+
+    /// [`optimize_all_with_stats`](Self::optimize_all_with_stats) with
+    /// isomorphism deduplication: queries are grouped by canonical
+    /// fingerprint ([`lec_plan::fingerprint`]), the optimizer runs once per
+    /// equivalence class (on the *canonical* form), and each member's plan
+    /// is recovered by renumbering the class plan back into that member's
+    /// own relation/key numbering. Members of one class therefore share a
+    /// bit-identical expected cost. Returns `(results, stats, classes)`
+    /// where `classes` is the number of distinct optimizer runs; the stats
+    /// aggregate covers only those runs — the whole point is that it grows
+    /// with the class count, not the batch size.
+    pub fn optimize_all_deduped(
+        &self,
+        queries: &[JoinQuery],
+    ) -> (Vec<Result<Optimized, CoreError>>, OptStats, usize) {
+        let canons: Vec<_> = queries.iter().map(canonicalize).collect();
+        let mut class_of = Vec::with_capacity(queries.len());
+        let mut reps: Vec<usize> = Vec::new();
+        let mut index: HashMap<&[u8], usize> = HashMap::new();
+        for (i, c) in canons.iter().enumerate() {
+            let class = *index.entry(c.fingerprint.encoding()).or_insert_with(|| {
+                reps.push(i);
+                reps.len() - 1
+            });
+            class_of.push(class);
+        }
+
+        let runs = map_indexed(&self.par, reps.len(), |k| {
+            alg_c::optimize_with_options_and_stats(
+                &canons[reps[k]].query,
+                self.model,
+                self.memory,
+                self.options,
+            )
+        });
+        let mut aggregate = OptStats::new("batch", 0);
+        let mut class_results = Vec::with_capacity(runs.len());
+        for run in runs {
+            class_results.push(run.map(|(opt, stats)| {
+                aggregate.absorb(&stats);
+                opt
+            }));
+        }
+
+        let classes = reps.len();
+        let results = class_of
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| match &class_results[k] {
+                Ok(opt) => Ok(Optimized {
+                    plan: canons[i].plan_to_original(&opt.plan),
+                    cost: opt.cost,
+                }),
+                // Errors are per-query conditions (no plan found, bad
+                // parameters); reproduce the member's own error rather
+                // than cloning the representative's.
+                Err(_) => {
+                    alg_c::optimize_with_options(&queries[i], self.model, self.memory, self.options)
+                }
+            })
+            .collect();
+        (results, aggregate, classes)
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +248,64 @@ mod tests {
         let (results, stats) = batch.optimize_all_with_stats(&[]);
         assert!(results.is_empty());
         assert_eq!(stats.counters.masks_expanded, 0);
+    }
+
+    #[test]
+    fn deduped_batch_optimizes_once_per_isomorphism_class() {
+        // Three distinct queries, each appearing twice more as an
+        // isomorphic renumbering (relations reversed, predicates reversed,
+        // keys shifted): 9 queries, 3 classes.
+        let distinct: Vec<JoinQuery> = (3..=5).map(|n| chain_query(n, 60.0 + n as f64)).collect();
+        let mut queries = Vec::new();
+        for q in &distinct {
+            queries.push(q.clone());
+            let n = q.n();
+            let relations = (0..n).map(|i| q.relation(n - 1 - i).clone()).collect();
+            let predicates = q
+                .predicates()
+                .iter()
+                .rev()
+                .map(|p| JoinPred {
+                    left: n - 1 - p.left,
+                    right: n - 1 - p.right,
+                    selectivity: p.selectivity,
+                    key: KeyId(p.key.0 + 5),
+                })
+                .collect();
+            let renumbered = JoinQuery::new(relations, predicates, None).unwrap();
+            queries.push(renumbered.clone());
+            queries.push(renumbered);
+        }
+        let mem = memory();
+        let model = PaperCostModel;
+        let batch = BatchOptimizer::new(&model, &mem);
+        let (results, stats, classes) = batch.optimize_all_deduped(&queries);
+        assert_eq!(classes, distinct.len());
+        assert_eq!(results.len(), queries.len());
+        for (q, r) in queries.iter().zip(&results) {
+            let got = r.as_ref().unwrap();
+            got.plan.validate(q).unwrap();
+            // The class cost is computed once on the canonical form, so a
+            // solo run on the member's own numbering must agree to float
+            // reassociation tolerance.
+            let solo = alg_c::optimize(q, &model, &mem).unwrap();
+            assert!(
+                (got.cost - solo.cost).abs() <= 1e-9 * solo.cost,
+                "deduped {} vs solo {}",
+                got.cost,
+                solo.cost
+            );
+        }
+        // Members of one class share bit-identical costs.
+        for i in (0..queries.len()).step_by(3) {
+            let c0 = results[i].as_ref().unwrap().cost.to_bits();
+            assert_eq!(c0, results[i + 1].as_ref().unwrap().cost.to_bits());
+            assert_eq!(c0, results[i + 2].as_ref().unwrap().cost.to_bits());
+        }
+        // And the aggregate covers 3 runs, not 9: it matches a plain batch
+        // over the distinct queries only.
+        let (_, solo_stats) = batch.optimize_all_with_stats(&distinct);
+        assert_eq!(stats.counters, solo_stats.counters);
     }
 
     #[test]

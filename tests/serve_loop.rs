@@ -1,0 +1,148 @@
+//! Tier-1 end-to-end coverage of the `lec-serve` subsystem through the
+//! root crate's re-exports: a no-drift control (the cache converges, the
+//! beliefs stay untouched) and a drift run (the detector fires, the belief
+//! catalog recalibrates toward the truth, invalidated entries are
+//! re-planned).
+
+use lecopt::catalog::{Catalog, ColumnMeta, Histogram, TableMeta};
+use lecopt::cost::PaperCostModel;
+use lecopt::exec::PAGE_CAPACITY;
+use lecopt::serve::{DriftConfig, QueryRequest, QueryService, ServeConfig};
+use lecopt::stats::Distribution;
+use lecopt::workload::from_catalog::{FilterSpec, JoinSpec};
+
+/// `cust ⋈ ord` on 512 shared keys; `cust.v` over [0, 100] carries the
+/// given 8-bucket mass profile.
+fn catalog(hist: &[f64; 8]) -> Catalog {
+    let mut c = Catalog::new();
+    let values: Vec<f64> = hist
+        .iter()
+        .enumerate()
+        .flat_map(|(b, &mass)| {
+            let n = (mass * 800.0).round() as usize;
+            (0..n).map(move |i| b as f64 * 12.5 + 12.5 * (i as f64 + 0.5) / n.max(1) as f64)
+        })
+        .collect();
+    c.register(
+        TableMeta::new("cust", 10 * PAGE_CAPACITY as u64, 10)
+            .unwrap()
+            .with_column(ColumnMeta::new("ck", 512, 0.0, 511.0))
+            .with_column(
+                ColumnMeta::new("v", 800, 0.0, 100.0)
+                    .with_histogram(Histogram::equi_width(&values, 8).unwrap()),
+            ),
+    )
+    .unwrap();
+    c.register(
+        TableMeta::new("ord", 20 * PAGE_CAPACITY as u64, 20)
+            .unwrap()
+            .with_column(ColumnMeta::new("ok", 512, 0.0, 511.0)),
+    )
+    .unwrap();
+    c
+}
+
+fn request() -> QueryRequest {
+    QueryRequest {
+        tables: vec!["cust".into(), "ord".into()],
+        joins: vec![JoinSpec {
+            left_table: "cust".into(),
+            left_column: "ck".into(),
+            right_table: "ord".into(),
+            right_column: "ok".into(),
+        }],
+        filters: vec![FilterSpec {
+            table: "cust".into(),
+            column: "v".into(),
+            lo: 0.0,
+            hi: 25.0,
+            indexed: false,
+        }],
+        order_by: None,
+    }
+}
+
+fn config() -> ServeConfig {
+    let mut cfg = ServeConfig::new(
+        vec![
+            Distribution::new([(4.0, 0.6), (40.0, 0.4)]).unwrap(),
+            Distribution::new([(16.0, 0.5), (80.0, 0.5)]).unwrap(),
+        ],
+        Distribution::new([(8.0, 0.5), (48.0, 0.5)]).unwrap(),
+    );
+    cfg.drift = DriftConfig {
+        error_threshold: 0.5,
+        min_observations: 3,
+        blend: 0.8,
+    };
+    cfg
+}
+
+const UNIFORM: [f64; 8] = [0.125; 8];
+/// ~70% of `v` below 25 (vs the believed 25%).
+const HOT: [f64; 8] = [0.35, 0.35, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05];
+
+#[test]
+fn no_drift_control_converges_to_pure_hits() {
+    let cat = catalog(&UNIFORM);
+    let mut svc = QueryService::new(PaperCostModel, cat.clone(), cat.clone(), config()).unwrap();
+    for i in 0..8 {
+        let served = svc.serve(&request()).unwrap();
+        assert_eq!(served.cache_hit, i > 0, "request {i}");
+        assert!(served.recalibrations.is_empty(), "request {i}");
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.cache.hits, 7);
+    assert_eq!(stats.cache.misses, 1);
+    assert_eq!(stats.cache.invalidations, 0);
+    assert_eq!(svc.recalibrations(), 0);
+    assert_eq!(svc.optimizer_invocations(), 1);
+    assert_eq!(svc.beliefs(), &cat, "accurate beliefs must stay untouched");
+}
+
+#[test]
+fn drift_recalibrates_beliefs_toward_truth() {
+    let beliefs = catalog(&UNIFORM);
+    let truth = catalog(&HOT);
+    let believed = request_selectivity(&beliefs);
+    let true_sel = request_selectivity(&truth);
+    assert!(true_sel > 2.0 * believed, "fixture must actually drift");
+
+    let mut svc = QueryService::new(PaperCostModel, beliefs, truth, config()).unwrap();
+    let mut recalibrated = false;
+    for _ in 0..10 {
+        if !svc.serve(&request()).unwrap().recalibrations.is_empty() {
+            recalibrated = true;
+            break;
+        }
+    }
+    assert!(recalibrated, "sustained estimation error must fire");
+    assert!(svc.recalibrations() >= 1);
+    assert!(svc.stats().cache.invalidations >= 1);
+
+    // The recalibrated belief estimate moved most of the way to the truth.
+    let after = request_selectivity(svc.beliefs());
+    assert!(
+        (after - true_sel).abs() < (believed - true_sel).abs() / 2.0,
+        "believed {believed}, truth {true_sel}, recalibrated {after}"
+    );
+
+    // And the loop keeps serving afterwards, repopulating the cache under
+    // the new beliefs.
+    let served = svc.serve(&request()).unwrap();
+    assert!(!served.cache_hit, "invalidated entry must re-populate");
+    let again = svc.serve(&request()).unwrap();
+    assert!(again.cache_hit);
+}
+
+/// The belief/truth estimate of the test request's filter.
+fn request_selectivity(cat: &Catalog) -> f64 {
+    lecopt::catalog::Predicate::Range {
+        table: "cust".into(),
+        column: "v".into(),
+        lo: 0.0,
+        hi: 25.0,
+    }
+    .estimate(cat)
+    .unwrap()
+}
