@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` is the tier-1 gate the CI driver
 # runs; the others are the fast local loops.
 
-.PHONY: verify test bench-smoke lint xtable ci
+.PHONY: verify test bench-smoke lint lint-strict xtable ci
 
 # Tier-1: release build + full test suite (what must never regress).
 verify:
@@ -18,6 +18,13 @@ bench-smoke:
 lint:
 	cargo clippy --workspace --all-targets -- -D warnings
 
+# Project-specific lint pass (lec-lint): determinism/soundness rules over
+# all workspace sources, unwrap ratchet enforced, machine-readable
+# diagnostics left in results/LINT.json.
+lint-strict:
+	mkdir -p results
+	cargo run --release -p lec-analyze --bin lec-lint -- --strict --json results/LINT.json
+
 # Regenerate every experiment table (and results/BENCH_parallel.json).
 xtable:
 	cargo run --release -p lec-bench --bin xtable all
@@ -30,6 +37,8 @@ xtable:
 ci:
 	cargo fmt --all -- --check
 	cargo clippy --workspace --all-targets -- -D warnings
+	$(MAKE) lint-strict
+	test -s results/LINT.json
 	cargo test -q --workspace
 	cargo test -q --workspace --doc
 	cargo run --release -p lec-bench --bin xtable x19 > /dev/null

@@ -1,0 +1,136 @@
+//! `lec-lint` — run the workspace lint pass.
+//!
+//! ```text
+//! lec-lint [--root <dir>] [--json <out.json>] [--strict] [--update-ratchet] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lec_analyze::diag::Status;
+use lec_analyze::{run, update_ratchet, RunOptions};
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    strict: bool,
+    update: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: None,
+        strict: false,
+        update: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a value")?));
+            }
+            "--strict" => args.strict = true,
+            "--update-ratchet" => args.update = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "lec-lint: workspace lint pass\n\n\
+                     USAGE: lec-lint [--root <dir>] [--json <out.json>] [--strict] \
+                     [--update-ratchet] [--quiet]\n\n\
+                     --root           workspace root to scan (default: .)\n\
+                     --json           write the JSON diagnostics artifact here\n\
+                     --strict         missing ratchet file / stale budgets are violations\n\
+                     --update-ratchet tighten lint-ratchet.toml to current actuals (lower-only)\n\
+                     --quiet          suppress per-diagnostic output"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = RunOptions {
+        strict: args.strict,
+        ..RunOptions::new(&args.root)
+    };
+
+    if args.update {
+        return match update_ratchet(&opts) {
+            Ok(()) => {
+                println!(
+                    "lec-lint: ratchet tightened at {}",
+                    opts.ratchet_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("lec-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("lec-lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !args.quiet {
+        for d in &report.diagnostics {
+            if d.status != Status::Ratcheted {
+                println!("{d}");
+            }
+        }
+    }
+    let violations = report.violation_count();
+    let allowed = report
+        .diagnostics
+        .iter()
+        .filter(|d| matches!(d.status, Status::Allowed { .. }))
+        .count();
+    let ratcheted = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.status == Status::Ratcheted)
+        .count();
+    println!(
+        "lec-lint: {} files, {} violation(s), {} allowed by pragma, {} within ratchet budget",
+        report.files_scanned, violations, allowed, ratcheted
+    );
+    if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,188 @@
+//! Diagnostic records and the hand-rolled JSON writer.
+//!
+//! The crate is dependency-free, so JSON serialization is done by hand; the
+//! format is small and stable (consumed by `make lint-strict`, which drops
+//! the report under `results/LINT.json`).
+
+use std::fmt;
+
+/// Final status of a diagnostic after pragma and ratchet resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// Hard violation: fails the lint run.
+    Violation,
+    /// Suppressed by an `allow` pragma that carries a reason.
+    Allowed {
+        /// The reason the pragma stated.
+        reason: String,
+    },
+    /// Within the checked-in ratchet budget for its file (unwrap rule only).
+    Ratcheted,
+}
+
+/// One finding from one rule at one source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier, e.g. `no-unordered-iteration`.
+    pub rule: &'static str,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Resolution status.
+    pub status: Status,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match &self.status {
+            Status::Violation => "error",
+            Status::Allowed { .. } => "allowed",
+            Status::Ratcheted => "ratcheted",
+        };
+        write!(
+            f,
+            "{}: [{}] {}:{}: {}\n    | {}",
+            tag, self.rule, self.file, self.line, self.message, self.snippet
+        )
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn diag_to_json(d: &Diagnostic) -> String {
+    let (status, reason) = match &d.status {
+        Status::Violation => ("violation", None),
+        Status::Allowed { reason } => ("allowed", Some(reason.as_str())),
+        Status::Ratcheted => ("ratcheted", None),
+    };
+    let mut s = format!(
+        "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"status\":\"{}\",\"message\":\"{}\",\"snippet\":\"{}\"",
+        json_escape(&d.file),
+        d.line,
+        d.rule,
+        status,
+        json_escape(&d.message),
+        json_escape(&d.snippet),
+    );
+    if let Some(r) = reason {
+        s.push_str(&format!(",\"reason\":\"{}\"", json_escape(r)));
+    }
+    s.push('}');
+    s
+}
+
+/// Render the full report as a deterministic JSON document.
+pub fn report_to_json(
+    diagnostics: &[Diagnostic],
+    files_scanned: usize,
+    ratchet_entries: &[(String, usize, usize)],
+) -> String {
+    let violations = diagnostics
+        .iter()
+        .filter(|d| d.status == Status::Violation)
+        .count();
+    let allowed = diagnostics
+        .iter()
+        .filter(|d| matches!(d.status, Status::Allowed { .. }))
+        .count();
+    let ratcheted = diagnostics
+        .iter()
+        .filter(|d| d.status == Status::Ratcheted)
+        .count();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"tool\": \"lec-lint\",\n  \"files_scanned\": {},\n  \"violations\": {},\n  \"allowed\": {},\n  \"ratcheted\": {},\n",
+        files_scanned, violations, allowed, ratcheted
+    ));
+    out.push_str("  \"ratchet\": [\n");
+    for (i, (file, actual, budget)) in ratchet_entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\":\"{}\",\"actual\":{},\"budget\":{}}}{}\n",
+            json_escape(file),
+            actual,
+            budget,
+            if i + 1 < ratchet_entries.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"diagnostics\": [\n");
+    let reportable: Vec<&Diagnostic> = diagnostics
+        .iter()
+        .filter(|d| d.status != Status::Ratcheted)
+        .collect();
+    for (i, d) in reportable.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&diag_to_json(d));
+        if i + 1 < reportable.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn report_counts_statuses() {
+        let diags = vec![
+            Diagnostic {
+                file: "a.rs".into(),
+                line: 1,
+                rule: "r",
+                message: "m".into(),
+                snippet: "s".into(),
+                status: Status::Violation,
+            },
+            Diagnostic {
+                file: "a.rs".into(),
+                line: 2,
+                rule: "r",
+                message: "m".into(),
+                snippet: "s".into(),
+                status: Status::Ratcheted,
+            },
+        ];
+        let json = report_to_json(&diags, 2, &[("a.rs".into(), 1, 3)]);
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"ratcheted\": 1"));
+        assert!(json.contains("\"budget\":3"));
+        // Ratcheted diagnostics are summarized in the ratchet table, not listed.
+        assert_eq!(json.matches("\"status\":\"violation\"").count(), 1);
+    }
+}

@@ -1,0 +1,515 @@
+//! A small, dependency-free lexical pass over Rust source text.
+//!
+//! The lint rules in this crate do not need a full parse: they need to know
+//! (a) what the *code* on each line is once comments and string/char literal
+//! contents are blanked out, (b) what comment text each line carries (for
+//! `lec-lint:` pragmas), and (c) which lines live inside `#[cfg(test)]`
+//! regions. This module produces exactly that, plus a brace-depth/fn-name
+//! context used by function-scoped rules.
+//!
+//! The scanner understands line comments, nested block comments, string
+//! literals, raw strings (`r"…"`, `r#"…"#`, arbitrary hash depth), byte and
+//! byte-raw strings, char literals, and lifetimes. Literal *contents* are
+//! replaced by spaces so byte offsets and line numbers stay stable.
+
+/// Lexed view of one source file.
+#[derive(Debug)]
+pub struct FileLex {
+    /// Per-line code with comments and literal contents blanked to spaces.
+    pub code_lines: Vec<String>,
+    /// Per-line comment text (line + block comment payloads, concatenated).
+    pub comment_lines: Vec<String>,
+    /// Per-line flag: line is inside a `#[cfg(test)]`-gated brace region.
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Lex `source` into blanked code lines, comment lines, and test-region flags.
+pub fn lex(source: &str) -> FileLex {
+    let bytes = source.as_bytes();
+    let mut code = String::with_capacity(source.len());
+    let mut comment = String::with_capacity(64);
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+
+    let mut state = State::Code;
+    let mut i = 0usize;
+    // Pending raw-string hash count while consuming the closing `"##…`.
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                match c {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                        state = State::LineComment;
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    b'"' => {
+                        state = State::Str;
+                        code.push('"');
+                        i += 1;
+                    }
+                    b'r' | b'b' => {
+                        // Possible raw / byte / byte-raw string prefix.
+                        if let Some((hashes, consumed)) = raw_string_open(bytes, i) {
+                            state = State::RawStr(hashes);
+                            for _ in 0..consumed {
+                                code.push(' ');
+                            }
+                            code.push('"');
+                            i += consumed + 1; // prefix + opening quote
+                        } else if c == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                            state = State::Str;
+                            code.push(' ');
+                            code.push('"');
+                            i += 2;
+                        } else {
+                            code.push(c as char);
+                            i += 1;
+                        }
+                    }
+                    b'\'' => {
+                        // Distinguish char literal from lifetime. A lifetime is
+                        // `'ident` NOT followed by a closing quote.
+                        let is_lifetime = match (bytes.get(i + 1), bytes.get(i + 2)) {
+                            (Some(&n1), Some(&n2)) => {
+                                (n1.is_ascii_alphabetic() || n1 == b'_') && n2 != b'\''
+                            }
+                            (Some(&n1), None) => n1.is_ascii_alphabetic() || n1 == b'_',
+                            _ => false,
+                        };
+                        if is_lifetime {
+                            code.push('\'');
+                            i += 1;
+                        } else {
+                            state = State::Char;
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        // Non-ASCII bytes are copied through byte-by-byte; we
+                        // only ever match ASCII tokens so this is safe enough,
+                        // but keep UTF-8 intact by pushing the full char.
+                        let ch_len = utf8_len(c);
+                        code.push_str(&source[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+            }
+            State::LineComment => {
+                let ch_len = utf8_len(c);
+                comment.push_str(&source[i..i + ch_len]);
+                code.push(' ');
+                i += ch_len;
+            }
+            State::BlockComment(depth) => {
+                if c == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    let ch_len = utf8_len(c);
+                    comment.push_str(&source[i..i + ch_len]);
+                    code.push(' ');
+                    i += ch_len;
+                }
+            }
+            State::Str => {
+                if c == b'\\' && i + 1 < bytes.len() {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == b'"' {
+                    state = State::Code;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    let ch_len = utf8_len(c);
+                    code.push(' ');
+                    i += ch_len;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' && has_hashes(bytes, i + 1, hashes) {
+                    state = State::Code;
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    let ch_len = utf8_len(c);
+                    code.push(' ');
+                    i += ch_len;
+                }
+            }
+            State::Char => {
+                if c == b'\\' && i + 1 < bytes.len() {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == b'\'' {
+                    state = State::Code;
+                    code.push('\'');
+                    i += 1;
+                } else {
+                    let ch_len = utf8_len(c);
+                    code.push(' ');
+                    i += ch_len;
+                }
+            }
+        }
+    }
+    code_lines.push(code);
+    comment_lines.push(comment);
+
+    let in_test = mark_test_regions(&code_lines);
+    FileLex {
+        code_lines,
+        comment_lines,
+        in_test,
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Detect a raw-string opener (`r"`, `r#"`, `br#"` …) starting at `i`.
+/// Returns `(hash_count, bytes_before_quote)`.
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((hashes, j - i))
+    } else {
+        None
+    }
+}
+
+fn has_hashes(bytes: &[u8], start: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| bytes.get(start + k) == Some(&b'#'))
+}
+
+/// Mark every line that falls inside a `#[cfg(test)]`-gated brace region.
+///
+/// The scan finds `#[cfg(…)]` attributes whose argument list contains the
+/// standalone word `test` (covers `#[cfg(test)]` and `#[cfg(all(test, …))]`),
+/// then brace-matches from the first `{` after the attribute. This is exact on
+/// blanked code because no braces survive inside literals or comments.
+fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let joined: String = {
+        let mut s = String::new();
+        for line in code_lines {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    };
+    let bytes = joined.as_bytes();
+    let mut in_test = vec![false; code_lines.len()];
+    let mut i = 0usize;
+    while let Some(off) = find_from(&joined, i, "#") {
+        i = off + 1;
+        // Expect `[cfg(` next, tolerating whitespace.
+        let mut j = skip_ws(bytes, i);
+        if bytes.get(j) != Some(&b'[') {
+            continue;
+        }
+        j = skip_ws(bytes, j + 1);
+        if !joined[j..].starts_with("cfg") {
+            continue;
+        }
+        j = skip_ws(bytes, j + 3);
+        if bytes.get(j) != Some(&b'(') {
+            continue;
+        }
+        // Find matching `)` of the cfg argument list.
+        let (arg_end, _) = match match_delim(bytes, j, b'(', b')') {
+            Some(v) => v,
+            None => continue,
+        };
+        if !contains_word(&joined[j..arg_end], "test") {
+            continue;
+        }
+        // Find the `{` opening the gated item and its matching close.
+        let brace_open = match bytes[arg_end..].iter().position(|&b| b == b'{') {
+            Some(p) => arg_end + p,
+            None => continue,
+        };
+        let (brace_close, _) = match match_delim(bytes, brace_open, b'{', b'}') {
+            Some(v) => v,
+            None => {
+                // Unbalanced (truncated file): mark to EOF.
+                let start_line = line_of(&joined, off);
+                for flag in in_test.iter_mut().skip(start_line) {
+                    *flag = true;
+                }
+                break;
+            }
+        };
+        let start_line = line_of(&joined, off);
+        let end_line = line_of(&joined, brace_close);
+        for flag in in_test.iter_mut().take(end_line + 1).skip(start_line) {
+            *flag = true;
+        }
+        i = arg_end;
+    }
+    in_test
+}
+
+fn find_from(haystack: &str, from: usize, needle: &str) -> Option<usize> {
+    haystack.get(from..)?.find(needle).map(|p| from + p)
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// From an opening delimiter at `open_at`, return `(index_of_close, depth_ok)`.
+fn match_delim(bytes: &[u8], open_at: usize, open: u8, close: u8) -> Option<(usize, ())> {
+    let mut depth = 0i64;
+    for (k, &b) in bytes.iter().enumerate().skip(open_at) {
+        if b == open {
+            depth += 1;
+        } else if b == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some((k, ()));
+            }
+        }
+    }
+    None
+}
+
+fn line_of(joined: &str, byte: usize) -> usize {
+    joined.as_bytes()[..byte]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// True when `word` occurs in `s` with non-identifier characters on both sides.
+pub fn contains_word(s: &str, word: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = s.get(from..).and_then(|t| t.find(word)) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Iterate identifier tokens on a blanked code line as `(byte_offset, token)`.
+pub fn idents(line: &str) -> Vec<(usize, &str)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if is_ident_byte(bytes[i]) && !bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            out.push((start, &line[start..i]));
+        } else if bytes[i].is_ascii_digit() {
+            // Skip numeric literals (incl. `1e-9`, `0x1f`, `1_000u64`) so the
+            // trailing type suffix or exponent is not reported as an ident.
+            while i < bytes.len()
+                && (is_ident_byte(bytes[i])
+                    || bytes[i] == b'.'
+                    || ((bytes[i] == b'+' || bytes[i] == b'-')
+                        && matches!(bytes[i - 1], b'e' | b'E')))
+            {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Scan a blanked code line for float literals with a negative exponent
+/// (`1e-9`, `2.5E-3`) — the epsilon-tolerance shape. Returns byte offsets.
+pub fn negative_exponent_literals(line: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() && (i == 0 || !is_ident_byte(bytes[i - 1])) {
+            let start = i;
+            let mut seen_neg_exp = false;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'0'..=b'9' | b'_' | b'.' => i += 1,
+                    b'e' | b'E'
+                        if i + 1 < bytes.len()
+                            && (bytes[i + 1] == b'-'
+                                || bytes[i + 1] == b'+'
+                                || bytes[i + 1].is_ascii_digit()) =>
+                    {
+                        if bytes[i + 1] == b'-' {
+                            seen_neg_exp = true;
+                        }
+                        i += 2;
+                    }
+                    _ => break,
+                }
+            }
+            if seen_neg_exp {
+                out.push(start);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src =
+            "let s = \"HashMap in a string\"; // HashMap in a comment\nlet h = HashMap::new();\n";
+        let lx = lex(src);
+        assert!(!lx.code_lines[0].contains("HashMap"));
+        assert!(lx.comment_lines[0].contains("HashMap in a comment"));
+        assert!(lx.code_lines[1].contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"un\"wrap() . \"# ; let t = x.unwrap();\n";
+        let lx = lex(src);
+        let line = &lx.code_lines[0];
+        assert_eq!(line.matches("unwrap").count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n";
+        let lx = lex(src);
+        assert!(lx.code_lines[0].contains("let x = 1;"));
+        assert!(!lx.code_lines[0].contains("outer"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\nlet h = HashSet::new();\n";
+        let lx = lex(src);
+        assert!(lx.code_lines[2].contains("HashSet"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let lx = lex(src);
+        assert!(!lx.in_test[0]);
+        assert!(lx.in_test[1]);
+        assert!(lx.in_test[2]);
+        assert!(lx.in_test[3]);
+        assert!(lx.in_test[4]);
+        assert!(!lx.in_test[5]);
+    }
+
+    #[test]
+    fn cfg_all_test_region_is_marked() {
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nmod tests { fn t() {} }\nfn prod() {}\n";
+        let lx = lex(src);
+        assert!(lx.in_test[0]);
+        assert!(lx.in_test[1]);
+        assert!(!lx.in_test[2]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let src = "#[cfg(feature = \"testing\")]\nmod m { fn t() {} }\n";
+        let lx = lex(src);
+        assert!(!lx.in_test[1]);
+    }
+
+    #[test]
+    fn negative_exponents_found() {
+        assert_eq!(negative_exponent_literals("if d < 1e-9 {"), vec![7]);
+        assert_eq!(negative_exponent_literals("let x = 2.5E-3;"), vec![8]);
+        assert!(negative_exponent_literals("let x = 1e9;").is_empty());
+        assert!(negative_exponent_literals("let x = 10;").is_empty());
+    }
+
+    #[test]
+    fn ident_scan_skips_numeric_suffixes() {
+        let toks = idents("let x = 1_000u64 + abs(1e-9) + foo;");
+        let names: Vec<&str> = toks.iter().map(|&(_, t)| t).collect();
+        assert_eq!(names, vec!["let", "x", "abs", "foo"]);
+    }
+}

@@ -1,0 +1,140 @@
+//! `lec-lint:` suppression pragmas.
+//!
+//! Grammar — the whole comment must *be* the pragma (the marker is anchored
+//! at the start of the comment text, so prose that merely mentions the
+//! grammar does not parse):
+//!
+//! ```text
+//! // lec-lint: allow(<rule>[, <rule>…]) — <reason>
+//! ```
+//!
+//! The separator before the reason may be an em-dash (`—`), `--`, `-`, or
+//! `:`. The reason is mandatory: an `allow` with no reason does not suppress
+//! anything and is itself reported as a `bad-pragma` violation.
+//!
+//! A pragma on a line with code applies to that line; a pragma on a
+//! comment-only line applies to the next line that carries code.
+
+/// One parsed pragma occurrence.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Zero-based source line the pragma comment sits on.
+    pub line: usize,
+    /// Rules named in `allow(…)`.
+    pub rules: Vec<String>,
+    /// The stated reason, if any (trimmed, non-empty).
+    pub reason: Option<String>,
+}
+
+/// Extract pragmas from per-line comment text.
+pub fn parse_pragmas(comment_lines: &[String]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (line, comment) in comment_lines.iter().enumerate() {
+        let Some(rest) = comment.trim_start().strip_prefix("lec-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let after = rest[close + 1..].trim_start();
+        let reason = ["—", "--", "-", ":"]
+            .iter()
+            .find_map(|sep| after.strip_prefix(sep))
+            .map(str::trim)
+            .filter(|r| !r.is_empty())
+            .map(str::to_string);
+        out.push(Pragma {
+            line,
+            rules,
+            reason,
+        });
+    }
+    out
+}
+
+/// Resolve which source lines each pragma covers.
+///
+/// Returns, for every pragma, the covered line: its own line when that line
+/// has code, otherwise the next line that does.
+pub fn covered_line(pragma: &Pragma, code_lines: &[String]) -> usize {
+    let own = &code_lines[pragma.line];
+    if !own.trim().is_empty() {
+        return pragma.line;
+    }
+    for (idx, line) in code_lines.iter().enumerate().skip(pragma.line + 1) {
+        if !line.trim().is_empty() {
+            return idx;
+        }
+    }
+    pragma.line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_em_dash_reason() {
+        let p = parse_pragmas(&lines(&[
+            " lec-lint: allow(no-wallclock-or-ambient-rng) — timing is observability-only",
+        ]));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rules, vec!["no-wallclock-or-ambient-rng"]);
+        assert_eq!(p[0].reason.as_deref(), Some("timing is observability-only"));
+    }
+
+    #[test]
+    fn missing_reason_is_none() {
+        let p = parse_pragmas(&lines(&[" lec-lint: allow(no-unwrap-in-lib)"]));
+        assert_eq!(p.len(), 1);
+        assert!(p[0].reason.is_none());
+    }
+
+    #[test]
+    fn multiple_rules() {
+        let p = parse_pragmas(&lines(&[
+            " lec-lint: allow(rule-a, rule-b) -- both are fine here",
+        ]));
+        assert_eq!(p[0].rules, vec!["rule-a", "rule-b"]);
+        assert!(p[0].reason.is_some());
+    }
+
+    #[test]
+    fn own_line_pragma_covers_next_code_line() {
+        let code = lines(&["let x = 1;", "            ", "let y = 2;"]);
+        let p = Pragma {
+            line: 1,
+            rules: vec![],
+            reason: None,
+        };
+        assert_eq!(covered_line(&p, &code), 2);
+    }
+
+    #[test]
+    fn trailing_pragma_covers_own_line() {
+        let code = lines(&["let x = now();          "]);
+        let p = Pragma {
+            line: 0,
+            rules: vec![],
+            reason: None,
+        };
+        assert_eq!(covered_line(&p, &code), 0);
+    }
+}

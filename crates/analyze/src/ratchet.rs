@@ -1,0 +1,190 @@
+//! The `lint-ratchet.toml` budget file.
+//!
+//! The ratchet holds per-file budgets for the `no-unwrap-in-lib` rule: the
+//! number of non-test, non-pragma'd `.unwrap()` calls each library file is
+//! still allowed to carry. Budgets may only decrease: `--update-ratchet`
+//! rewrites budgets down to current actuals and refuses to raise one, so the
+//! only way a count can grow is a hand edit that a reviewer will see.
+//!
+//! The file is a strict TOML subset parsed by hand (this crate is
+//! dependency-free): one `[<rule>]` section, then `"<path>" = <count>` lines.
+
+use std::collections::BTreeMap;
+
+/// Parsed ratchet: rule name → (file → budget).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Ratchet {
+    /// Budgets per rule section.
+    pub budgets: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// A ratchet file line that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetParseError {
+    /// 1-based line number in the ratchet file.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for RatchetParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint-ratchet.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Ratchet {
+    /// Parse the ratchet file contents.
+    pub fn parse(text: &str) -> Result<Self, RatchetParseError> {
+        let mut budgets: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        let mut section: Option<String> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim().to_string();
+                budgets.entry(name.clone()).or_default();
+                section = Some(name);
+                continue;
+            }
+            let Some(sec) = section.as_ref() else {
+                return Err(RatchetParseError {
+                    line: i + 1,
+                    message: "entry before any [section] header".to_string(),
+                });
+            };
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(RatchetParseError {
+                    line: i + 1,
+                    message: format!("expected `\"path\" = count`, got `{line}`"),
+                });
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value: usize = value.trim().parse().map_err(|_| RatchetParseError {
+                line: i + 1,
+                message: format!("budget is not a nonnegative integer: `{}`", value.trim()),
+            })?;
+            if let Some(sec_map) = budgets.get_mut(sec) {
+                sec_map.insert(key, value);
+            }
+        }
+        Ok(Self { budgets })
+    }
+
+    /// Budget for `file` under `rule`; `None` when the file has no entry
+    /// (meaning: zero tolerance, every hit is a violation).
+    pub fn budget(&self, rule: &str, file: &str) -> Option<usize> {
+        self.budgets.get(rule).and_then(|m| m.get(file)).copied()
+    }
+
+    /// Render back to the canonical on-disk form (sorted, commented header).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# lec-lint ratchet budgets. Budgets may only DECREASE.\n\
+             # Regenerate after a burn-down with:\n\
+             #   cargo run -p lec-analyze --bin lec-lint -- --update-ratchet\n\
+             # Raising a budget requires a hand edit and review sign-off.\n",
+        );
+        for (rule, files) in &self.budgets {
+            out.push('\n');
+            out.push_str(&format!("[{rule}]\n"));
+            for (file, count) in files {
+                out.push_str(&format!("\"{file}\" = {count}\n"));
+            }
+        }
+        out
+    }
+
+    /// Lower budgets to `actuals` (dropping files that reached zero).
+    ///
+    /// Returns an error naming each file whose actual count *exceeds* its
+    /// budget — the ratchet never ratchets up.
+    pub fn tighten(
+        &mut self,
+        rule: &str,
+        actuals: &BTreeMap<String, usize>,
+    ) -> Result<(), Vec<String>> {
+        let over: Vec<String> = actuals
+            .iter()
+            .filter(|(file, &n)| n > self.budget(rule, file).unwrap_or(0))
+            .map(|(file, &n)| {
+                format!(
+                    "{file}: actual {n} > budget {}",
+                    self.budget(rule, file).unwrap_or(0)
+                )
+            })
+            .collect();
+        if !over.is_empty() {
+            return Err(over);
+        }
+        let section = self.budgets.entry(rule.to_string()).or_default();
+        section.clear();
+        for (file, &n) in actuals {
+            if n > 0 {
+                section.insert(file.clone(), n);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "# header\n\n[no-unwrap-in-lib]\n\"crates/core/src/dp.rs\" = 3\n\"crates/plan/src/plan.rs\" = 1\n";
+
+    #[test]
+    fn parse_roundtrip() {
+        let r = Ratchet::parse(SAMPLE).unwrap();
+        assert_eq!(
+            r.budget("no-unwrap-in-lib", "crates/core/src/dp.rs"),
+            Some(3)
+        );
+        assert_eq!(r.budget("no-unwrap-in-lib", "missing.rs"), None);
+        let r2 = Ratchet::parse(&r.render()).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn tighten_lowers_and_drops_zero() {
+        let mut r = Ratchet::parse(SAMPLE).unwrap();
+        let actuals: BTreeMap<String, usize> = [
+            ("crates/core/src/dp.rs".to_string(), 2),
+            ("crates/plan/src/plan.rs".to_string(), 0),
+        ]
+        .into_iter()
+        .collect();
+        r.tighten("no-unwrap-in-lib", &actuals).unwrap();
+        assert_eq!(
+            r.budget("no-unwrap-in-lib", "crates/core/src/dp.rs"),
+            Some(2)
+        );
+        assert_eq!(
+            r.budget("no-unwrap-in-lib", "crates/plan/src/plan.rs"),
+            None
+        );
+    }
+
+    #[test]
+    fn tighten_refuses_to_raise() {
+        let mut r = Ratchet::parse(SAMPLE).unwrap();
+        let actuals: BTreeMap<String, usize> = [("crates/core/src/dp.rs".to_string(), 5)]
+            .into_iter()
+            .collect();
+        let err = r.tighten("no-unwrap-in-lib", &actuals).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("actual 5 > budget 3"));
+    }
+
+    #[test]
+    fn parse_errors_are_positioned() {
+        let err = Ratchet::parse("\"x\" = 1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = Ratchet::parse("[s]\nnot an entry\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,526 @@
+//! The lint rules.
+//!
+//! Every rule is a lexical heuristic over blanked code (see [`crate::lexer`]):
+//! comments and literal contents never match, and `#[cfg(test)]` regions are
+//! skipped by all rules. Rules select their target files by workspace-relative
+//! path, mirroring the determinism contracts documented in DESIGN.md:
+//!
+//! | rule | scope |
+//! |------|-------|
+//! | `no-unordered-iteration`      | deterministic paths (core/plan/cost/stats/serve src) |
+//! | `no-wallclock-or-ambient-rng` | deterministic paths |
+//! | `no-unwrap-in-lib`            | all library src trees (bin targets excluded), ratcheted |
+//! | `no-epsilon-dominance`        | deterministic paths, inside dominance/frontier functions |
+//! | `no-lossy-float-cast`         | cost-arithmetic paths (cost/core src) |
+//! | `bad-pragma`                  | everywhere scanned (malformed/unreasoned `allow`) |
+
+use crate::diag::{Diagnostic, Status};
+use crate::lexer::{self, FileLex};
+use crate::pragma::{self, Pragma};
+
+/// Rule: `HashMap`/`HashSet` in deterministic paths.
+pub const NO_UNORDERED_ITERATION: &str = "no-unordered-iteration";
+/// Rule: wall clock or ambient RNG in deterministic paths.
+pub const NO_WALLCLOCK: &str = "no-wallclock-or-ambient-rng";
+/// Rule: `.unwrap()` in library code outside `#[cfg(test)]`.
+pub const NO_UNWRAP_IN_LIB: &str = "no-unwrap-in-lib";
+/// Rule: epsilon tolerance inside dominance/frontier comparisons.
+pub const NO_EPSILON_DOMINANCE: &str = "no-epsilon-dominance";
+/// Rule: lossy float casts in cost arithmetic.
+pub const NO_LOSSY_FLOAT_CAST: &str = "no-lossy-float-cast";
+/// Rule: malformed or reasonless `lec-lint: allow` pragma.
+pub const BAD_PRAGMA: &str = "bad-pragma";
+
+/// All real (suppressible) rule names, for pragma validation.
+pub const ALL_RULES: [&str; 5] = [
+    NO_UNORDERED_ITERATION,
+    NO_WALLCLOCK,
+    NO_UNWRAP_IN_LIB,
+    NO_EPSILON_DOMINANCE,
+    NO_LOSSY_FLOAT_CAST,
+];
+
+/// Source trees whose code must be deterministic (bit-identical replay,
+/// serial ≡ parallel, order-independent frontiers).
+const DETERMINISTIC_PATHS: [&str; 5] = [
+    "crates/core/src",
+    "crates/plan/src",
+    "crates/cost/src",
+    "crates/stats/src",
+    "crates/serve/src",
+];
+
+/// Source trees doing cost arithmetic, where silent precision loss is a bug.
+const COST_PATHS: [&str; 2] = ["crates/cost/src", "crates/core/src"];
+
+fn in_tree(path: &str, trees: &[&str]) -> bool {
+    trees
+        .iter()
+        .any(|t| path.starts_with(t) && path[t.len()..].starts_with('/'))
+}
+
+fn is_deterministic_path(path: &str) -> bool {
+    in_tree(path, &DETERMINISTIC_PATHS)
+}
+
+fn is_cost_path(path: &str) -> bool {
+    in_tree(path, &COST_PATHS)
+}
+
+/// Library source: the root `src/` tree or any `crates/*/src` tree, excluding
+/// binary targets under a `bin/` directory.
+fn is_lib_path(path: &str) -> bool {
+    if path.contains("/bin/") {
+        return false;
+    }
+    if path.starts_with("src/") {
+        return true;
+    }
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some(slash) = rest.find('/') {
+            return rest[slash..].starts_with("/src/");
+        }
+    }
+    false
+}
+
+/// Identifiers forbidden in deterministic paths by `no-unordered-iteration`.
+const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Identifiers forbidden in deterministic paths by `no-wallclock-or-ambient-rng`.
+const AMBIENT_SOURCES: [&str; 5] = [
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "entropy",
+];
+
+/// Integer types a bare float-named cast must not target.
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Name fragments that mark an identifier as carrying cost/estimate quantities.
+const FLOATY_NAME_PARTS: [&str; 7] = ["cost", "page", "sel", "card", "prob", "weight", "expect"];
+
+/// Name fragments that mark a function as a dominance/frontier comparator.
+const DOMINANCE_FN_PARTS: [&str; 3] = ["dominat", "frontier", "dominance"];
+
+/// Lint one file. `rel_path` is workspace-relative with forward slashes.
+///
+/// Returns diagnostics with pragma resolution already applied (statuses are
+/// `Violation` or `Allowed`); ratchet resolution happens in the runner, which
+/// needs cross-file grouping.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let lx = lexer::lex(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let pragmas = pragma::parse_pragmas(&lx.comment_lines);
+
+    let mut diags = Vec::new();
+    check_pragma_wellformedness(rel_path, &pragmas, &raw_lines, &mut diags);
+
+    let mut findings: Vec<(usize, &'static str, String)> = Vec::new();
+    if is_deterministic_path(rel_path) {
+        find_unordered_iteration(&lx, &mut findings);
+        find_ambient_sources(&lx, &mut findings);
+        find_epsilon_dominance(&lx, &mut findings);
+    }
+    if is_lib_path(rel_path) {
+        find_unwraps(&lx, &mut findings);
+    }
+    if is_cost_path(rel_path) {
+        find_lossy_casts(&lx, &mut findings);
+    }
+
+    // Resolve pragmas: map covered line -> (rules, reason).
+    let mut allows: Vec<(usize, &Pragma)> = Vec::new();
+    for p in &pragmas {
+        if p.reason.is_some() {
+            allows.push((pragma::covered_line(p, &lx.code_lines), p));
+        }
+    }
+
+    for (line, rule, message) in findings {
+        let snippet = raw_lines.get(line).map_or("", |s| s.trim()).to_string();
+        let status = allows
+            .iter()
+            .find(|(covered, p)| *covered == line && p.rules.iter().any(|r| r == rule))
+            .map(|(_, p)| Status::Allowed {
+                reason: p.reason.clone().unwrap_or_default(),
+            })
+            .unwrap_or(Status::Violation);
+        diags.push(Diagnostic {
+            file: rel_path.to_string(),
+            line: line + 1,
+            rule,
+            message,
+            snippet,
+            status,
+        });
+    }
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+fn check_pragma_wellformedness(
+    rel_path: &str,
+    pragmas: &[Pragma],
+    raw_lines: &[&str],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for p in pragmas {
+        let snippet = raw_lines.get(p.line).map_or("", |s| s.trim()).to_string();
+        if p.reason.is_none() {
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: p.line + 1,
+                rule: BAD_PRAGMA,
+                message: "allow pragma without a reason suppresses nothing; add `— <reason>`"
+                    .to_string(),
+                snippet: snippet.clone(),
+                status: Status::Violation,
+            });
+        }
+        for r in &p.rules {
+            if !ALL_RULES.contains(&r.as_str()) {
+                diags.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line: p.line + 1,
+                    rule: BAD_PRAGMA,
+                    message: format!("allow pragma names unknown rule `{r}`"),
+                    snippet: snippet.clone(),
+                    status: Status::Violation,
+                });
+            }
+        }
+    }
+}
+
+fn find_unordered_iteration(lx: &FileLex, out: &mut Vec<(usize, &'static str, String)>) {
+    for (i, line) in lx.code_lines.iter().enumerate() {
+        if lx.in_test[i] {
+            continue;
+        }
+        for (_, tok) in lexer::idents(line) {
+            if UNORDERED_TYPES.contains(&tok) {
+                out.push((
+                    i,
+                    NO_UNORDERED_ITERATION,
+                    format!(
+                        "`{tok}` has nondeterministic iteration order; deterministic paths must \
+                         use `BTreeMap`/`BTreeSet` or sorted vectors"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn find_ambient_sources(lx: &FileLex, out: &mut Vec<(usize, &'static str, String)>) {
+    for (i, line) in lx.code_lines.iter().enumerate() {
+        if lx.in_test[i] {
+            continue;
+        }
+        for (_, tok) in lexer::idents(line) {
+            if AMBIENT_SOURCES.contains(&tok) {
+                out.push((
+                    i,
+                    NO_WALLCLOCK,
+                    format!(
+                        "`{tok}` reads ambient state (wall clock / OS entropy); deterministic \
+                         paths must take time and randomness as explicit inputs"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn find_unwraps(lx: &FileLex, out: &mut Vec<(usize, &'static str, String)>) {
+    for (i, line) in lx.code_lines.iter().enumerate() {
+        if lx.in_test[i] {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        for (off, tok) in lexer::idents(line) {
+            if tok != "unwrap" {
+                continue;
+            }
+            // Require `.unwrap(` shape: previous non-space byte is `.`,
+            // next non-space byte is `(` — skips fn defs named unwrap etc.
+            let prev = line[..off].trim_end().as_bytes().last().copied();
+            let mut j = off + tok.len();
+            while j < bytes.len() && bytes[j] == b' ' {
+                j += 1;
+            }
+            let next = bytes.get(j).copied();
+            if prev == Some(b'.') && next == Some(b'(') {
+                out.push((
+                    i,
+                    NO_UNWRAP_IN_LIB,
+                    "`.unwrap()` in library code: convert to a typed error or a messageful \
+                     `expect` (ratcheted)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+fn find_epsilon_dominance(lx: &FileLex, out: &mut Vec<(usize, &'static str, String)>) {
+    // Track the enclosing function name via a brace-depth stack. `pending`
+    // holds a just-seen `fn <name>` until its body `{` opens (a `;` first
+    // means a bodyless trait signature).
+    let mut depth: i64 = 0;
+    let mut stack: Vec<(String, i64)> = Vec::new();
+    let mut pending: Option<String> = None;
+
+    let is_dominance_name = |name: &str| {
+        let lower = name.to_ascii_lowercase();
+        DOMINANCE_FN_PARTS.iter().any(|p| lower.contains(p))
+    };
+
+    for (i, line) in lx.code_lines.iter().enumerate() {
+        let toks = lexer::idents(line);
+        // True when a dominance/frontier fn encloses any part of this line —
+        // sampled at line start and on every push, so a one-line fn body
+        // (`fn dominates(…) { … }`) is still covered after its `}` pops it.
+        let mut dominance_active = stack.iter().any(|(name, _)| is_dominance_name(name));
+        let mut tok_iter = toks.iter().peekable();
+        let bytes = line.as_bytes();
+        let mut k = 0usize;
+        while k < bytes.len() {
+            // Advance token iterator to current position to catch `fn` names.
+            while let Some(&&(off, tok)) = tok_iter.peek() {
+                if off < k {
+                    tok_iter.next();
+                    continue;
+                }
+                if off == k {
+                    if tok == "fn" {
+                        // Next ident is the function name.
+                        let mut it2 = tok_iter.clone();
+                        it2.next();
+                        if let Some(&&(_, name)) = it2.peek() {
+                            pending = Some(name.to_string());
+                        }
+                    }
+                    tok_iter.next();
+                    k += tok.len();
+                }
+                break;
+            }
+            if k >= bytes.len() {
+                break;
+            }
+            match bytes[k] {
+                b'{' => {
+                    depth += 1;
+                    if let Some(name) = pending.take() {
+                        if is_dominance_name(&name) {
+                            dominance_active = true;
+                        }
+                        stack.push((name, depth));
+                    }
+                }
+                b'}' => {
+                    while let Some(&(_, d)) = stack.last() {
+                        if d >= depth {
+                            stack.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    depth -= 1;
+                }
+                // A `;` at item level cancels a bodyless signature.
+                b';' if depth == stack.last().map_or(0, |&(_, d)| d) => {
+                    pending = None;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+
+        if lx.in_test[i] || !dominance_active {
+            continue;
+        }
+        for _off in lexer::negative_exponent_literals(line) {
+            out.push((
+                i,
+                NO_EPSILON_DOMINANCE,
+                "tolerance literal inside a dominance/frontier comparator: epsilon dominance \
+                 breaks antisymmetry and makes frontiers insertion-order dependent (the PR 2 \
+                 bug); compare exactly"
+                    .to_string(),
+            ));
+        }
+        for (_, tok) in lexer::idents(line) {
+            let lower = tok.to_ascii_lowercase();
+            if lower.contains("epsilon") || lower == "eps" {
+                out.push((
+                    i,
+                    NO_EPSILON_DOMINANCE,
+                    format!(
+                        "`{tok}` inside a dominance/frontier comparator: epsilon dominance \
+                         breaks antisymmetry; compare exactly"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn find_lossy_casts(lx: &FileLex, out: &mut Vec<(usize, &'static str, String)>) {
+    for (i, line) in lx.code_lines.iter().enumerate() {
+        if lx.in_test[i] {
+            continue;
+        }
+        let toks = lexer::idents(line);
+        for (t, &(_, tok)) in toks.iter().enumerate() {
+            if tok != "as" {
+                continue;
+            }
+            let Some(&(_, target)) = toks.get(t + 1) else {
+                continue;
+            };
+            if target == "f32" {
+                out.push((
+                    i,
+                    NO_LOSSY_FLOAT_CAST,
+                    "`as f32` in cost arithmetic silently halves precision; cost values are f64 \
+                     end to end"
+                        .to_string(),
+                ));
+                continue;
+            }
+            if !INT_TYPES.contains(&target) {
+                continue;
+            }
+            // Only flag a *bare* cast of a float-named identifier. A chain
+            // like `cost.round() as u64` leaves `)` before `as`, stating the
+            // rounding intent, and is allowed.
+            if t == 0 {
+                continue;
+            }
+            let (prev_off, prev_tok) = toks[t - 1];
+            let between = &line[prev_off + prev_tok.len()..];
+            let between = &between[..between.find("as").unwrap_or(0)];
+            if !between.trim().is_empty() {
+                continue;
+            }
+            let lower = prev_tok.to_ascii_lowercase();
+            if FLOATY_NAME_PARTS.iter().any(|p| lower.contains(p)) {
+                out.push((
+                    i,
+                    NO_LOSSY_FLOAT_CAST,
+                    format!(
+                        "bare `{prev_tok} as {target}` truncates toward zero; state the intent \
+                         with `.round()`/`.ceil()`/`.floor()` before casting"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(path, src)
+            .into_iter()
+            .filter(|d| d.status == Status::Violation)
+            .collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_in_deterministic_path_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(violations("crates/core/src/dp.rs", src).len(), 1);
+        assert!(violations("crates/exec/src/run.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_counted_outside_tests_only() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\n";
+        let v = violations("crates/plan/src/plan.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_skipped_in_bin_targets() {
+        let src = "fn main() { x.unwrap(); }\n";
+        assert!(violations("crates/analyze/src/bin/lec_lint.rs", src).is_empty());
+        assert!(violations("src/bin/lecopt.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_with_reason_suppresses() {
+        let src = "let t = Instant::now(); // lec-lint: allow(no-wallclock-or-ambient-rng) — observability only\n";
+        let diags = lint_source("crates/core/src/par.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(matches!(diags[0].status, Status::Allowed { .. }));
+    }
+
+    #[test]
+    fn pragma_without_reason_is_bad_and_suppresses_nothing() {
+        let src = "let t = Instant::now(); // lec-lint: allow(no-wallclock-or-ambient-rng)\n";
+        let v = violations("crates/core/src/par.rs", src);
+        let rules: Vec<&str> = v.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&BAD_PRAGMA));
+        assert!(rules.contains(&NO_WALLCLOCK));
+    }
+
+    #[test]
+    fn own_line_pragma_covers_next_line() {
+        let src = "// lec-lint: allow(no-unordered-iteration) — keyed by opaque digest, order never observed\nuse std::collections::HashMap;\n";
+        let diags = lint_source("crates/serve/src/cache.rs", src);
+        assert!(diags
+            .iter()
+            .all(|d| matches!(d.status, Status::Allowed { .. })));
+    }
+
+    #[test]
+    fn epsilon_flagged_only_in_dominance_fns() {
+        let src = "fn dominates(a: f64, b: f64) -> bool { a <= b + 1e-9 }\nfn unrelated() -> f64 { 1e-9 }\n";
+        let v = violations("crates/core/src/pareto.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].rule, NO_EPSILON_DOMINANCE);
+    }
+
+    #[test]
+    fn epsilon_ident_flagged_in_frontier_fn() {
+        let src = "fn insert_frontier(x: f64) { if x < f64::EPSILON { } }\n";
+        let v = violations("crates/core/src/pareto.rs", src);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn lossy_casts_flagged_in_cost_paths() {
+        let src = "fn f(total_cost: f64) -> u64 { total_cost as u64 }\nfn g(c: f64) -> f64 { c as f32 as f64 }\nfn h(total_cost: f64) -> u64 { total_cost.round() as u64 }\n";
+        let v = violations("crates/cost/src/model.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|d| d.rule == NO_LOSSY_FLOAT_CAST));
+    }
+
+    #[test]
+    fn wallclock_flagged() {
+        let src = "let t0 = std::time::Instant::now();\n";
+        let v = violations("crates/core/src/par.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, NO_WALLCLOCK);
+    }
+
+    #[test]
+    fn unknown_rule_in_pragma_reported() {
+        let src = "let x = 1; // lec-lint: allow(no-such-rule) — whatever\n";
+        let v = violations("crates/core/src/dp.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, BAD_PRAGMA);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: bad-pragma.
+
+// lec-lint: allow(no-unwrap-in-lib)
+pub fn reasonless(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn unknown_rule() -> u32 {
+    1 // lec-lint: allow(no-such-rule) — the reason does not save an unknown rule
+}

@@ -1,0 +1,15 @@
+// Fixture: a file every rule is happy with, even under every path label.
+use std::collections::BTreeMap;
+
+/// Exact dominance, typed errors, ordered maps, rounded casts.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+pub fn lookup(m: &BTreeMap<u64, f64>, k: u64) -> Result<f64, String> {
+    m.get(&k).copied().ok_or_else(|| format!("missing key {k}"))
+}
+
+pub fn pages(cost: f64) -> u64 {
+    cost.ceil() as u64
+}

@@ -1,0 +1,20 @@
+// Fixture: no-epsilon-dominance. Scanned with a deterministic-path label.
+
+/// Epsilon tolerance in a dominance comparator: two hits (literal + EPSILON).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| *x <= *y + 1e-9 || (*x - *y).abs() < f64::EPSILON)
+}
+
+/// Tolerances outside dominance/frontier functions are someone else's business.
+pub fn convergence_check(delta: f64) -> bool {
+    delta < 1e-9
+}
+
+/// A frontier function using exact comparison: clean.
+pub fn insert_frontier(frontier: &mut Vec<f64>, candidate: f64) {
+    if frontier.iter().all(|&f| candidate < f) {
+        frontier.push(candidate);
+    }
+}

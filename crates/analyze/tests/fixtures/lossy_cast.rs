@@ -1,0 +1,17 @@
+// Fixture: no-lossy-float-cast. Scanned with a cost-path label.
+
+pub fn truncates(total_cost: f64) -> u64 {
+    total_cost as u64
+}
+
+pub fn halves(cost: f64) -> f32 {
+    cost as f32
+}
+
+pub fn rounded_is_fine(total_cost: f64) -> u64 {
+    total_cost.round() as u64
+}
+
+pub fn counts_are_fine(len: usize) -> u64 {
+    len as u64
+}

@@ -1,0 +1,25 @@
+// Fixture: no-unordered-iteration. Scanned with a deterministic-path label.
+use std::collections::HashMap;
+
+pub struct Cache {
+    entries: HashMap<u64, String>,
+}
+
+pub struct Allowed {
+    // lec-lint: allow(no-unordered-iteration) — keys are drained into a sorted vec before iteration
+    entries: HashMap<u64, String>,
+}
+
+pub fn in_string() -> &'static str {
+    "HashMap mentioned in a string literal is not a hit"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_sets_are_fine() {
+        let _s: HashSet<u32> = HashSet::new();
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: no-unwrap-in-lib. Scanned with a library-path label.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).unwrap()
+}
+
+pub fn named_unwrap_fn_is_not_a_hit() -> Unwrap {
+    Unwrap
+}
+
+pub struct Unwrap;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+        assert_eq!(*v.last().unwrap(), 1);
+    }
+}

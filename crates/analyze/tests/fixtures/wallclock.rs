@@ -1,0 +1,17 @@
+// Fixture: no-wallclock-or-ambient-rng. Scanned with a deterministic-path label.
+use std::time::Instant;
+
+pub fn timed() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn seeded() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn observed_millis() -> u128 {
+    // lec-lint: allow(no-wallclock-or-ambient-rng) — observability-only timing, never feeds plan choice
+    std::time::Instant::now().elapsed().as_millis()
+}

@@ -1,0 +1,135 @@
+//! Fixture-based self-tests for the lint rules.
+//!
+//! Each fixture under `tests/fixtures/` is linted under a path label that
+//! makes the rule under test applicable, and the expected violation/allowed
+//! counts are asserted. The fixtures directory itself is excluded from the
+//! workspace scan (`lec_analyze::collect_sources` skips it), so the
+//! deliberate violations here can never fail `make lint-strict`.
+
+use lec_analyze::diag::{Diagnostic, Status};
+use lec_analyze::rules::{self, lint_source};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn by_status(diags: &[Diagnostic]) -> (Vec<&Diagnostic>, Vec<&Diagnostic>) {
+    let violations = diags
+        .iter()
+        .filter(|d| d.status == Status::Violation)
+        .collect();
+    let allowed = diags
+        .iter()
+        .filter(|d| matches!(d.status, Status::Allowed { .. }))
+        .collect();
+    (violations, allowed)
+}
+
+#[test]
+fn unordered_iteration_fixture() {
+    let diags = lint_source(
+        "crates/serve/src/fixture.rs",
+        &fixture("unordered_iteration.rs"),
+    );
+    let (violations, allowed) = by_status(&diags);
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert!(violations
+        .iter()
+        .all(|d| d.rule == rules::NO_UNORDERED_ITERATION));
+    assert_eq!(allowed.len(), 1);
+    // The in-test HashSet and the string-literal mention produced nothing.
+    assert!(diags.iter().all(|d| !d.snippet.contains("HashSet")));
+}
+
+#[test]
+fn wallclock_fixture() {
+    let diags = lint_source("crates/core/src/fixture.rs", &fixture("wallclock.rs"));
+    let (violations, allowed) = by_status(&diags);
+    assert_eq!(violations.len(), 3, "{violations:?}");
+    assert!(violations.iter().all(|d| d.rule == rules::NO_WALLCLOCK));
+    assert_eq!(allowed.len(), 1);
+    match &allowed[0].status {
+        Status::Allowed { reason } => assert!(reason.contains("observability")),
+        other => panic!("expected Allowed, got {other:?}"),
+    }
+}
+
+#[test]
+fn unwrap_fixture() {
+    let diags = lint_source("crates/plan/src/fixture.rs", &fixture("unwrap_lib.rs"));
+    let (violations, allowed) = by_status(&diags);
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert!(violations.iter().all(|d| d.rule == rules::NO_UNWRAP_IN_LIB));
+    assert!(allowed.is_empty());
+}
+
+#[test]
+fn unwrap_fixture_ignored_outside_lib_paths() {
+    let diags = lint_source("crates/plan/src/bin/tool.rs", &fixture("unwrap_lib.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn epsilon_dominance_fixture() {
+    let diags = lint_source(
+        "crates/core/src/fixture.rs",
+        &fixture("epsilon_dominance.rs"),
+    );
+    let (violations, allowed) = by_status(&diags);
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert!(violations
+        .iter()
+        .all(|d| d.rule == rules::NO_EPSILON_DOMINANCE));
+    // Both hits are inside `dominates`; the identical literal in
+    // `convergence_check` and the exact `insert_frontier` are clean.
+    assert!(violations.iter().all(|d| d.snippet.contains("1e-9")));
+    assert!(allowed.is_empty());
+}
+
+#[test]
+fn lossy_cast_fixture() {
+    let diags = lint_source("crates/cost/src/fixture.rs", &fixture("lossy_cast.rs"));
+    let (violations, _) = by_status(&diags);
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert!(violations
+        .iter()
+        .all(|d| d.rule == rules::NO_LOSSY_FLOAT_CAST));
+    let snippets: Vec<&str> = violations.iter().map(|d| d.snippet.as_str()).collect();
+    assert!(snippets.iter().any(|s| s.contains("as u64")));
+    assert!(snippets.iter().any(|s| s.contains("as f32")));
+}
+
+#[test]
+fn lossy_cast_fixture_ignored_outside_cost_paths() {
+    let diags = lint_source("crates/exec/src/fixture.rs", &fixture("lossy_cast.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn bad_pragma_fixture() {
+    let diags = lint_source("crates/plan/src/fixture.rs", &fixture("bad_pragma.rs"));
+    let (violations, allowed) = by_status(&diags);
+    let bad: Vec<_> = violations
+        .iter()
+        .filter(|d| d.rule == rules::BAD_PRAGMA)
+        .collect();
+    assert_eq!(bad.len(), 2, "{violations:?}");
+    // The reasonless pragma suppressed nothing: the unwrap is still an error.
+    assert!(violations.iter().any(|d| d.rule == rules::NO_UNWRAP_IN_LIB));
+    assert!(allowed.is_empty());
+}
+
+#[test]
+fn clean_fixture_is_clean_under_every_label() {
+    let src = fixture("clean.rs");
+    for label in [
+        "crates/core/src/fixture.rs",
+        "crates/cost/src/fixture.rs",
+        "crates/serve/src/fixture.rs",
+        "src/fixture.rs",
+    ] {
+        let diags = lint_source(label, &src);
+        assert!(diags.is_empty(), "{label}: {diags:?}");
+    }
+}

@@ -47,26 +47,28 @@ fn catalog(hist: &[f64; 8]) -> Catalog {
         .collect();
     c.register(
         TableMeta::new("cust", 12 * PAGE_CAPACITY as u64, 12)
-            .unwrap()
+            .expect("x20: cust table shape is statically valid")
             .with_column(ColumnMeta::new("ck", 512, 0.0, 511.0))
             .with_column(
-                ColumnMeta::new("v", 800, 0.0, 100.0)
-                    .with_histogram(Histogram::equi_width(&values, 8).unwrap()),
+                ColumnMeta::new("v", 800, 0.0, 100.0).with_histogram(
+                    Histogram::equi_width(&values, 8)
+                        .expect("x20: synthesized cust.v sample is non-empty"),
+                ),
             ),
     )
-    .unwrap();
+    .expect("x20: cust registers into an empty catalog");
     c.register(
         TableMeta::new("ord", 24 * PAGE_CAPACITY as u64, 24)
-            .unwrap()
+            .expect("x20: ord table shape is statically valid")
             .with_column(ColumnMeta::new("ok", 512, 0.0, 511.0)),
     )
-    .unwrap();
+    .expect("x20: ord registers into an empty catalog");
     c.register(
         TableMeta::new("item", 16 * PAGE_CAPACITY as u64, 16)
-            .unwrap()
+            .expect("x20: item table shape is statically valid")
             .with_column(ColumnMeta::new("ik", 512, 0.0, 511.0)),
     )
-    .unwrap();
+    .expect("x20: item registers into an empty catalog");
     c
 }
 
@@ -175,14 +177,14 @@ const RECOVERY_FROM: usize = 45;
 fn drift_run() -> DriftRun {
     let cfg = config();
     let observed = cfg.observed_memory.clone();
-    let mut svc =
-        QueryService::new(PaperCostModel, catalog(&UNIFORM), catalog(&UNIFORM), cfg).unwrap();
+    let mut svc = QueryService::new(PaperCostModel, catalog(&UNIFORM), catalog(&UNIFORM), cfg)
+        .expect("x20: drift service constructs from a validated config");
     let mut regrets = Vec::with_capacity(STREAM_LEN);
     for (i, req) in stream(STREAM_LEN).iter().enumerate() {
         if i == DRIFT_AT {
             *svc.truth_mut() = catalog(&HOT);
         }
-        let served = svc.serve(req).unwrap();
+        let served = svc.serve(req).expect("x20: drift-run request serves");
         let truth_cost = cost_under_truth(svc.truth(), req, &served.plan, &observed);
         let best = oracle_cost(svc.truth(), req, &observed);
         regrets.push((truth_cost - best).max(0.0) / best);
@@ -214,9 +216,9 @@ pub fn run() -> String {
         catalog(&UNIFORM),
         config(),
     )
-    .unwrap();
+    .expect("x20: control service constructs from a validated config");
     for req in stream(STREAM_LEN) {
-        control.serve(&req).unwrap();
+        control.serve(&req).expect("x20: control request serves");
     }
     let cstats = control.stats();
     assert_eq!(

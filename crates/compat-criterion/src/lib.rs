@@ -291,6 +291,7 @@ fn format_ns(ns: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Macro-generated benchmark group entry point.
         pub fn $name() {
             let mut criterion: $crate::Criterion = $config.configure_from_args();
             $( $target(&mut criterion); )+

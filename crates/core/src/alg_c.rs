@@ -8,6 +8,11 @@
 //! varying memory, where the phase distributions come from evolving the
 //! initial distribution along the Markov chain — exactly what
 //! [`MemoryModel::table`] computes.
+//!
+//! Like every instantiation of the generic left-deep DP, the winning plan
+//! passes through the plan-IR verifier in debug builds (`dp::finalize`
+//! calls [`crate::verify::debug_verify_plan`]); this module adds no hook of
+//! its own.
 
 use crate::dp::{
     optimize_left_deep_par_with_stats, optimize_left_deep_with_stats, DpOptions, ExpectedCoster,

@@ -441,6 +441,7 @@ fn finalize_d<M: CostModel + ?Sized>(
         }
     };
 
+    crate::verify::debug_verify_plan(query, &best.plan, best.cost);
     Ok(AlgDResult { best, result_size })
 }
 

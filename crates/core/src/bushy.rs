@@ -186,29 +186,30 @@ fn finalize<M: CostModel + ?Sized>(
     let root = table[full.bits() as usize]
         .as_ref()
         .ok_or(CoreError::NoPlanFound)?;
-    if query.required_order().is_some() {
+    let best = if query.required_order().is_some() {
         let out = tabs.pages(full);
         let sorted_cost = root.cost + mem.expect(|m| sort_step(model, out, m));
         match &best_ordered {
-            Some(ord) if ord.cost <= sorted_cost => {
-                return Ok(Optimized {
-                    plan: plan_for(query, table, full, Some(ord)),
-                    cost: ord.cost,
-                });
-            }
+            Some(ord) if ord.cost <= sorted_cost => Optimized {
+                plan: plan_for(query, table, full, Some(ord)),
+                cost: ord.cost,
+            },
             _ => {
                 let key = query.required_order().expect("checked");
-                return Ok(Optimized {
+                Optimized {
                     plan: Plan::sort(plan_for(query, table, full, None), key),
                     cost: sorted_cost,
-                });
+                }
             }
         }
-    }
-    Ok(Optimized {
-        plan: plan_for(query, table, full, None),
-        cost: root.cost,
-    })
+    } else {
+        Optimized {
+            plan: plan_for(query, table, full, None),
+            cost: root.cost,
+        }
+    };
+    crate::verify::debug_verify_plan(query, &best.plan, best.cost);
+    Ok(best)
 }
 
 /// Computes the least-expected-cost *bushy* plan under static memory.

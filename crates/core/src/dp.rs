@@ -215,33 +215,31 @@ fn finalize<C: StepCoster>(
     let full = query.all();
     let root = table[full.bits() as usize].ok_or(CoreError::NoPlanFound)?;
 
-    if query.required_order().is_some() {
+    let best = if query.required_order().is_some() {
         let out = tabs.pages(full);
         let sorted_cost = root.cost + coster.sort(n.saturating_sub(1), out);
         match best_ordered {
-            Some(ord) if ord.cost <= sorted_cost => {
-                let plan = reconstruct(tabs, table, full, Some(ord));
-                return Ok(Optimized {
-                    plan,
-                    cost: ord.cost,
-                });
-            }
+            Some(ord) if ord.cost <= sorted_cost => Optimized {
+                plan: reconstruct(tabs, table, full, Some(ord)),
+                cost: ord.cost,
+            },
             _ => {
                 let inner = reconstruct(tabs, table, full, None);
                 let key = query.required_order().expect("checked above");
-                return Ok(Optimized {
+                Optimized {
                     plan: Plan::sort(inner, key),
                     cost: sorted_cost,
-                });
+                }
             }
         }
-    }
-
-    let plan = reconstruct(tabs, table, full, None);
-    Ok(Optimized {
-        plan,
-        cost: root.cost,
-    })
+    } else {
+        Optimized {
+            plan: reconstruct(tabs, table, full, None),
+            cost: root.cost,
+        }
+    };
+    crate::verify::debug_verify_plan(query, &best.plan, best.cost);
+    Ok(best)
 }
 
 /// Runs the left-deep dynamic program with the given step coster.

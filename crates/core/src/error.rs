@@ -13,6 +13,18 @@ pub enum CoreError {
     BadParameter(String),
     /// The search produced no plan (internal invariant violation).
     NoPlanFound,
+    /// The utility-soundness gate rejected a utility: its score does not
+    /// distribute over cost addition, so no dynamic-programming entry point
+    /// is sound for it (see `soundness::certify` and the X11
+    /// counterexample).
+    UnsoundUtility {
+        /// Debug rendering of the rejected utility.
+        utility: String,
+        /// `score(X ⊛ Y)` measured on the certification probe.
+        combined: f64,
+        /// `score(X) + score(Y)` on the same probe.
+        split: f64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -22,6 +34,19 @@ impl fmt::Display for CoreError {
             CoreError::Stats(e) => write!(f, "statistics error: {e}"),
             CoreError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
             CoreError::NoPlanFound => write!(f, "optimizer produced no plan"),
+            CoreError::UnsoundUtility {
+                utility,
+                combined,
+                split,
+            } => write!(
+                f,
+                "utility {utility} does not distribute over cost addition \
+                 (score(X+Y) = {combined} but score(X)+score(Y) = {split}), so scalar \
+                 dynamic programming is unsound for it — the paper's deadline \
+                 counterexample (experiment X11) exhibits a strictly worse plan; use \
+                 pareto::exhaustive_utility (exact brute force) or pareto::optimize \
+                 (exact Pareto-frontier DP for monotone utilities) instead"
+            ),
         }
     }
 }

@@ -263,6 +263,7 @@ fn best_scored_par<M: CostModel + Sync + ?Sized>(
     let i = best.ok_or(CoreError::NoPlanFound)?;
     let cost = costs[i];
     let plan = plans.into_iter().nth(i).expect("index in range");
+    crate::verify::debug_verify_plan(query, &plan, cost);
     Ok(Optimized { plan, cost })
 }
 
@@ -272,14 +273,16 @@ fn best_by_expected_cost<M: CostModel + ?Sized>(
     phases: &PhaseDists,
     plans: Vec<Plan>,
 ) -> Result<Optimized, CoreError> {
-    plans
+    let best = plans
         .into_iter()
         .map(|plan| {
             let cost = expected_cost(query, model, &plan, phases);
             Optimized { plan, cost }
         })
         .min_by(|a, b| a.cost.total_cmp(&b.cost))
-        .ok_or(CoreError::NoPlanFound)
+        .ok_or(CoreError::NoPlanFound)?;
+    crate::verify::debug_verify_plan(query, &best.plan, best.cost);
+    Ok(best)
 }
 
 #[cfg(test)]

@@ -26,6 +26,12 @@
 //! observability layer: every enumerator exposes `*_with_stats` variants
 //! returning deterministic [`OptStats`] search counters alongside the plan.
 //!
+//! Two static-verification layers guard the family (DESIGN.md §7): every
+//! optimizer funnels its winners through the [`verify`] debug hooks (the
+//! `lec-plan` plan-IR verifier, compiled out in release builds), and the
+//! [`soundness`] gate certifies that a utility distributes over cost
+//! addition before admitting it to a DP entry point.
+//!
 //! ### Cost accounting
 //!
 //! Uniformly across optimizer and evaluator: every join and sort
@@ -50,8 +56,10 @@ pub mod par;
 pub mod parametric;
 pub mod pareto;
 pub mod precompute;
+pub mod soundness;
 pub mod stats;
 pub mod topc;
+pub mod verify;
 pub mod voi;
 
 pub use dp::Optimized;

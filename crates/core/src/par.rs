@@ -137,6 +137,7 @@ where
 /// Timing is the *only* non-deterministic quantity the stats layer
 /// records; everything else is accumulated in mask order.
 pub fn timed<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    // lec-lint: allow(no-wallclock-or-ambient-rng) — observability-only wall time; feeds OptStats::rank_wall_ns, never a plan choice
     let start = std::time::Instant::now();
     let out = f();
     (out, start.elapsed().as_nanos() as u64)

@@ -139,6 +139,12 @@ impl ParametricPlans {
         if scenarios.is_empty() {
             return Err(CoreError::BadParameter("need at least one scenario".into()));
         }
+        // Always-on (not debug-gated): this is the one constructor fed with
+        // externally stored plans, so even stale-by-design costs must still
+        // be finite and nonnegative before they re-enter the service.
+        for (i, (_, opt)) in scenarios.iter().enumerate() {
+            lec_plan::verify_costs(&format!("parametric scenario {i}"), &[opt.cost])?;
+        }
         Ok(Self { scenarios })
     }
 

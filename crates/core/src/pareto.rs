@@ -258,6 +258,8 @@ pub fn optimize_with_stats<M: CostModel + ?Sized>(
         max_frontier,
         frontier_profiles: roots.iter().map(|e| e.profile.clone()).collect(),
     };
+    crate::verify::debug_verify_plan(query, &result.best.plan, result.best.cost);
+    crate::verify::debug_verify_frontier(&result.frontier_profiles);
     Ok((result, stats))
 }
 
@@ -361,6 +363,7 @@ pub fn scalar_dp<M: CostModel + ?Sized>(
             .map(|(&c, &p)| (c, p)),
     )?;
     let score = utility.score(&dist);
+    crate::verify::debug_verify_plan(query, &root.plan, score);
     Ok(UtilityResult {
         best: Optimized {
             plan: root.plan,
@@ -379,7 +382,7 @@ pub fn exhaustive_utility<M: CostModel + ?Sized>(
     memory: &Distribution,
     utility: Utility,
 ) -> Result<UtilityResult, CoreError> {
-    enumerate_left_deep(query)
+    let best = enumerate_left_deep(query)
         .into_iter()
         .map(|plan| {
             let dist = cost_distribution_static(query, model, &plan, memory);
@@ -392,7 +395,9 @@ pub fn exhaustive_utility<M: CostModel + ?Sized>(
             }
         })
         .min_by(|a, b| a.best.cost.total_cmp(&b.best.cost))
-        .ok_or(CoreError::NoPlanFound)
+        .ok_or(CoreError::NoPlanFound)?;
+    crate::verify::debug_verify_plan(query, &best.best.plan, best.best.cost);
+    Ok(best)
 }
 
 #[cfg(test)]

@@ -207,14 +207,18 @@ fn finalize_topc<M: CostModel + ?Sized>(
         roots.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         roots.truncate(c);
     }
+    let plans: Vec<Optimized> = roots
+        .into_iter()
+        .map(|e| Optimized {
+            plan: e.plan,
+            cost: e.cost,
+        })
+        .collect();
+    for p in &plans {
+        crate::verify::debug_verify_plan(query, &p.plan, p.cost);
+    }
     Ok(TopCResult {
-        plans: roots
-            .into_iter()
-            .map(|e| Optimized {
-                plan: e.plan,
-                cost: e.cost,
-            })
-            .collect(),
+        plans,
         combos_examined,
         combos_naive,
     })

@@ -13,18 +13,24 @@
 //! * [`Plan`] — physical plan trees over access paths, binary joins and
 //!   sorts, with the physical *order* property that lets a sort-merge join
 //!   satisfy an ORDER BY for free.
+//!
+//! The [`verify`] module is the plan-IR static verifier: a strictly stronger
+//! check than [`Plan::validate`] run behind `debug_assertions` by every
+//! optimizer and unconditionally by `lec-serve` (DESIGN.md §7).
 
 pub mod bitset;
 pub mod error;
 pub mod fingerprint;
 pub mod plan;
 pub mod query;
+pub mod verify;
 
 pub use bitset::RelSet;
 pub use error::PlanError;
 pub use fingerprint::{canonicalize, Canonical, Fingerprint};
 pub use plan::{KeyId, Plan};
 pub use query::{JoinPred, JoinQuery, Relation};
+pub use verify::{verify_costs, verify_frontier, verify_plan};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, PlanError>;

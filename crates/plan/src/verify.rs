@@ -1,0 +1,311 @@
+//! The plan-IR static verifier (Layer 2 of the static-analysis subsystem).
+//!
+//! [`verify_plan`] is a strictly stronger check than [`Plan::validate`]: on
+//! top of structural sanity (indices in range, disjoint join children, exact
+//! coverage) it certifies the *semantic* invariants every optimizer in the
+//! family promises —
+//!
+//! - **No duplicate relations**: a relation reaches the root exactly once
+//!   ([`PlanError::DuplicateRelation`]).
+//! - **Exact coverage**: the leaf set equals the query's relation set
+//!   ([`PlanError::CoverageMismatch`]).
+//! - **Join-predicate applicability**: every join node's declared key is
+//!   exactly `query.join_key_between(left, right)` — the key the crossing
+//!   predicates define, or `None` for cross products and multi-key joins
+//!   ([`PlanError::JoinKeyMismatch`]).
+//! - **Bitset consistency**: the bottom-up union of leaf sets agrees with
+//!   [`Plan::rel_set`] at every node (guards against a future memoized
+//!   `rel_set` drifting from the tree).
+//! - **Sort keys exist**: a sort names a key some predicate defines
+//!   ([`PlanError::UnknownOrderKey`]).
+//!
+//! [`verify_costs`] and [`verify_frontier`] check the numeric side: costs
+//! are finite and nonnegative, and frontier entries are mutually
+//! nondominated under the exact (epsilon-free) componentwise `<=` order —
+//! the same order `lec-core`'s Pareto DP uses, re-stated here so the
+//! verifier cannot inherit a bug from the code it checks.
+//!
+//! The optimizer family calls these behind `debug_assertions`; `lec-serve`
+//! calls them on every served plan unconditionally (see `ServeConfig`).
+
+use crate::bitset::RelSet;
+use crate::error::PlanError;
+use crate::plan::Plan;
+use crate::query::JoinQuery;
+
+/// Verify one emitted plan against its query. See the module docs for the
+/// invariant list.
+pub fn verify_plan(plan: &Plan, query: &JoinQuery) -> Result<(), PlanError> {
+    let covered = walk(plan, query)?;
+    let required = query.all();
+    if covered != required {
+        return Err(PlanError::CoverageMismatch { covered, required });
+    }
+    Ok(())
+}
+
+fn walk(plan: &Plan, query: &JoinQuery) -> Result<RelSet, PlanError> {
+    let set = match plan {
+        Plan::Access { rel, .. } => {
+            if *rel >= query.n() {
+                return Err(PlanError::BadRelationIndex(*rel));
+            }
+            RelSet::single(*rel)
+        }
+        Plan::Join {
+            left, right, key, ..
+        } => {
+            let l = walk(left, query)?;
+            let r = walk(right, query)?;
+            if let Some(dup) = l.intersect(r).iter().next() {
+                return Err(PlanError::DuplicateRelation(dup));
+            }
+            let expected = query.join_key_between(l, r);
+            if *key != expected {
+                return Err(PlanError::JoinKeyMismatch {
+                    declared: *key,
+                    expected,
+                });
+            }
+            l.union(r)
+        }
+        Plan::Sort { input, key } => {
+            if !query.predicates().iter().any(|p| p.key == *key) {
+                return Err(PlanError::UnknownOrderKey(key.0));
+            }
+            walk(input, query)?
+        }
+    };
+    // Bitset consistency: the node's own view must match the bottom-up union.
+    if plan.rel_set() != set {
+        return Err(PlanError::MalformedPlan(format!(
+            "rel_set() reports {} but the leaves union to {set}",
+            plan.rel_set()
+        )));
+    }
+    Ok(set)
+}
+
+/// Verify a slice of (parametric) costs: every value finite and nonnegative.
+///
+/// `stage` names the cost vector in the error (e.g. `"parametric"` yields
+/// `"parametric[3]"` for the fourth entry).
+pub fn verify_costs(stage: &str, costs: &[f64]) -> Result<(), PlanError> {
+    for (i, &c) in costs.iter().enumerate() {
+        if !c.is_finite() || c < 0.0 {
+            return Err(PlanError::BadCost {
+                stage: format!("{stage}[{i}]"),
+                value: c,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exact componentwise dominance: `a` dominates `b` iff `a[k] <= b[k]` for
+/// every `k`. Deliberately epsilon-free — tolerance here broke antisymmetry
+/// once already (see DESIGN.md §4c and the `no-epsilon-dominance` lint).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// Verify a Pareto frontier: every cost vector finite/nonnegative and no
+/// entry dominated by another (duplicates count as mutual domination).
+pub fn verify_frontier(points: &[impl AsRef<[f64]>]) -> Result<(), PlanError> {
+    for (i, p) in points.iter().enumerate() {
+        verify_costs(&format!("frontier[{i}]"), p.as_ref())?;
+    }
+    for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && dominates(q.as_ref(), p.as_ref()) {
+                return Err(PlanError::DominatedFrontierEntry { index: i, by: j });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::KeyId;
+    use crate::query::{JoinPred, Relation};
+    use lec_cost::JoinMethod;
+
+    fn query3() -> JoinQuery {
+        JoinQuery::new(
+            vec![
+                Relation::new("a", 100.0, 1000.0),
+                Relation::new("b", 200.0, 2000.0),
+                Relation::new("c", 300.0, 3000.0),
+            ],
+            vec![
+                JoinPred {
+                    left: 0,
+                    right: 1,
+                    selectivity: 0.01,
+                    key: KeyId(0),
+                },
+                JoinPred {
+                    left: 1,
+                    right: 2,
+                    selectivity: 0.02,
+                    key: KeyId(1),
+                },
+            ],
+            None,
+        )
+        .expect("statically valid test query")
+    }
+
+    fn good_plan() -> Plan {
+        Plan::join(
+            Plan::join(
+                Plan::scan(0),
+                Plan::scan(1),
+                JoinMethod::SortMerge,
+                Some(KeyId(0)),
+            ),
+            Plan::scan(2),
+            JoinMethod::GraceHash,
+            Some(KeyId(1)),
+        )
+    }
+
+    #[test]
+    fn good_plan_verifies() {
+        assert_eq!(verify_plan(&good_plan(), &query3()), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let p = Plan::join(
+            Plan::join(
+                Plan::scan(0),
+                Plan::scan(1),
+                JoinMethod::SortMerge,
+                Some(KeyId(0)),
+            ),
+            Plan::scan(1),
+            JoinMethod::NestedLoop,
+            None,
+        );
+        assert_eq!(
+            verify_plan(&p, &query3()),
+            Err(PlanError::DuplicateRelation(1))
+        );
+    }
+
+    #[test]
+    fn coverage_mismatch_rejected() {
+        let p = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::SortMerge,
+            Some(KeyId(0)),
+        );
+        assert_eq!(
+            verify_plan(&p, &query3()),
+            Err(PlanError::CoverageMismatch {
+                covered: RelSet::single(0).insert(1),
+                required: RelSet::full(3),
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_join_key_rejected() {
+        // {a,b} × {c} crosses only the (b,c) predicate with key k1.
+        let p = Plan::join(
+            Plan::join(
+                Plan::scan(0),
+                Plan::scan(1),
+                JoinMethod::SortMerge,
+                Some(KeyId(0)),
+            ),
+            Plan::scan(2),
+            JoinMethod::GraceHash,
+            Some(KeyId(0)),
+        );
+        assert_eq!(
+            verify_plan(&p, &query3()),
+            Err(PlanError::JoinKeyMismatch {
+                declared: Some(KeyId(0)),
+                expected: Some(KeyId(1)),
+            })
+        );
+    }
+
+    #[test]
+    fn missing_join_key_rejected() {
+        let p = Plan::join(
+            Plan::join(Plan::scan(0), Plan::scan(1), JoinMethod::GraceHash, None),
+            Plan::scan(2),
+            JoinMethod::GraceHash,
+            Some(KeyId(1)),
+        );
+        assert!(matches!(
+            verify_plan(&p, &query3()),
+            Err(PlanError::JoinKeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_sort_key_rejected() {
+        let p = Plan::sort(good_plan(), KeyId(7));
+        assert_eq!(
+            verify_plan(&p, &query3()),
+            Err(PlanError::UnknownOrderKey(7))
+        );
+    }
+
+    #[test]
+    fn out_of_range_relation_rejected() {
+        assert_eq!(
+            verify_plan(&Plan::scan(9), &query3()),
+            Err(PlanError::BadRelationIndex(9))
+        );
+    }
+
+    #[test]
+    fn costs_must_be_finite_and_nonnegative() {
+        assert_eq!(verify_costs("parametric", &[0.0, 1.5, 1e12]), Ok(()));
+        assert!(matches!(
+            verify_costs("parametric", &[1.0, f64::NAN]),
+            Err(PlanError::BadCost { value, .. }) if value.is_nan()
+        ));
+        assert!(matches!(
+            verify_costs("parametric", &[1.0, f64::INFINITY]),
+            Err(PlanError::BadCost { .. })
+        ));
+        assert_eq!(
+            verify_costs("parametric", &[-1.0]),
+            Err(PlanError::BadCost {
+                stage: "parametric[0]".to_string(),
+                value: -1.0,
+            })
+        );
+    }
+
+    #[test]
+    fn frontier_nondominance() {
+        // A proper frontier: each entry best somewhere.
+        assert_eq!(
+            verify_frontier(&[vec![1.0, 9.0], vec![5.0, 5.0], vec![9.0, 1.0]]),
+            Ok(())
+        );
+        // Entry 1 is dominated by entry 0.
+        assert_eq!(
+            verify_frontier(&[vec![1.0, 2.0], vec![2.0, 2.0]]),
+            Err(PlanError::DominatedFrontierEntry { index: 1, by: 0 })
+        );
+        // Duplicates dominate each other.
+        assert!(verify_frontier(&[vec![1.0], vec![1.0]]).is_err());
+        // Dominance is exact: 1e-12 apart is NOT dominated.
+        assert_eq!(
+            verify_frontier(&[vec![1.0, 2.0], vec![1.0 + 1e-12, 2.0 - 1e-12]]),
+            Ok(())
+        );
+    }
+}

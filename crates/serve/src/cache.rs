@@ -12,10 +12,16 @@
 //! sums, and the serving loop's determinism contract only requires the
 //! *stream* to be sequential — concurrent readers would still agree on the
 //! totals at quiescence.
+//!
+//! Shards store their entries in a [`BTreeMap`] keyed by encoding bytes:
+//! every iteration a shard ever performs (eviction scan, invalidation
+//! collection) is therefore in lexicographic key order, independent of
+//! insertion history and hasher seed. `lec-lint`'s `no-unordered-iteration`
+//! rule keeps it that way.
 
 use lec_core::CacheCounters;
 use lec_plan::Fingerprint;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -25,7 +31,7 @@ struct Slot<V> {
 }
 
 struct Shard<V> {
-    entries: HashMap<Vec<u8>, Slot<V>>,
+    entries: BTreeMap<Vec<u8>, Slot<V>>,
 }
 
 /// A sharded LRU plan cache. `V` is the cached entry type (the service
@@ -51,7 +57,7 @@ impl<V: Clone> PlanCache<V> {
             shards: (0..shards)
                 .map(|_| {
                     Mutex::new(Shard {
-                        entries: HashMap::new(),
+                        entries: BTreeMap::new(),
                     })
                 })
                 .collect(),
@@ -118,9 +124,10 @@ impl<V: Clone> PlanCache<V> {
         );
     }
 
-    /// Removes every entry matching `pred`, returning the removed values
-    /// (shard order, then insertion-map order is *not* meaningful — callers
-    /// that need determinism must sort; the service sorts by its own keys).
+    /// Removes every entry matching `pred`, returning the removed values in
+    /// shard order, then lexicographic encoding order within a shard — a
+    /// deterministic order, independent of insertion history. (The service
+    /// still sorts by its own keys, but no longer has to for correctness.)
     /// Each removal counts as an invalidation.
     pub fn invalidate_collect(&self, pred: impl Fn(&V) -> bool) -> Vec<V> {
         let mut removed = Vec::new();
@@ -236,6 +243,27 @@ mod tests {
         assert_eq!(cache.counters().evictions, 0);
         assert_eq!(cache.get(&a), Some(9));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shard_iteration_order_is_insertion_independent() {
+        // Regression test for the unordered-iteration hazard: two caches
+        // holding the same entries must drain them in the same order even
+        // though the entries arrived in different orders. With the old
+        // HashMap-backed shards this only held by accident of hasher state.
+        let pages = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0];
+        let forward: PlanCache<u64> = PlanCache::new(2, 16);
+        for p in pages {
+            forward.insert(&fp(p), p as u64);
+        }
+        let backward: PlanCache<u64> = PlanCache::new(2, 16);
+        for p in pages.iter().rev() {
+            backward.insert(&fp(*p), *p as u64);
+        }
+        let drained_fwd = forward.invalidate_collect(|_| true);
+        let drained_bwd = backward.invalidate_collect(|_| true);
+        assert_eq!(drained_fwd, drained_bwd);
+        assert_eq!(drained_fwd.len(), pages.len());
     }
 
     #[test]

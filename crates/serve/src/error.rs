@@ -19,6 +19,12 @@ pub enum ServeError {
     Build(BuildError),
     /// The service configuration was invalid.
     Config(String),
+    /// A plan about to be served failed the plan-IR verifier
+    /// (`lec_plan::verify`). Unlike the optimizers' debug-only hooks this
+    /// check is always on (see `ServeConfig::verify_plans`), because served
+    /// plans can come from the cache-migration path rather than straight
+    /// from an optimizer.
+    Verification(lec_plan::PlanError),
 }
 
 impl fmt::Display for ServeError {
@@ -29,6 +35,9 @@ impl fmt::Display for ServeError {
             ServeError::Catalog(e) => write!(f, "catalog: {e}"),
             ServeError::Build(e) => write!(f, "query build: {e}"),
             ServeError::Config(msg) => write!(f, "configuration: {msg}"),
+            ServeError::Verification(e) => {
+                write!(f, "served plan failed verification: {e}")
+            }
         }
     }
 }
@@ -41,6 +50,7 @@ impl std::error::Error for ServeError {
             ServeError::Catalog(e) => Some(e),
             ServeError::Build(e) => Some(e),
             ServeError::Config(_) => None,
+            ServeError::Verification(e) => Some(e),
         }
     }
 }

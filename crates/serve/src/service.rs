@@ -66,6 +66,13 @@ pub struct ServeConfig {
     /// Optimizer backend: `None` runs the serial DP, `Some` the
     /// rank-parallel one (bit-identical results either way).
     pub parallelism: Option<Parallelism>,
+    /// Run every served plan through the plan-IR verifier
+    /// (`lec_plan::verify_plan`) before execution, failing the request with
+    /// [`ServeError::Verification`] on a bad plan. On by default — unlike
+    /// the optimizers' debug-only hooks this guards the cache-migration
+    /// path too, and its cost (a tree walk over a handful of nodes) is
+    /// noise next to plan execution.
+    pub verify_plans: bool,
 }
 
 impl ServeConfig {
@@ -81,6 +88,7 @@ impl ServeConfig {
             reoptimize_cost: 0.0,
             exec_seed: 0x5EC5,
             parallelism: None,
+            verify_plans: true,
         }
     }
 }
@@ -306,6 +314,15 @@ impl<M: CostModel + Sync> QueryService<M> {
             .plans
             .pick(&canon.query, &self.model, &self.config.observed_memory)?;
         let plan = canon.plan_to_original(&choice.plan);
+
+        // Always-on verification (`--verify` mode): the plan about to run
+        // is checked in the *request's* numbering, so the canonical↔request
+        // remapping is inside the verified surface.
+        if self.config.verify_plans {
+            lec_plan::verify_plan(&plan, &query).map_err(ServeError::Verification)?;
+            lec_plan::verify_costs("served expected cost", &[choice.expected_cost])
+                .map_err(ServeError::Verification)?;
+        }
 
         let (report, feedback) = self.execute(request, &plan)?;
         let recalibrations = self.ingest_feedback(request, &query, &feedback)?;
@@ -732,9 +749,11 @@ impl<M: CostModel + Sync> QueryService<M> {
 
     /// Migrates one pulled entry under the updated beliefs: rebuilds its
     /// query, re-canonicalizes, carries the stored plans across the two
-    /// numberings, and re-inserts. Returns `false` when the entry's plans
-    /// no longer validate against the rebuilt query (it is then dropped and
-    /// will be re-optimized on its next request).
+    /// numberings, and re-inserts. Returns `false` when a carried plan
+    /// fails the plan-IR verifier against the rebuilt query (the entry is
+    /// then dropped and will be re-optimized on its next request) — the
+    /// full verifier, not the weaker `Plan::validate`, so a migration can
+    /// never park a plan the serve path would refuse to run.
     fn migrate(&mut self, entry: CacheEntry) -> Result<bool, ServeError> {
         let query = self.build_query(&entry.request)?;
         let canon = canonicalize(&query);
@@ -743,7 +762,7 @@ impl<M: CostModel + Sync> QueryService<M> {
             // Old canonical → the entry's request numbering → new canonical.
             let in_request = entry.canon.plan_to_original(&opt.plan);
             let plan = canon.plan_to_canonical(&in_request);
-            if plan.validate(&canon.query).is_err() {
+            if lec_plan::verify_plan(&plan, &canon.query).is_err() {
                 return Ok(false);
             }
             scenarios.push((

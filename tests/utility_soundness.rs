@@ -93,3 +93,43 @@ fn risk_preferences_order_certainty_equivalents() {
     assert!(averse2 >= averse1 - 1e-6, "{averse2} vs {averse1}");
     assert!(seeking <= mean + 1e-6);
 }
+
+#[test]
+fn soundness_gate_admits_and_refuses_by_measured_algebra() {
+    // The static gate must agree with what the DP-vs-exhaustive experiments
+    // above demonstrate dynamically: linear → scalar DP, exponential →
+    // frontier DP, deadline → refused before any DP runs.
+    use lecopt::core::soundness::{self, DpAdmission};
+    use lecopt::core::CoreError;
+
+    let model = PaperCostModel;
+    let q = query(7);
+    let mem = envs::lognormal(300.0, 1.0, 5);
+
+    let (linear, adm) = soundness::optimize_gated(&q, &model, &mem, Utility::Linear).unwrap();
+    assert_eq!(adm, DpAdmission::ScalarExpectedCost);
+    let truth = pareto::exhaustive_utility(&q, &model, &mem, Utility::Linear).unwrap();
+    assert!((linear.best.cost - truth.best.cost).abs() <= 1e-6 * truth.best.cost);
+
+    let u = Utility::Exponential { gamma: 1e-5 };
+    let (averse, adm) = soundness::optimize_gated(&q, &model, &mem, u).unwrap();
+    assert_eq!(adm, DpAdmission::FrontierOnly);
+    let truth = pareto::exhaustive_utility(&q, &model, &mem, u).unwrap();
+    assert!((averse.best.cost - truth.best.cost).abs() <= 1e-6 * truth.best.cost.abs());
+
+    // A step utility is refused statically, with the witness and fallbacks
+    // in the error — the scalar DP never gets a chance to return the
+    // silently-worse plan `scalar_dp_sound_iff_linear` exhibits.
+    let deadline = truth.cost_distribution.quantile(0.6).unwrap();
+    let err = soundness::optimize_gated(
+        &q,
+        &model,
+        &mem,
+        Utility::Deadline {
+            threshold: deadline,
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, CoreError::UnsoundUtility { .. }), "{err:?}");
+    assert!(err.to_string().contains("exhaustive_utility"));
+}
