@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` is the tier-1 gate the CI driver
 # runs; the others are the fast local loops.
 
-.PHONY: verify test bench-smoke lint lint-strict xtable ci
+.PHONY: verify test bench-smoke lint lint-strict xtable fault-smoke ci
 
 # Tier-1: release build + full test suite (what must never regress).
 verify:
@@ -29,11 +29,22 @@ lint-strict:
 xtable:
 	cargo run --release -p lec-bench --bin xtable all
 
+# Fault-injection smoke: run X21 (which self-asserts its closed-form
+# counters, the frontier-before-LSC ladder ordering, and bit-identical
+# replay in-process) and check the machine-readable artifact landed.
+fault-smoke:
+	cargo run --release -p lec-bench --bin xtable x21 > /dev/null
+	test -s results/BENCH_faults.json
+	grep -q '"experiment": "x21_faults"' results/BENCH_faults.json
+	grep -q '"every_request_served": true' results/BENCH_faults.json
+	grep -q '"frontier_before_lsc": true' results/BENCH_faults.json
+
 # Full local CI gate: formatting, lints, the whole test suite (unit +
-# integration + doc-tests), and X19/X20 smoke runs that must leave
-# well-formed results/BENCH_stats.json and results/BENCH_serve.json behind
-# (X20 additionally self-asserts the control-run closed forms and the
-# drift-recovery bounds).
+# integration + doc-tests), and X19/X20/X21 smoke runs that must leave
+# well-formed results/BENCH_stats.json, results/BENCH_serve.json, and
+# results/BENCH_faults.json behind (X20 self-asserts the control-run
+# closed forms and the drift-recovery bounds; X21 self-asserts the
+# fault-run closed forms, ladder ordering, and bit-identical replay).
 ci:
 	cargo fmt --all -- --check
 	cargo clippy --workspace --all-targets -- -D warnings
@@ -47,3 +58,4 @@ ci:
 	cargo run --release -p lec-bench --bin xtable x20 > /dev/null
 	test -s results/BENCH_serve.json
 	grep -q '"experiment": "x20_serve"' results/BENCH_serve.json
+	$(MAKE) fault-smoke

@@ -7,7 +7,7 @@
 //!
 //! | rule | scope |
 //! |------|-------|
-//! | `no-unordered-iteration`      | deterministic paths (core/plan/cost/stats/serve src) |
+//! | `no-unordered-iteration`      | deterministic paths (core/plan/cost/stats/serve src, plus pinned files like the exec fault layer) |
 //! | `no-wallclock-or-ambient-rng` | deterministic paths |
 //! | `no-unwrap-in-lib`            | all library src trees (bin targets excluded), ratcheted |
 //! | `no-epsilon-dominance`        | deterministic paths, inside dominance/frontier functions |
@@ -50,6 +50,13 @@ const DETERMINISTIC_PATHS: [&str; 5] = [
     "crates/serve/src",
 ];
 
+/// Individual files carrying the full determinism contract even though
+/// their surrounding tree is exempt. The exec simulator is free to keep
+/// wall-clock observability, but the fault-injection layer must replay
+/// bit-identically (faults key on simulated coordinates only), so it is
+/// pinned file-by-file.
+const DETERMINISTIC_FILES: [&str; 1] = ["crates/exec/src/fault.rs"];
+
 /// Source trees doing cost arithmetic, where silent precision loss is a bug.
 const COST_PATHS: [&str; 2] = ["crates/cost/src", "crates/core/src"];
 
@@ -60,7 +67,7 @@ fn in_tree(path: &str, trees: &[&str]) -> bool {
 }
 
 fn is_deterministic_path(path: &str) -> bool {
-    in_tree(path, &DETERMINISTIC_PATHS)
+    in_tree(path, &DETERMINISTIC_PATHS) || DETERMINISTIC_FILES.contains(&path)
 }
 
 fn is_cost_path(path: &str) -> bool {
@@ -441,6 +448,19 @@ mod tests {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(violations("crates/core/src/dp.rs", src).len(), 1);
         assert!(violations("crates/exec/src/run.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pinned_files_carry_the_deterministic_rules() {
+        // The exec tree is exempt as a tree, but the fault layer is pinned
+        // file-by-file: wall clock, ambient RNG, and unordered maps are all
+        // violations there, while a sibling file stays exempt.
+        let wallclock = "let t0 = std::time::Instant::now();\n";
+        let hashmap = "use std::collections::HashMap;\n";
+        assert_eq!(violations("crates/exec/src/fault.rs", wallclock).len(), 1);
+        assert_eq!(violations("crates/exec/src/fault.rs", hashmap).len(), 1);
+        assert!(violations("crates/exec/src/executor.rs", wallclock).is_empty());
+        assert!(violations("crates/exec/src/executor.rs", hashmap).is_empty());
     }
 
     #[test]

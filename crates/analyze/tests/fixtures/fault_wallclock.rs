@@ -1,0 +1,45 @@
+//! Fixture: a fault layer that cheats on the determinism contract.
+//!
+//! Linted under the pinned label `crates/exec/src/fault.rs` (where every
+//! deterministic rule applies) and under a sibling exec label (where none
+//! do). The violations here are the exact shapes the no-wallclock rule
+//! exists to keep out of the fault layer: wall-clock triggers, ambient
+//! entropy seeds, and hash-ordered schedules.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct Schedule {
+    fired: HashMap<u64, bool>,
+    started: Instant,
+}
+
+impl Schedule {
+    fn seeded() -> u64 {
+        // Ambient OS entropy: two runs, two schedules.
+        let rng = rand::rngs::StdRng::from_entropy();
+        let _ = rng;
+        0
+    }
+
+    fn should_fire(&self) -> bool {
+        // Wall-clock trigger: replay-hostile.
+        self.started.elapsed().as_millis() % 7 == 0
+    }
+
+    fn tick(&self) -> u128 {
+        // Observability wall-clock reads are fine when declared.
+        let t = Instant::now(); // lec-lint: allow(no-wallclock-or-ambient-rng) — observability only
+        t.elapsed().as_nanos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_test_wallclock_is_exempt() {
+        let _ = Instant::now();
+    }
+}

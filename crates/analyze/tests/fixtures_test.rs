@@ -121,6 +121,50 @@ fn bad_pragma_fixture() {
 }
 
 #[test]
+fn fault_wallclock_fixture_flagged_only_under_the_pinned_file() {
+    let src = fixture("fault_wallclock.rs");
+    // Under the pinned fault-layer label every deterministic rule applies:
+    // two HashMap uses, the `Instant` import and field, and the ambient
+    // `from_entropy` seed are violations; the declared observability read
+    // is allowed by its reasoned pragma; the in-test read produces nothing.
+    let diags = lint_source("crates/exec/src/fault.rs", &src);
+    let (violations, allowed) = by_status(&diags);
+    assert_eq!(violations.len(), 5, "{violations:?}");
+    assert_eq!(
+        violations
+            .iter()
+            .filter(|d| d.rule == rules::NO_WALLCLOCK)
+            .count(),
+        3
+    );
+    assert_eq!(
+        violations
+            .iter()
+            .filter(|d| d.rule == rules::NO_UNORDERED_ITERATION)
+            .count(),
+        2
+    );
+    assert_eq!(allowed.len(), 1);
+    // A sibling exec file is outside the pinned set: the whole fixture
+    // lints clean there.
+    let diags = lint_source("crates/exec/src/executor.rs", &src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn real_fault_layer_sources_lint_clean() {
+    // The shipped fault layer and resilience module must satisfy the
+    // contract the fixture above violates.
+    for rel in ["crates/exec/src/fault.rs", "crates/serve/src/resilience.rs"] {
+        let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let diags = lint_source(rel, &src);
+        let (violations, _) = by_status(&diags);
+        assert!(violations.is_empty(), "{rel}: {violations:?}");
+    }
+}
+
+#[test]
 fn clean_fixture_is_clean_under_every_label() {
     let src = fixture("clean.rs");
     for label in [

@@ -20,3 +20,4 @@ pub mod x17_bushy;
 pub mod x18_parallel;
 pub mod x19_stats;
 pub mod x20_serve;
+pub mod x21_faults;

@@ -1,0 +1,375 @@
+//! X21 (extension) — fault injection and graceful degradation in the
+//! serving loop.
+//!
+//! Two runs of the same 40-request stream through a `lec-serve`
+//! [`QueryService`] with the resilience layer on:
+//!
+//! * **Control** (injection off): bit-for-bit the PR-3 serving path — all
+//!   resilience counters zero, and in particular *0 faults ⇒ 0 retries*.
+//! * **Faulted**: every 4th request's first attempt gets a deterministic
+//!   phase-0 I/O error. Every request is still served — the fallback
+//!   ladder retries on the next-best frontier plan, and once a fingerprint
+//!   accumulates 3 strikes the circuit breaker reroutes its next request
+//!   straight to the LSC baseline and drops the poisoned cache entry for
+//!   reoptimization. All counters are closed forms of the injection
+//!   config and asserted exactly, the ladder ordering (primary →
+//!   frontier → LSC) is checked on every request, and the whole faulted
+//!   run is asserted bit-identical across two executions.
+
+use crate::table::Table;
+use lec_catalog::{Catalog, ColumnMeta, TableMeta};
+use lec_cost::PaperCostModel;
+use lec_exec::{FaultKind, PAGE_CAPACITY};
+use lec_serve::{
+    DriftConfig, FaultInjection, QueryRequest, QueryService, ResiliencePolicy, ServeConfig,
+    ServeRoute, ServedQuery,
+};
+use lec_stats::Distribution;
+use lec_workload::from_catalog::{FilterSpec, JoinSpec};
+use std::path::PathBuf;
+
+/// Where the machine-readable record lands (workspace `results/`).
+fn json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_faults.json")
+}
+
+/// `cust ⋈ ord` and `cust ⋈ item` on 512 shared keys. Beliefs ≡ truth:
+/// nothing drifts, so every non-zero counter is the fault layer's doing.
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(
+        TableMeta::new("cust", 12 * PAGE_CAPACITY as u64, 12)
+            .expect("x21: cust table shape is statically valid")
+            .with_column(ColumnMeta::new("ck", 512, 0.0, 511.0))
+            .with_column(ColumnMeta::new("v", 800, 0.0, 100.0)),
+    )
+    .expect("x21: cust registers into an empty catalog");
+    c.register(
+        TableMeta::new("ord", 24 * PAGE_CAPACITY as u64, 24)
+            .expect("x21: ord table shape is statically valid")
+            .with_column(ColumnMeta::new("ok", 512, 0.0, 511.0)),
+    )
+    .expect("x21: ord registers into an empty catalog");
+    c.register(
+        TableMeta::new("item", 16 * PAGE_CAPACITY as u64, 16)
+            .expect("x21: item table shape is statically valid")
+            .with_column(ColumnMeta::new("ik", 512, 0.0, 511.0)),
+    )
+    .expect("x21: item registers into an empty catalog");
+    c
+}
+
+fn join(l: &str, lc: &str, r: &str, rc: &str) -> JoinSpec {
+    JoinSpec {
+        left_table: l.into(),
+        left_column: lc.into(),
+        right_table: r.into(),
+        right_column: rc.into(),
+    }
+}
+
+/// The workload's templates; the even-ordinal one is the fault victim.
+fn templates() -> Vec<QueryRequest> {
+    vec![
+        QueryRequest {
+            tables: vec!["cust".into(), "ord".into()],
+            joins: vec![join("cust", "ck", "ord", "ok")],
+            filters: vec![FilterSpec {
+                table: "cust".into(),
+                column: "v".into(),
+                lo: 0.0,
+                hi: 25.0,
+                indexed: false,
+            }],
+            order_by: None,
+        },
+        QueryRequest {
+            tables: vec!["cust".into(), "item".into()],
+            joins: vec![join("cust", "ck", "item", "ik")],
+            filters: vec![],
+            order_by: None,
+        },
+    ]
+}
+
+/// Round-robin over the templates: even ordinals are template 0.
+fn stream(len: usize) -> Vec<QueryRequest> {
+    let ts = templates();
+    (0..len).map(|i| ts[i % ts.len()].clone()).collect()
+}
+
+/// Scenarios far enough apart that the cached parametric entry holds two
+/// *distinct* plans — the precondition for a frontier rung on the ladder.
+fn config(injection: FaultInjection) -> ServeConfig {
+    let mut cfg = ServeConfig::new(
+        vec![
+            Distribution::new([(3.0, 0.9), (6.0, 0.1)])
+                .expect("x21: tight-memory scenario is a valid distribution"),
+            Distribution::new([(200.0, 1.0)])
+                .expect("x21: ample-memory scenario is a valid distribution"),
+        ],
+        Distribution::new([(8.0, 0.5), (48.0, 0.5)])
+            .expect("x21: observed memory is a valid distribution"),
+    );
+    // Beliefs ≡ truth, and the detector is pinned to x20's settings so no
+    // drift machinery contributes to the counters under test.
+    cfg.drift = DriftConfig {
+        error_threshold: 0.5,
+        min_observations: 3,
+        blend: 0.8,
+    };
+    cfg.resilience = ResiliencePolicy {
+        max_retries: MAX_RETRIES,
+        breaker_threshold: BREAKER_THRESHOLD,
+    };
+    cfg.fault_injection = injection;
+    cfg
+}
+
+const STREAM_LEN: usize = 40;
+const FAULT_PERIOD: u64 = 4;
+const MAX_RETRIES: u32 = 2;
+const BREAKER_THRESHOLD: u32 = 3;
+
+fn route_label(route: ServeRoute) -> String {
+    match route {
+        ServeRoute::Primary => "primary".into(),
+        ServeRoute::Frontier { rank } => format!("frontier:{rank}"),
+        ServeRoute::LscBaseline => "lsc".into(),
+    }
+}
+
+/// Ladder position, for the in-request ordering assertion.
+fn route_depth(route: ServeRoute) -> usize {
+    match route {
+        ServeRoute::Primary => 0,
+        ServeRoute::Frontier { rank } => 1 + rank,
+        ServeRoute::LscBaseline => usize::MAX,
+    }
+}
+
+struct FaultRun {
+    served: Vec<ServedQuery>,
+    counters: lec_core::ResilienceCounters,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    optimizer_invocations: u64,
+}
+
+fn run_stream(injection: FaultInjection) -> FaultRun {
+    let mut svc = QueryService::new(PaperCostModel, catalog(), catalog(), config(injection))
+        .expect("x21: service constructs from a validated config");
+    let mut served = Vec::with_capacity(STREAM_LEN);
+    for req in stream(STREAM_LEN) {
+        // The headline property: under injection every request is still
+        // served — degraded or retried, never errored out.
+        served.push(svc.serve(&req).expect("x21: every request serves"));
+    }
+    let stats = svc.stats();
+    FaultRun {
+        served,
+        counters: svc.resilience_counters(),
+        hits: stats.cache.hits,
+        misses: stats.cache.misses,
+        invalidations: stats.cache.invalidations,
+        optimizer_invocations: svc.optimizer_invocations(),
+    }
+}
+
+/// Runs the experiment, returning a markdown section; also writes
+/// `results/BENCH_faults.json`.
+pub fn run() -> String {
+    // Control: injection off. 0 faults ⇒ 0 retries (and every other
+    // resilience counter zero); cache behaves exactly as PR-3.
+    let control = run_stream(FaultInjection::OFF);
+    assert!(
+        control.counters.is_zero(),
+        "control: all resilience counters must be zero, got {:?}",
+        control.counters
+    );
+    assert_eq!(control.misses, 2, "control: one miss per template");
+    assert_eq!(control.hits, (STREAM_LEN - 2) as u64);
+    assert_eq!(control.invalidations, 0);
+    assert!(control
+        .served
+        .iter()
+        .all(|s| s.resilience.route == ServeRoute::Primary && s.resilience.attempts == 1));
+
+    // Faulted: every 4th request's first attempt hits a phase-0 I/O error.
+    let faulted = run_stream(FaultInjection::every(FAULT_PERIOD, FaultKind::IoError));
+
+    // Closed forms of the injection config. Ordinals 0,4,...,36 fault once
+    // and retry onto the next-best frontier plan (10 faults). Template 0
+    // serves every *even* ordinal, so after each third strike the breaker
+    // opens at the next even ordinal — 10, 22, 34 — which trips it: the
+    // request is served fault-free by the LSC baseline, the strikes reset,
+    // and the entry is dropped, forcing a reoptimizing miss at 12, 24, 36.
+    let c = faulted.counters;
+    assert_eq!(c.faults_injected, 10, "{c:?}");
+    assert_eq!(c.retries, 10, "{c:?}");
+    assert_eq!(c.frontier_fallbacks, 10, "{c:?}");
+    assert_eq!(c.breaker_trips, 3, "{c:?}");
+    assert_eq!(c.lsc_fallbacks, 3, "{c:?}");
+    assert_eq!(c.degraded_serves, 13, "{c:?}");
+    // k injected faults cost at most k·max_retries extra executions.
+    assert!(c.retries <= c.faults_injected * MAX_RETRIES as u64);
+    // Each breaker trip dropped (and later reoptimized) the entry.
+    assert_eq!(faulted.invalidations, 3);
+    assert_eq!(faulted.misses, 5, "initial 2 + 3 post-trip reoptimizations");
+    assert_eq!(faulted.hits, (STREAM_LEN - 5) as u64);
+    assert_eq!(faulted.optimizer_invocations, 5);
+
+    // The fallback ladder ordering, per request: attempts never move up
+    // the ladder (primary before frontier before LSC).
+    for (i, s) in faulted.served.iter().enumerate() {
+        let depths: Vec<usize> = s
+            .resilience
+            .attempted
+            .iter()
+            .map(|&r| route_depth(r))
+            .collect();
+        assert!(
+            depths.windows(2).all(|w| w[0] < w[1]),
+            "request {i}: ladder went up: {:?}",
+            s.resilience.attempted
+        );
+    }
+    // And across the stream: frontier fallbacks start serving before the
+    // first LSC serve (the breaker needs strikes before it can trip).
+    let first_frontier = faulted
+        .served
+        .iter()
+        .position(|s| matches!(s.resilience.route, ServeRoute::Frontier { .. }));
+    let first_lsc = faulted
+        .served
+        .iter()
+        .position(|s| s.resilience.route == ServeRoute::LscBaseline);
+    let frontier_before_lsc = match (first_frontier, first_lsc) {
+        (Some(f), Some(l)) => f < l,
+        _ => false,
+    };
+    assert!(
+        frontier_before_lsc,
+        "fallback ladder must serve frontier-next before LSC (frontier at {first_frontier:?}, \
+         lsc at {first_lsc:?})"
+    );
+
+    // Determinism: the same injection config replays bit-identically.
+    let replay = run_stream(FaultInjection::every(FAULT_PERIOD, FaultKind::IoError));
+    assert_eq!(replay.counters, faulted.counters);
+    for (a, b) in faulted.served.iter().zip(&replay.served) {
+        assert_eq!(a.resilience, b.resilience);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.expected_cost.to_bits(), b.expected_cost.to_bits());
+        assert_eq!(a.report, b.report);
+    }
+
+    let mut t = Table::new(&[
+        "run",
+        "faults",
+        "retries",
+        "degraded",
+        "breaker trips",
+        "frontier",
+        "lsc",
+        "hits",
+        "misses",
+    ]);
+    for (name, r) in [("control", &control), ("faulted", &faulted)] {
+        t.row(vec![
+            name.into(),
+            r.counters.faults_injected.to_string(),
+            r.counters.retries.to_string(),
+            r.counters.degraded_serves.to_string(),
+            r.counters.breaker_trips.to_string(),
+            r.counters.frontier_fallbacks.to_string(),
+            r.counters.lsc_fallbacks.to_string(),
+            r.hits.to_string(),
+            r.misses.to_string(),
+        ]);
+    }
+
+    let routes = faulted
+        .served
+        .iter()
+        .map(|s| format!("\"{}\"", route_label(s.resilience.route)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"experiment\": \"x21_faults\",\n  \"stream_len\": {STREAM_LEN},\n  \
+         \"fault_period\": {FAULT_PERIOD},\n  \"max_retries\": {MAX_RETRIES},\n  \
+         \"breaker_threshold\": {BREAKER_THRESHOLD},\n  \
+         \"control\": {{\"faults\": {}, \"retries\": {}, \"degraded\": {}, \
+         \"hits\": {}, \"misses\": {}}},\n  \
+         \"faulted\": {{\"faults\": {}, \"retries\": {}, \"degraded\": {}, \
+         \"breaker_trips\": {}, \"frontier_fallbacks\": {}, \"lsc_fallbacks\": {}, \
+         \"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
+         \"optimizer_invocations\": {}}},\n  \
+         \"every_request_served\": true,\n  \"frontier_before_lsc\": {frontier_before_lsc},\n  \
+         \"routes\": [{routes}]\n}}\n",
+        control.counters.faults_injected,
+        control.counters.retries,
+        control.counters.degraded_serves,
+        control.hits,
+        control.misses,
+        c.faults_injected,
+        c.retries,
+        c.degraded_serves,
+        c.breaker_trips,
+        c.frontier_fallbacks,
+        c.lsc_fallbacks,
+        faulted.hits,
+        faulted.misses,
+        faulted.invalidations,
+        faulted.optimizer_invocations,
+    );
+    let path = json_path();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("results dir");
+    }
+    std::fs::write(&path, &json).expect("write BENCH_faults.json");
+
+    format!(
+        "## X21 — fault injection and graceful degradation (lec-serve)\n\n\
+         A {STREAM_LEN}-request stream with a deterministic phase-0 I/O \
+         error injected into every {FAULT_PERIOD}th request's first \
+         attempt. Every request is still served: faulted executions retry \
+         down the fallback ladder (next-best frontier plan by re-cost, \
+         then the LSC baseline), and after {BREAKER_THRESHOLD} strikes the \
+         circuit breaker reroutes the fingerprint straight to the LSC \
+         baseline and drops its cache entry for reoptimization. All \
+         counters are closed forms of the injection config, asserted \
+         exactly, and the faulted run replays bit-identically. \
+         Machine-readable copy written to `results/BENCH_faults.json`.\n\n{}\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_writes_json_and_self_asserts() {
+        let md = run();
+        assert!(md.contains("X21"));
+        assert!(md.contains("| control |"));
+        assert!(md.contains("| faulted |"));
+        let json = std::fs::read_to_string(json_path()).unwrap();
+        assert!(json.contains("\"experiment\": \"x21_faults\""));
+        assert!(json.contains("\"every_request_served\": true"));
+        assert!(json.contains("\"frontier_before_lsc\": true"));
+        // The faulted run's closed forms, as JSON.
+        assert!(json.contains(
+            "\"faulted\": {\"faults\": 10, \"retries\": 10, \"degraded\": 13, \
+             \"breaker_trips\": 3, \"frontier_fallbacks\": 10, \"lsc_fallbacks\": 3, \
+             \"hits\": 35, \"misses\": 5, \"invalidations\": 3, \
+             \"optimizer_invocations\": 5}"
+        ));
+        assert!(json.contains(
+            "\"control\": {\"faults\": 0, \"retries\": 0, \"degraded\": 0, \
+             \"hits\": 38, \"misses\": 2}"
+        ));
+    }
+}

@@ -369,6 +369,42 @@ mod tests {
     }
 
     #[test]
+    fn merge_into_zero_width_bucket_histogram() {
+        // A degenerate sample (every value identical) builds a single
+        // zero-width bucket [7, 7]; merging must neither divide by the
+        // zero width nor lose the mass invariant.
+        let mut h = Histogram::equi_width(&[7.0; 5], 3).unwrap();
+        assert_eq!(h.buckets(), 1);
+        assert_eq!(h.boundaries(), &[7.0, 7.0]);
+        h.merge_observations(&[(7.0, 10)], 0.8).unwrap();
+        assert_eq!(h.fractions(), &[1.0]);
+        assert!(h.selectivity_eq(7.0) > 0.0);
+        // An outlier widens the degenerate domain into a real interval,
+        // still carrying all the mass.
+        h.merge_observations(&[(12.0, 10)], 0.8).unwrap();
+        assert_eq!(h.boundaries(), &[7.0, 12.0]);
+        assert_eq!(h.fractions(), &[1.0]);
+        assert!((h.selectivity_range(7.0, 12.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation_blend_is_exact() {
+        // One observed row is still a full observed distribution (all its
+        // mass in one bucket): the blend arithmetic must match the closed
+        // form exactly, not merely qualitatively shift mass.
+        let mut h = Histogram::equi_width(&uniform_values(1000), 4).unwrap();
+        h.merge_observations(&[(900.0, 1)], 0.8).unwrap();
+        // fractions = 0.2·[0.25, …] + 0.8·[0, 0, 0, 1], already unit-sum.
+        for i in 0..3 {
+            assert!((h.fractions()[i] - 0.05).abs() < 1e-12, "bucket {i}");
+        }
+        assert!((h.fractions()[3] - 0.85).abs() < 1e-12);
+        assert!((h.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // The single observation can only grow the distinct count.
+        assert!(h.distinct_total() >= 1);
+    }
+
+    #[test]
     fn merge_grows_distinct_counts_monotonically() {
         let vals = vec![1.0, 1.0, 2.0, 2.0];
         let mut h = Histogram::equi_width(&vals, 1).unwrap();

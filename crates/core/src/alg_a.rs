@@ -62,13 +62,12 @@ pub fn optimize<M: CostModel + ?Sized>(
         .iter()
         .min_by(|a, b| a.expected_cost.total_cmp(&b.expected_cost))
         .ok_or(CoreError::NoPlanFound)?;
-    Ok(AlgAResult {
-        best: Optimized {
-            plan: best.optimized.plan.clone(),
-            cost: best.expected_cost,
-        },
-        candidates,
-    })
+    let best = Optimized {
+        plan: best.optimized.plan.clone(),
+        cost: best.expected_cost,
+    };
+    crate::verify::debug_verify_plan(query, &best.plan, best.cost);
+    Ok(AlgAResult { best, candidates })
 }
 
 #[cfg(test)]

@@ -71,6 +71,7 @@ pub fn optimize_with_stats<M: CostModel + ?Sized>(
         })
         .min_by(|a, b| a.cost.total_cmp(&b.cost))
         .ok_or(CoreError::NoPlanFound)?;
+    crate::verify::debug_verify_plan(query, &best.plan, best.cost);
     Ok(AlgBResult {
         best,
         candidates_evaluated: n_candidates,

@@ -68,7 +68,7 @@ pub use error::CoreError;
 pub use evaluate::{cost_distribution_static, expected_cost, plan_cost_at};
 pub use par::Parallelism;
 pub use precompute::QueryTables;
-pub use stats::{CacheCounters, OptStats, PrecomputeSizes, SearchCounters};
+pub use stats::{CacheCounters, OptStats, PrecomputeSizes, ResilienceCounters, SearchCounters};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -81,6 +81,41 @@ impl CacheCounters {
     }
 }
 
+/// Fault/retry/degradation counters, folded into [`OptStats`] by the
+/// `lec-serve` resilience layer.
+///
+/// Deterministic under the same contract as [`CacheCounters`]: faults come
+/// from a seedable [`FaultSchedule`] keyed on simulated coordinates, so the
+/// counters depend only on the request stream and the injection config —
+/// never on wall clock or thread count.
+///
+/// [`FaultSchedule`]: https://docs.rs/lec-exec
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceCounters {
+    /// Faults the schedule actually fired during serving.
+    pub faults_injected: u64,
+    /// Execution attempts beyond the first (a retry switches plans down the
+    /// fallback ladder before re-executing).
+    pub retries: u64,
+    /// Requests served by something other than the primary plan (a
+    /// frontier fallback, the LSC baseline, or a breaker reroute).
+    pub degraded_serves: u64,
+    /// Circuit-breaker trips: fingerprints routed straight to the robust
+    /// fallback after repeated faults, flagged for reoptimization.
+    pub breaker_trips: u64,
+    /// Degraded serves answered by a next-best Pareto-frontier plan.
+    pub frontier_fallbacks: u64,
+    /// Degraded serves answered by the LSC baseline (last resort).
+    pub lsc_fallbacks: u64,
+}
+
+impl ResilienceCounters {
+    /// True when every field is zero (render elides the line then).
+    pub fn is_zero(&self) -> bool {
+        *self == ResilienceCounters::default()
+    }
+}
+
 /// Sizes of the precomputed per-query tables
 /// ([`QueryTables`](crate::precompute::QueryTables), or the enumerator's
 /// equivalent memoization).
@@ -115,6 +150,9 @@ pub struct OptStats {
     /// Plan-cache behavior, when the record comes from a caching layer
     /// (all zeros for a bare optimizer run).
     pub cache: CacheCounters,
+    /// Fault-injection and degradation behavior, when the record comes from
+    /// the serving layer's resilience path (all zeros otherwise).
+    pub resilience: ResilienceCounters,
     /// Coarse wall-clock nanoseconds per DP rank (rank `k` covers subsets
     /// of cardinality `k + 2`; a single entry for non-lattice enumerators).
     /// Scheduling-dependent: excluded from all determinism comparisons.
@@ -157,6 +195,12 @@ impl OptStats {
         self.cache.misses += other.cache.misses;
         self.cache.evictions += other.cache.evictions;
         self.cache.invalidations += other.cache.invalidations;
+        self.resilience.faults_injected += other.resilience.faults_injected;
+        self.resilience.retries += other.resilience.retries;
+        self.resilience.degraded_serves += other.resilience.degraded_serves;
+        self.resilience.breaker_trips += other.resilience.breaker_trips;
+        self.resilience.frontier_fallbacks += other.resilience.frontier_fallbacks;
+        self.resilience.lsc_fallbacks += other.resilience.lsc_fallbacks;
         extend_add(&mut self.rank_wall_ns, &other.rank_wall_ns);
     }
 
@@ -193,6 +237,18 @@ impl OptStats {
                 self.cache.evictions,
                 self.cache.invalidations,
                 100.0 * self.cache.hit_rate()
+            );
+        }
+        if !self.resilience.is_zero() {
+            let _ = writeln!(
+                out,
+                "resilience:        {} fault / {} retry / {} degraded / {} breaker ({} frontier, {} lsc)",
+                self.resilience.faults_injected,
+                self.resilience.retries,
+                self.resilience.degraded_serves,
+                self.resilience.breaker_trips,
+                self.resilience.frontier_fallbacks,
+                self.resilience.lsc_fallbacks
             );
         }
         if !self.counters.frontier_per_rank.is_empty() {
@@ -296,6 +352,34 @@ mod tests {
         assert!(CacheCounters::default().is_zero());
         assert_eq!(CacheCounters::default().hit_rate(), 0.0);
         assert!(!OptStats::new("alg_c", 3).render().contains("plan cache"));
+    }
+
+    #[test]
+    fn resilience_counters_absorb_and_render() {
+        let mut a = OptStats::new("serve", 3);
+        a.resilience = ResilienceCounters {
+            faults_injected: 4,
+            retries: 3,
+            degraded_serves: 2,
+            breaker_trips: 1,
+            frontier_fallbacks: 2,
+            lsc_fallbacks: 1,
+        };
+        let mut b = OptStats::new("serve", 3);
+        b.resilience.faults_injected = 6;
+        b.resilience.retries = 5;
+        a.absorb(&b);
+        assert_eq!(a.resilience.faults_injected, 10);
+        assert_eq!(a.resilience.retries, 8);
+        assert_eq!(a.resilience.degraded_serves, 2);
+        let text = a.render();
+        assert!(
+            text.contains("resilience:        10 fault / 8 retry / 2 degraded / 1 breaker"),
+            "{text}"
+        );
+        // A record with no faults says nothing about resilience.
+        assert!(ResilienceCounters::default().is_zero());
+        assert!(!OptStats::new("alg_c", 3).render().contains("resilience"));
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct BufferPool {
     recency: BTreeMap<u64, PageKey>,
     tick: u64,
     io: IoCounters,
+    /// Armed fault-injection point: the first charged I/O at or past this
+    /// total-I/O tick fails with [`ExecError::InjectedFault`]. Survives
+    /// `regrant` (the schedule spans the whole execution), disarms on fire.
+    fault_at: Option<u64>,
 }
 
 impl BufferPool {
@@ -68,7 +72,27 @@ impl BufferPool {
             recency: BTreeMap::new(),
             tick: 0,
             io: IoCounters::default(),
+            fault_at: None,
         }
+    }
+
+    /// Arms a deterministic I/O fault: the first charged I/O once the total
+    /// I/O count reaches `at` fails. At most one fault is armed at a time.
+    pub fn arm_io_fault(&mut self, at: u64) {
+        self.fault_at = Some(at);
+    }
+
+    /// Fires the armed fault if the counters have reached it.
+    fn check_io_fault(&mut self) -> Result<(), ExecError> {
+        if let Some(t) = self.fault_at {
+            if self.io.total() >= t {
+                self.fault_at = None;
+                return Err(ExecError::InjectedFault {
+                    site: format!("io tick {t}"),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Current capacity in frames.
@@ -111,6 +135,7 @@ impl BufferPool {
         } else {
             let page = disk.page(rel, idx)?.clone();
             self.io.reads += 1;
+            self.check_io_fault()?;
             self.make_room()?;
             self.frames.insert(
                 key,
@@ -144,6 +169,7 @@ impl BufferPool {
     /// uncached. Returns the page index.
     pub fn append(&mut self, disk: &mut Disk, rel: RelId, page: Page) -> Result<usize, ExecError> {
         self.io.writes += 1;
+        self.check_io_fault()?;
         disk.append(rel, page)
     }
 
@@ -250,6 +276,20 @@ mod tests {
         assert_eq!(pool.counters().reads, 1);
         pool.read(&disk, r, 0).unwrap(); // cold again
         assert_eq!(pool.counters().reads, 2);
+    }
+
+    #[test]
+    fn armed_io_fault_fires_once_at_tick() {
+        let (disk, r) = disk_with(4);
+        let mut pool = BufferPool::with_capacity(8);
+        pool.arm_io_fault(2);
+        pool.read(&disk, r, 0).unwrap(); // total = 1 < 2
+        pool.regrant(8); // arming survives a phase boundary
+        let err = pool.read(&disk, r, 1).unwrap_err(); // total = 2: fires
+        assert!(matches!(err, ExecError::InjectedFault { .. }));
+        // Disarmed: I/O proceeds normally afterwards.
+        pool.read(&disk, r, 2).unwrap();
+        assert_eq!(pool.counters().reads, 3);
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub enum ExecError {
     /// The plan uses a feature the executor does not support (e.g. joins
     /// over distinct attributes).
     Unsupported(String),
+    /// A deterministic fault-injection schedule fired an I/O error here.
+    InjectedFault {
+        /// Where the fault hit (phase/operator or I/O tick).
+        site: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -51,6 +56,7 @@ impl fmt::Display for ExecError {
                 )
             }
             ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            ExecError::InjectedFault { site } => write!(f, "injected fault at {site}"),
         }
     }
 }

@@ -7,6 +7,7 @@ use crate::bufferpool::{BufferPool, IoCounters};
 use crate::disk::{Disk, RelId};
 use crate::env::ExecMemoryEnv;
 use crate::error::ExecError;
+use crate::fault::{FaultKind, FaultSchedule, OpKind};
 use crate::ops::{block_nested_loop_join, external_sort, grace_hash_join, sort_merge_join};
 use lec_cost::JoinMethod;
 use lec_plan::{Plan, RelSet};
@@ -165,6 +166,26 @@ pub fn execute_plan_with_selections_and_feedback(
     disk: &mut Disk,
     env: &mut ExecMemoryEnv,
 ) -> Result<(ExecReport, ExecFeedback), ExecError> {
+    let mut faults = FaultSchedule::empty();
+    execute_plan_with_faults(plan, base, selections, disk, env, &mut faults)
+}
+
+/// [`execute_plan_with_selections_and_feedback`] under a deterministic
+/// [`FaultSchedule`]. With an empty schedule this is the exact same code
+/// path — bit-identical reports and feedback. With a non-empty schedule,
+/// matching faults fire at most once each: I/O errors surface as
+/// [`ExecError::InjectedFault`], memory-pressure faults divide the phase's
+/// grant down (floored at the operator minimum), and stalls are recorded in
+/// the schedule's trace without perturbing the result. The fired trace is
+/// left on `faults` for the caller to inspect.
+pub fn execute_plan_with_faults(
+    plan: &Plan,
+    base: &[RelId],
+    selections: &[f64],
+    disk: &mut Disk,
+    env: &mut ExecMemoryEnv,
+    faults: &mut FaultSchedule,
+) -> Result<(ExecReport, ExecFeedback), ExecError> {
     if selections.len() != base.len() {
         return Err(ExecError::Unsupported(
             "selections must align with base relations".into(),
@@ -172,6 +193,9 @@ pub fn execute_plan_with_selections_and_feedback(
     }
     env.next_execution();
     let mut pool = BufferPool::with_capacity(8);
+    if let Some(tick) = faults.begin_execution() {
+        pool.arm_io_fault(tick);
+    }
     let mut phases = Vec::new();
     let mut feedback = ExecFeedback::default();
     let (output, _) = walk(
@@ -183,6 +207,7 @@ pub fn execute_plan_with_selections_and_feedback(
         env,
         &mut phases,
         &mut feedback,
+        faults,
     )?;
     Ok((
         ExecReport {
@@ -192,6 +217,46 @@ pub fn execute_plan_with_selections_and_feedback(
         },
         feedback,
     ))
+}
+
+/// Applies phase-triggered fault effects before an operator runs: I/O
+/// errors abort the phase, memory pressure divides the grant down (floored
+/// at the operator minimum), stalls are recorded only. Returns the
+/// possibly-reduced grant.
+fn apply_phase_faults(
+    faults: &mut FaultSchedule,
+    phase: usize,
+    op: OpKind,
+    mut m: usize,
+) -> Result<usize, ExecError> {
+    for effect in faults.fire_phase(phase, op) {
+        match effect {
+            FaultKind::IoError => {
+                return Err(ExecError::InjectedFault {
+                    site: format!("phase {phase} ({})", op.label()),
+                })
+            }
+            FaultKind::MemoryPressure { divisor } => {
+                m = (m / divisor.max(1)).max(crate::ops::MIN_MEMORY);
+            }
+            FaultKind::Stall { .. } => {}
+        }
+    }
+    Ok(m)
+}
+
+/// Attributes a surfaced I/O-tick fault to the phase/operator that was
+/// executing, then propagates the error unchanged.
+fn note_if_injected<T>(
+    result: Result<T, ExecError>,
+    faults: &mut FaultSchedule,
+    phase: usize,
+    op: OpKind,
+) -> Result<T, ExecError> {
+    if let Err(ExecError::InjectedFault { .. }) = &result {
+        faults.note_io_fault(phase, op);
+    }
+    result
 }
 
 /// Recursive execution; returns the result relation and whether it is
@@ -206,6 +271,7 @@ fn walk(
     env: &mut ExecMemoryEnv,
     phases: &mut Vec<PhaseReport>,
     feedback: &mut ExecFeedback,
+    faults: &mut FaultSchedule,
 ) -> Result<(RelId, bool), ExecError> {
     match plan {
         Plan::Access { rel, .. } => {
@@ -213,7 +279,12 @@ fn walk(
             let sel = selections[*rel];
             if sel < 1.0 {
                 let (in_pages, in_rows) = (disk.pages(id)?, disk.tuples(id)?);
-                let filtered = crate::ops::filtered_scan(disk, pool, id, sel)?;
+                let scanned = crate::ops::filtered_scan(disk, pool, id, sel);
+                let filtered = if faults.is_empty() {
+                    scanned?
+                } else {
+                    note_if_injected(scanned, faults, phases.len(), OpKind::Scan)?
+                };
                 feedback.selections.push(SelectionObs {
                     rel: *rel,
                     in_pages,
@@ -232,20 +303,34 @@ fn walk(
             method,
             ..
         } => {
-            let (l, l_sorted) = walk(left, base, selections, disk, pool, env, phases, feedback)?;
-            let (r, r_sorted) = walk(right, base, selections, disk, pool, env, phases, feedback)?;
+            let (l, l_sorted) = walk(
+                left, base, selections, disk, pool, env, phases, feedback, faults,
+            )?;
+            let (r, r_sorted) = walk(
+                right, base, selections, disk, pool, env, phases, feedback, faults,
+            )?;
             let (left_pages, left_rows) = (disk.pages(l)?, disk.tuples(l)?);
             let (right_pages, right_rows) = (disk.pages(r)?, disk.tuples(r)?);
-            let m = env.grant();
+            let mut m = env.grant();
+            let op = OpKind::of_join(*method);
+            if !faults.is_empty() {
+                m = apply_phase_faults(faults, phases.len(), op, m)?;
+            }
             pool.regrant(m);
             let before = pool.counters();
-            let (out, sorted) = match method {
-                JoinMethod::SortMerge => (
-                    sort_merge_join(disk, pool, l, r, m, l_sorted, r_sorted)?,
-                    true,
-                ),
-                JoinMethod::GraceHash => (grace_hash_join(disk, pool, l, r, m)?, false),
-                JoinMethod::NestedLoop => (block_nested_loop_join(disk, pool, l, r, m)?, false),
+            let joined = match method {
+                JoinMethod::SortMerge => {
+                    sort_merge_join(disk, pool, l, r, m, l_sorted, r_sorted).map(|o| (o, true))
+                }
+                JoinMethod::GraceHash => grace_hash_join(disk, pool, l, r, m).map(|o| (o, false)),
+                JoinMethod::NestedLoop => {
+                    block_nested_loop_join(disk, pool, l, r, m).map(|o| (o, false))
+                }
+            };
+            let (out, sorted) = if faults.is_empty() {
+                joined?
+            } else {
+                note_if_injected(joined, faults, phases.len(), op)?
             };
             phases.push(PhaseReport {
                 memory: m,
@@ -263,14 +348,24 @@ fn walk(
             Ok((out, sorted))
         }
         Plan::Sort { input, .. } => {
-            let (rel, sorted) = walk(input, base, selections, disk, pool, env, phases, feedback)?;
-            let m = env.grant();
+            let (rel, sorted) = walk(
+                input, base, selections, disk, pool, env, phases, feedback, faults,
+            )?;
+            let mut m = env.grant();
+            if !faults.is_empty() {
+                m = apply_phase_faults(faults, phases.len(), OpKind::Sort, m)?;
+            }
             pool.regrant(m);
             let before = pool.counters();
             let out = if sorted {
                 rel
             } else {
-                external_sort(disk, pool, rel, m)?
+                let sorted_rel = external_sort(disk, pool, rel, m);
+                if faults.is_empty() {
+                    sorted_rel?
+                } else {
+                    note_if_injected(sorted_rel, faults, phases.len(), OpKind::Sort)?
+                }
             };
             phases.push(PhaseReport {
                 memory: m,
@@ -511,6 +606,184 @@ mod tests {
         let without = execute_plan(&plan, &base, &mut disk, &mut env).unwrap();
         assert_eq!(with.total, without.total);
         assert_eq!(with.phases, without.phases);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical() {
+        let plan = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::SortMerge,
+            Some(KeyId(0)),
+        );
+        let (mut disk, base) = two_table_setup(50);
+        let mut env = ExecMemoryEnv::Fixed(8);
+        let baseline = execute_plan_with_feedback(&plan, &base, &mut disk, &mut env).unwrap();
+        let (mut disk2, base2) = two_table_setup(50);
+        let mut env2 = ExecMemoryEnv::Fixed(8);
+        let mut faults = FaultSchedule::empty();
+        let faulted = execute_plan_with_faults(
+            &plan,
+            &base2,
+            &[1.0, 1.0],
+            &mut disk2,
+            &mut env2,
+            &mut faults,
+        )
+        .unwrap();
+        assert_eq!(baseline, faulted);
+        assert!(faults.trace().is_empty());
+    }
+
+    #[test]
+    fn phase_io_error_aborts_with_injected_fault() {
+        let (mut disk, base) = two_table_setup(51);
+        let plan = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::GraceHash,
+            Some(KeyId(0)),
+        );
+        let mut env = ExecMemoryEnv::Fixed(8);
+        let mut faults = FaultSchedule::single(crate::fault::FaultSpec {
+            trigger: crate::fault::FaultTrigger::Phase(0),
+            kind: FaultKind::IoError,
+        });
+        let err =
+            execute_plan_with_faults(&plan, &base, &[1.0, 1.0], &mut disk, &mut env, &mut faults)
+                .unwrap_err();
+        assert!(matches!(err, ExecError::InjectedFault { .. }), "{err}");
+        assert_eq!(faults.trace().len(), 1);
+        assert_eq!(faults.trace()[0].phase, 0);
+        assert_eq!(faults.trace()[0].op, OpKind::GraceHash);
+    }
+
+    #[test]
+    fn memory_pressure_degrades_grant_but_output_is_correct() {
+        let (mut disk, base) = two_table_setup(52);
+        let expect = crate::ops::oracle::oracle_join(&disk, base[0], base[1]).unwrap();
+        let plan = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::GraceHash,
+            Some(KeyId(0)),
+        );
+        let mut env = ExecMemoryEnv::Fixed(16);
+        let mut faults = FaultSchedule::single(crate::fault::FaultSpec {
+            trigger: crate::fault::FaultTrigger::Phase(0),
+            kind: FaultKind::MemoryPressure { divisor: 4 },
+        });
+        let (report, _) =
+            execute_plan_with_faults(&plan, &base, &[1.0, 1.0], &mut disk, &mut env, &mut faults)
+                .unwrap();
+        // The grant was divided from 16 down to 4 for the faulted phase.
+        assert_eq!(report.phases[0].memory, 4);
+        assert_eq!(faults.trace().len(), 1);
+        let got = disk.all_tuples(report.output).unwrap();
+        assert!(multisets_equal(got, expect));
+    }
+
+    #[test]
+    fn stall_fault_is_recorded_without_perturbing_report() {
+        let plan = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::SortMerge,
+            Some(KeyId(0)),
+        );
+        let (mut disk, base) = two_table_setup(53);
+        let mut env = ExecMemoryEnv::Fixed(8);
+        let baseline = execute_plan(&plan, &base, &mut disk, &mut env).unwrap();
+        let (mut disk2, base2) = two_table_setup(53);
+        let mut env2 = ExecMemoryEnv::Fixed(8);
+        let mut faults = FaultSchedule::single(crate::fault::FaultSpec {
+            trigger: crate::fault::FaultTrigger::Operator {
+                kind: OpKind::SortMerge,
+                occurrence: 0,
+            },
+            kind: FaultKind::Stall { ticks: 42 },
+        });
+        let (report, _) = execute_plan_with_faults(
+            &plan,
+            &base2,
+            &[1.0, 1.0],
+            &mut disk2,
+            &mut env2,
+            &mut faults,
+        )
+        .unwrap();
+        assert_eq!(report, baseline);
+        assert_eq!(faults.stall_ticks(), 42);
+        assert_eq!(faults.trace().len(), 1);
+    }
+
+    #[test]
+    fn io_tick_fault_surfaces_and_is_attributed() {
+        let (mut disk, base) = two_table_setup(54);
+        let plan = Plan::join(
+            Plan::scan(0),
+            Plan::scan(1),
+            JoinMethod::GraceHash,
+            Some(KeyId(0)),
+        );
+        let mut env = ExecMemoryEnv::Fixed(8);
+        let mut faults = FaultSchedule::single(crate::fault::FaultSpec {
+            trigger: crate::fault::FaultTrigger::IoTick(5),
+            kind: FaultKind::IoError,
+        });
+        let err =
+            execute_plan_with_faults(&plan, &base, &[1.0, 1.0], &mut disk, &mut env, &mut faults)
+                .unwrap_err();
+        assert!(matches!(err, ExecError::InjectedFault { .. }));
+        assert_eq!(faults.trace().len(), 1);
+        assert_eq!(faults.trace()[0].kind, FaultKind::IoError);
+    }
+
+    #[test]
+    fn same_schedule_same_trace_across_runs() {
+        let plan = Plan::join(
+            Plan::join(
+                Plan::scan(0),
+                Plan::scan(1),
+                JoinMethod::GraceHash,
+                Some(KeyId(0)),
+            ),
+            Plan::scan(2),
+            JoinMethod::SortMerge,
+            Some(KeyId(0)),
+        );
+        let run = || {
+            let mut disk = Disk::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(55);
+            let base: Vec<RelId> = [6usize, 8, 4]
+                .iter()
+                .map(|&pages| {
+                    generate(
+                        &mut disk,
+                        &mut rng,
+                        &DataGenSpec {
+                            pages,
+                            key_domain: 400,
+                        },
+                    )
+                })
+                .collect();
+            let mut env = ExecMemoryEnv::Fixed(16);
+            let mut faults = FaultSchedule::seeded(7, 4, 2);
+            let result = execute_plan_with_faults(
+                &plan,
+                &base,
+                &[1.0, 1.0, 1.0],
+                &mut disk,
+                &mut env,
+                &mut faults,
+            );
+            (result.map(|(r, _)| r), faults.trace().to_vec())
+        };
+        let (r1, t1) = run();
+        let (r2, t2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(t1, t2);
     }
 
     #[test]

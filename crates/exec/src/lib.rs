@@ -34,6 +34,7 @@ pub mod disk;
 pub mod env;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod ops;
 pub mod tuple;
 
@@ -44,9 +45,11 @@ pub use disk::{Disk, RelId};
 pub use env::ExecMemoryEnv;
 pub use error::ExecError;
 pub use executor::{
-    execute_plan, execute_plan_with_feedback, execute_plan_with_selections,
-    execute_plan_with_selections_and_feedback, ExecFeedback, ExecReport, JoinObs, SelectionObs,
+    execute_plan, execute_plan_with_faults, execute_plan_with_feedback,
+    execute_plan_with_selections, execute_plan_with_selections_and_feedback, ExecFeedback,
+    ExecReport, JoinObs, SelectionObs,
 };
+pub use fault::{FaultKind, FaultRecord, FaultSchedule, FaultSpec, FaultTrigger, OpKind};
 pub use tuple::{Page, Tuple, PAGE_CAPACITY};
 
 /// Convenience result alias for this crate.

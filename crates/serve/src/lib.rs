@@ -29,11 +29,15 @@
 pub mod cache;
 pub mod drift;
 pub mod error;
+pub mod resilience;
 pub mod service;
 
 pub use cache::PlanCache;
 pub use drift::{DriftConfig, DriftDetector, DriftEvent, DriftTarget};
 pub use error::ServeError;
+pub use resilience::{
+    CircuitBreaker, FaultInjection, ResiliencePolicy, ResilienceReport, ServeRoute,
+};
 pub use service::{
     QueryRequest, QueryService, Recalibration, RecalibrationDecision, ServeConfig, ServedQuery,
 };

@@ -25,14 +25,18 @@
 use crate::cache::PlanCache;
 use crate::drift::{DriftConfig, DriftDetector, DriftEvent, DriftTarget};
 use crate::error::ServeError;
+use crate::resilience::{
+    CircuitBreaker, FaultInjection, ResiliencePolicy, ResilienceReport, ServeRoute,
+};
 use lec_catalog::{Catalog, Histogram, Predicate};
 use lec_core::alg_d::SizeModel;
 use lec_core::parametric::ParametricPlans;
-use lec_core::{voi, MemoryModel, OptStats, Parallelism};
+use lec_core::{expected_cost, lsc, voi, MemoryModel, OptStats, Parallelism, ResilienceCounters};
 use lec_cost::CostModel;
 use lec_exec::datagen::{generate, DataGenSpec};
 use lec_exec::{
-    execute_plan_with_selections_and_feedback, Disk, ExecFeedback, ExecMemoryEnv, ExecReport, RelId,
+    execute_plan_with_faults, Disk, ExecError, ExecFeedback, ExecMemoryEnv, ExecReport,
+    FaultRecord, FaultSchedule, RelId,
 };
 use lec_plan::Plan;
 use lec_plan::{canonicalize, JoinQuery};
@@ -73,6 +77,12 @@ pub struct ServeConfig {
     /// path too, and its cost (a tree walk over a handful of nodes) is
     /// noise next to plan execution.
     pub verify_plans: bool,
+    /// Bounded-retry and circuit-breaker behavior on faulted executions.
+    pub resilience: ResiliencePolicy,
+    /// Deterministic fault injection, keyed on request ordinal and attempt
+    /// number. [`FaultInjection::OFF`] (the default) keeps every execution
+    /// on the exact pre-resilience code path.
+    pub fault_injection: FaultInjection,
 }
 
 impl ServeConfig {
@@ -89,6 +99,8 @@ impl ServeConfig {
             exec_seed: 0x5EC5,
             parallelism: None,
             verify_plans: true,
+            resilience: ResiliencePolicy::default(),
+            fault_injection: FaultInjection::OFF,
         }
     }
 }
@@ -169,6 +181,17 @@ pub struct ServedQuery {
     pub feedback: ExecFeedback,
     /// Recalibrations triggered by this serve's feedback.
     pub recalibrations: Vec<Recalibration>,
+    /// What the resilience layer did (attempts, faults, serving route).
+    pub resilience: ResilienceReport,
+}
+
+/// One rung of the fallback ladder, ready to execute in the request's
+/// numbering.
+struct LadderRung {
+    plan: Plan,
+    expected_cost: f64,
+    scenario: usize,
+    route: ServeRoute,
 }
 
 /// Generated base data: one simulated relation per catalog table.
@@ -216,6 +239,8 @@ pub struct QueryService<M: CostModel + Sync> {
     drift: DriftDetector,
     config: ServeConfig,
     stats: OptStats,
+    breaker: CircuitBreaker,
+    resilience: ResilienceCounters,
     optimizer_invocations: u64,
     recalibrations: u64,
     reoptimize_decisions: u64,
@@ -263,6 +288,8 @@ impl<M: CostModel + Sync> QueryService<M> {
             drift,
             config,
             stats: OptStats::new("serve", 0),
+            breaker: CircuitBreaker::new(),
+            resilience: ResilienceCounters::default(),
             optimizer_invocations: 0,
             recalibrations: 0,
             reoptimize_decisions: 0,
@@ -324,19 +351,239 @@ impl<M: CostModel + Sync> QueryService<M> {
                 .map_err(ServeError::Verification)?;
         }
 
-        let (report, feedback) = self.execute(request, &plan)?;
-        let recalibrations = self.ingest_feedback(request, &query, &feedback)?;
-        self.queries_served += 1;
+        let policy = self.config.resilience;
+        let fp_key: Vec<u8> = canon.fingerprint.encoding().to_vec();
 
+        // Circuit breaker: a fingerprint with enough accumulated faults
+        // skips the ladder, serves the robust LSC baseline fault-free, and
+        // has its entry dropped so the next request reoptimizes.
+        if self.breaker.is_open(&fp_key, policy.breaker_threshold) {
+            return self.serve_breaker_reroute(
+                request,
+                &query,
+                &canon,
+                choice.scenario,
+                cache_hit,
+                &fp_key,
+            );
+        }
+
+        // The fallback ladder: attempt 0 is the primary pick; attempt k
+        // runs rung k-1 (next-best frontier plans by re-cost order, then
+        // the LSC baseline, clamped at the last rung). The final allowed
+        // attempt always executes with an empty schedule, so under
+        // injection every request is served — degraded or retried, never
+        // errored out. Rungs are built lazily: a fault-free serve (the
+        // common case, and the whole PR-3 path) never prices or verifies
+        // them at all.
+        let ordinal = self.queries_served;
+        let max_attempts = policy.max_retries.saturating_add(1);
+        let mut ladder: Option<Vec<LadderRung>> = None;
+        let mut attempted: Vec<ServeRoute> = Vec::new();
+        let mut fault_records: Vec<FaultRecord> = Vec::new();
+
+        for attempt in 0..max_attempts {
+            let (att_plan, att_cost, att_scenario, route) = if attempt == 0 {
+                (
+                    plan.clone(),
+                    choice.expected_cost,
+                    choice.scenario,
+                    ServeRoute::Primary,
+                )
+            } else {
+                if ladder.is_none() {
+                    ladder = Some(self.build_ladder(
+                        &query,
+                        &canon,
+                        &entry,
+                        &choice.plan,
+                        choice.scenario,
+                    )?);
+                }
+                let rungs = ladder.as_ref().ok_or_else(|| {
+                    ServeError::Config("fallback ladder missing after build".into())
+                })?;
+                let rung = &rungs[(attempt as usize - 1).min(rungs.len() - 1)];
+                (
+                    rung.plan.clone(),
+                    rung.expected_cost,
+                    rung.scenario,
+                    rung.route,
+                )
+            };
+            attempted.push(route);
+
+            let final_attempt = attempt + 1 == max_attempts;
+            let mut faults = if final_attempt {
+                FaultSchedule::empty()
+            } else {
+                self.config.fault_injection.schedule_for(ordinal, attempt)
+            };
+
+            match self.execute(request, &att_plan, &mut faults) {
+                Ok((report, feedback)) => {
+                    self.resilience.faults_injected += faults.trace().len() as u64;
+                    fault_records.extend_from_slice(faults.trace());
+                    match route {
+                        ServeRoute::Primary => {}
+                        ServeRoute::Frontier { .. } => {
+                            self.resilience.degraded_serves += 1;
+                            self.resilience.frontier_fallbacks += 1;
+                        }
+                        ServeRoute::LscBaseline => {
+                            self.resilience.degraded_serves += 1;
+                            self.resilience.lsc_fallbacks += 1;
+                        }
+                    }
+                    let recalibrations = self.ingest_feedback(request, &query, &feedback)?;
+                    self.queries_served += 1;
+                    return Ok(ServedQuery {
+                        plan: att_plan,
+                        expected_cost: att_cost,
+                        scenario: att_scenario,
+                        cache_hit,
+                        report,
+                        feedback,
+                        recalibrations,
+                        resilience: ResilienceReport {
+                            attempts: attempt + 1,
+                            faults: fault_records,
+                            attempted,
+                            route,
+                            degraded: route != ServeRoute::Primary,
+                            breaker_tripped: false,
+                        },
+                    });
+                }
+                Err(ServeError::Exec(ExecError::InjectedFault { .. })) => {
+                    self.resilience.faults_injected += faults.trace().len() as u64;
+                    fault_records.extend_from_slice(faults.trace());
+                    self.breaker.record_fault(&fp_key);
+                    self.resilience.retries += 1;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        // Unreachable: the final attempt runs fault-free, so the loop
+        // either served above or propagated a real error.
+        Err(ServeError::Config(
+            "resilience ladder exhausted without serving".into(),
+        ))
+    }
+
+    /// The circuit breaker's direct route: reset the strikes, drop the
+    /// offending cache entry (its next request reoptimizes), and serve the
+    /// LSC baseline without injection.
+    fn serve_breaker_reroute(
+        &mut self,
+        request: &QueryRequest,
+        query: &JoinQuery,
+        canon: &lec_plan::Canonical,
+        scenario: usize,
+        cache_hit: bool,
+        fp_key: &[u8],
+    ) -> Result<ServedQuery, ServeError> {
+        self.breaker.reset(fp_key);
+        self.resilience.breaker_trips += 1;
+        self.cache
+            .invalidate_collect(|e| e.canon.fingerprint.encoding() == fp_key);
+        let (plan, expected) = self.lsc_baseline(query, canon)?;
+        let mut faults = FaultSchedule::empty();
+        let (report, feedback) = self.execute(request, &plan, &mut faults)?;
+        self.resilience.degraded_serves += 1;
+        self.resilience.lsc_fallbacks += 1;
+        let recalibrations = self.ingest_feedback(request, query, &feedback)?;
+        self.queries_served += 1;
         Ok(ServedQuery {
             plan,
-            expected_cost: choice.expected_cost,
-            scenario: choice.scenario,
+            expected_cost: expected,
+            scenario,
             cache_hit,
             report,
             feedback,
             recalibrations,
+            resilience: ResilienceReport {
+                attempts: 1,
+                faults: Vec::new(),
+                attempted: vec![ServeRoute::LscBaseline],
+                route: ServeRoute::LscBaseline,
+                degraded: true,
+                breaker_tripped: true,
+            },
         })
+    }
+
+    /// Prices the fallback rungs for one request: the entry's remaining
+    /// distinct scenario plans re-cost under the observed memory
+    /// distribution (sorted ascending, ties broken by scenario index),
+    /// followed by the LSC baseline as the last resort. The LSC rung
+    /// reports the primary's scenario (it belongs to none).
+    fn build_ladder(
+        &self,
+        query: &JoinQuery,
+        canon: &lec_plan::Canonical,
+        entry: &CacheEntry,
+        primary_canonical: &Plan,
+        primary_scenario: usize,
+    ) -> Result<Vec<LadderRung>, ServeError> {
+        let phases = MemoryModel::Static(self.config.observed_memory.clone())
+            .table(canon.query.n().max(2))
+            .map_err(ServeError::Core)?;
+        let mut priced: Vec<(Plan, f64, usize)> = Vec::new();
+        for (idx, (_, opt)) in entry.plans.scenarios().iter().enumerate() {
+            if opt.plan == *primary_canonical || priced.iter().any(|(p, _, _)| *p == opt.plan) {
+                continue;
+            }
+            let cost = expected_cost(&canon.query, &self.model, &opt.plan, &phases);
+            priced.push((opt.plan.clone(), cost, idx));
+        }
+        priced.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)));
+        let mut rungs = Vec::with_capacity(priced.len() + 1);
+        for (rank, (cplan, cost, scenario)) in priced.into_iter().enumerate() {
+            let plan = canon.plan_to_original(&cplan);
+            if self.config.verify_plans {
+                lec_plan::verify_plan(&plan, query).map_err(ServeError::Verification)?;
+                lec_plan::verify_costs("fallback expected cost", &[cost])
+                    .map_err(ServeError::Verification)?;
+            }
+            rungs.push(LadderRung {
+                plan,
+                expected_cost: cost,
+                scenario,
+                route: ServeRoute::Frontier { rank },
+            });
+        }
+        let (lsc_plan, lsc_cost) = self.lsc_baseline(query, canon)?;
+        rungs.push(LadderRung {
+            plan: lsc_plan,
+            expected_cost: lsc_cost,
+            scenario: primary_scenario,
+            route: ServeRoute::LscBaseline,
+        });
+        Ok(rungs)
+    }
+
+    /// The robust last resort: System R (LSC) at the mean observed grant,
+    /// re-priced as an expected cost under the observed distribution so its
+    /// rung is comparable to the frontier rungs.
+    fn lsc_baseline(
+        &self,
+        query: &JoinQuery,
+        canon: &lec_plan::Canonical,
+    ) -> Result<(Plan, f64), ServeError> {
+        let optimized =
+            lsc::optimize_at_mean(&canon.query, &self.model, &self.config.observed_memory)?;
+        let phases = MemoryModel::Static(self.config.observed_memory.clone())
+            .table(canon.query.n().max(2))
+            .map_err(ServeError::Core)?;
+        let cost = expected_cost(&canon.query, &self.model, &optimized.plan, &phases);
+        let plan = canon.plan_to_original(&optimized.plan);
+        if self.config.verify_plans {
+            lec_plan::verify_plan(&plan, query).map_err(ServeError::Verification)?;
+            lec_plan::verify_costs("lsc baseline expected cost", &[cost])
+                .map_err(ServeError::Verification)?;
+        }
+        Ok((plan, cost))
     }
 
     /// Builds the optimizer query for `request` from the belief catalog.
@@ -357,6 +604,7 @@ impl<M: CostModel + Sync> QueryService<M> {
         &mut self,
         request: &QueryRequest,
         plan: &Plan,
+        faults: &mut FaultSchedule,
     ) -> Result<(ExecReport, ExecFeedback), ServeError> {
         let mut base = Vec::with_capacity(request.tables.len());
         for t in &request.tables {
@@ -385,16 +633,20 @@ impl<M: CostModel + Sync> QueryService<M> {
             .clamp(1e-9, 1.0);
             selections[idx] *= true_sel;
         }
+        // Seeded by the request ordinal, not the attempt: every rung of the
+        // ladder faces the same memory draw, so a retry is a pure plan
+        // switch.
         let mut env = ExecMemoryEnv::draw_once(
             self.config.observed_memory.clone(),
             self.config.exec_seed.wrapping_add(self.queries_served),
         );
-        Ok(execute_plan_with_selections_and_feedback(
+        Ok(execute_plan_with_faults(
             plan,
             &base,
             &selections,
             &mut self.store.disk,
             &mut env,
+            faults,
         )?)
     }
 
@@ -790,7 +1042,13 @@ impl<M: CostModel + Sync> QueryService<M> {
     pub fn stats(&self) -> OptStats {
         let mut s = self.stats.clone();
         s.cache = self.cache.counters();
+        s.resilience = self.resilience;
         s
+    }
+
+    /// Live fault/retry/degradation counters.
+    pub fn resilience_counters(&self) -> ResilienceCounters {
+        self.resilience
     }
 
     /// The belief catalog (what the optimizer currently assumes).

@@ -104,6 +104,29 @@ fn every_optimizer_family_member_emits_verifiable_plans() {
                 "{topology:?} seed {seed}: pareto frontier"
             );
 
+            // Self-check the battery's coverage: every member of the
+            // optimizer family must have contributed a plan above, so a
+            // future refactor cannot silently drop one from the contract.
+            let names: std::collections::BTreeSet<&str> =
+                emitted.iter().map(|(name, _)| *name).collect();
+            let family: std::collections::BTreeSet<&str> = [
+                "lsc",
+                "alg_a",
+                "alg_b",
+                "alg_c",
+                "alg_d",
+                "bushy",
+                "exhaustive",
+                "topc",
+                "pareto",
+            ]
+            .into_iter()
+            .collect();
+            assert_eq!(
+                names, family,
+                "{topology:?} seed {seed}: the verifier battery must cover the whole family"
+            );
+
             for (name, plan) in emitted {
                 assert_eq!(
                     verify_plan(&plan, &q),
