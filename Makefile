@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` is the tier-1 gate the CI driver
 # runs; the others are the fast local loops.
 
-.PHONY: verify test bench-smoke lint lint-strict xtable fault-smoke ci
+.PHONY: verify test bench-smoke lint lint-strict xtable fault-smoke kernel-smoke ci
 
 # Tier-1: release build + full test suite (what must never regress).
 verify:
@@ -39,8 +39,21 @@ fault-smoke:
 	grep -q '"every_request_served": true' results/BENCH_faults.json
 	grep -q '"frontier_before_lsc": true' results/BENCH_faults.json
 
+# Kernel/parallel smoke: re-run X18 and check the machine-readable
+# trajectory has the forced multi-thread rows and the serial-speedup
+# block the kernel rewrite is judged by.
+kernel-smoke:
+	cargo run --release -p lec-bench --bin xtable x18 > /dev/null
+	test -s results/BENCH_parallel.json
+	grep -q '"experiment": "x18_parallel"' results/BENCH_parallel.json
+	grep -q '"threads": 2' results/BENCH_parallel.json
+	grep -q '"threads": 4' results/BENCH_parallel.json
+	grep -q '"effective_threads"' results/BENCH_parallel.json
+	grep -q '"rank_wall_ns"' results/BENCH_parallel.json
+	grep -q '"serial_speedup"' results/BENCH_parallel.json
+
 # Full local CI gate: formatting, lints, the whole test suite (unit +
-# integration + doc-tests), and X19/X20/X21 smoke runs that must leave
+# integration + doc-tests), and X18/X19/X20/X21 smoke runs that must leave
 # well-formed results/BENCH_stats.json, results/BENCH_serve.json, and
 # results/BENCH_faults.json behind (X20 self-asserts the control-run
 # closed forms and the drift-recovery bounds; X21 self-asserts the
@@ -59,3 +72,4 @@ ci:
 	test -s results/BENCH_serve.json
 	grep -q '"experiment": "x20_serve"' results/BENCH_serve.json
 	$(MAKE) fault-smoke
+	$(MAKE) kernel-smoke

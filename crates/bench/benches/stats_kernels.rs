@@ -1,0 +1,67 @@
+//! Distribution-kernel microbenchmarks: the allocation-free
+//! [`ConvolveScratch`] path against the allocating reference for the three
+//! operations the DP hot loops lean on — independent products
+//! (convolve), fused convolve-expect, and the §3.6.3 product → rebucket
+//! pipeline `alg_d` runs once per dag node.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lec_stats::{rebucket, ConvolveScratch, Distribution};
+use std::hint::black_box;
+
+/// An 8-point equi-mass distribution — the `alg_d` default bucket count.
+fn dist8(base: f64, step: f64) -> Distribution {
+    let pts: Vec<(f64, f64)> = (0..8).map(|i| (base + step * i as f64, 0.125)).collect();
+    Distribution::new(pts).unwrap()
+}
+
+fn kernels(c: &mut Criterion) {
+    let a = dist8(100.0, 17.0);
+    let b = dist8(3.0, 5.0);
+
+    let mut group = c.benchmark_group("stats_kernels");
+
+    group.bench_function("convolve/naive", |bch| {
+        bch.iter(|| black_box(&a).convolve(black_box(&b)).unwrap())
+    });
+    group.bench_function("convolve/scratch", |bch| {
+        let mut s = ConvolveScratch::new();
+        bch.iter(|| s.convolve(black_box(&a), black_box(&b)).unwrap())
+    });
+
+    group.bench_function("convolve_expect/naive", |bch| {
+        bch.iter(|| {
+            black_box(&a)
+                .convolve(black_box(&b))
+                .unwrap()
+                .expect(|v| v.sqrt())
+        })
+    });
+    group.bench_function("convolve_expect/fused", |bch| {
+        let mut s = ConvolveScratch::new();
+        bch.iter(|| {
+            s.convolve_expect(black_box(&a), black_box(&b), |v| v.sqrt())
+                .unwrap()
+        })
+    });
+
+    group.bench_function("product_rebucket/naive", |bch| {
+        bch.iter(|| {
+            let prod = black_box(&a)
+                .product_with(black_box(&b), |x, y| x * y)
+                .unwrap();
+            rebucket(&prod, 8).unwrap()
+        })
+    });
+    group.bench_function("product_rebucket/scratch", |bch| {
+        let mut s = ConvolveScratch::new();
+        bch.iter(|| {
+            s.product_rebucket(black_box(&a), black_box(&b), |x, y| x * y, 8)
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

@@ -2,13 +2,19 @@
 //! rank-parallel optimizer.
 //!
 //! Serial Algorithm C against its rank-parallel twin (`alg_c::optimize_par`)
-//! on the chain sizes where the DP wavefronts are widest. Besides the
-//! markdown table this experiment writes `results/BENCH_parallel.json`, so
-//! successive checkouts can diff the speedup trajectory mechanically.
-//! The two paths return bit-identical plans (property-tested in
-//! `crates/core/tests/parallel_equivalence.rs`); only wall-clock differs,
-//! and on a single-core host the honest expectation is a speedup near (or
-//! slightly below) 1.0 — the JSON records whatever the machine delivers.
+//! on the chain sizes where the DP wavefronts are widest, swept over
+//! *forced* worker counts (1, 2, 4) so the scaling curve is visible even
+//! where `Parallelism::auto()` would collapse to one thread. Besides the
+//! markdown table this experiment writes `results/BENCH_parallel.json`
+//! with per-rank wall times per row and the serial speedup over the
+//! pre-kernel baseline, so successive checkouts can diff both the
+//! parallel scaling and the serial trajectory mechanically.
+//!
+//! The serial and parallel paths return bit-identical plans
+//! (property-tested in `crates/core/tests/parallel_equivalence.rs`); only
+//! wall-clock differs, and on a single-core host the honest expectation
+//! for the thread sweep is a speedup near (or below) 1.0 — the JSON
+//! records whatever the machine delivers.
 
 use crate::fixtures::{chain_query, spread_memory, static_mem, SEED};
 use crate::table::{ratio, Table};
@@ -16,6 +22,18 @@ use lec_core::{alg_c, Parallelism};
 use lec_cost::PaperCostModel;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Forced worker counts for the scaling sweep.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Chain size the serial-speedup headline is judged at.
+const SPEEDUP_N: usize = 13;
+
+/// On-box serial median for `alg_c` at `n = 13`, 4 memory buckets,
+/// measured at the pre-kernel-rewrite baseline commit on this machine.
+/// The `serial_speedup` JSON block reports the current serial median
+/// against this number.
+const BASELINE_SERIAL_NS: u128 = 3_616_000;
 
 /// Median wall-clock of `f` over `reps` runs after one warm-up call.
 fn median_ns<F: FnMut()>(mut f: F, reps: usize) -> u128 {
@@ -36,11 +54,14 @@ fn json_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_parallel.json")
 }
 
+fn fmt_rank_ns(rank_wall_ns: &[u64]) -> String {
+    let inner: Vec<String> = rank_wall_ns.iter().map(u64::to_string).collect();
+    format!("[{}]", inner.join(", "))
+}
+
 /// Runs the experiment, returning a markdown section; also writes
 /// `results/BENCH_parallel.json`.
 pub fn run() -> String {
-    let par = Parallelism::auto();
-    let threads = par.effective_threads();
     let mut t = Table::new(&[
         "n",
         "threads",
@@ -49,6 +70,7 @@ pub fn run() -> String {
         "speedup",
     ]);
     let mut json_rows = Vec::new();
+    let mut speedup_block = String::new();
     for n in [9usize, 11, 13] {
         let q = chain_query(n, SEED + n as u64);
         let mem = static_mem(spread_memory(4));
@@ -58,28 +80,48 @@ pub fn run() -> String {
             },
             7,
         );
-        let parallel = median_ns(
-            || {
-                alg_c::optimize_par(&q, &PaperCostModel, &mem, &par).expect("parallel");
-            },
-            7,
-        );
-        let speedup = serial as f64 / parallel as f64;
-        t.row(vec![
-            n.to_string(),
-            threads.to_string(),
-            format!("{:.3} ms", serial as f64 / 1e6),
-            format!("{:.3} ms", parallel as f64 / 1e6),
-            ratio(speedup),
-        ]);
-        json_rows.push(format!(
-            "    {{\"n\": {n}, \"threads\": {threads}, \"serial_median_ns\": {serial}, \
-             \"parallel_median_ns\": {parallel}, \"speedup\": {speedup:.4}}}"
-        ));
+        if n == SPEEDUP_N {
+            speedup_block = format!(
+                "  \"serial_speedup\": {{\"n\": {SPEEDUP_N}, \
+                 \"baseline_serial_ns\": {BASELINE_SERIAL_NS}, \
+                 \"serial_ns\": {serial}, \"speedup\": {:.4}}},\n",
+                BASELINE_SERIAL_NS as f64 / serial as f64
+            );
+        }
+        for threads in THREAD_SWEEP {
+            let par = Parallelism::with_threads(threads);
+            let effective = par.effective_threads();
+            let parallel = median_ns(
+                || {
+                    alg_c::optimize_par(&q, &PaperCostModel, &mem, &par).expect("parallel");
+                },
+                7,
+            );
+            // Per-rank wall times from one representative run (timing is
+            // the only non-deterministic stat).
+            let (_, stats) =
+                alg_c::optimize_with_stats_par(&q, &PaperCostModel, &mem, &par).expect("stats run");
+            let speedup = serial as f64 / parallel as f64;
+            t.row(vec![
+                n.to_string(),
+                threads.to_string(),
+                format!("{:.3} ms", serial as f64 / 1e6),
+                format!("{:.3} ms", parallel as f64 / 1e6),
+                ratio(speedup),
+            ]);
+            json_rows.push(format!(
+                "    {{\"n\": {n}, \"threads\": {threads}, \
+                 \"effective_threads\": {effective}, \
+                 \"serial_median_ns\": {serial}, \
+                 \"parallel_median_ns\": {parallel}, \"speedup\": {speedup:.4}, \
+                 \"rank_wall_ns\": {}}}",
+                fmt_rank_ns(&stats.rank_wall_ns)
+            ));
+        }
     }
     let json = format!(
         "{{\n  \"experiment\": \"x18_parallel\",\n  \"algorithm\": \"alg_c\",\n  \
-         \"memory_buckets\": 4,\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"memory_buckets\": 4,\n{speedup_block}  \"rows\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
     let path = json_path();
@@ -89,11 +131,13 @@ pub fn run() -> String {
     std::fs::write(&path, &json).expect("write BENCH_parallel.json");
     format!(
         "## X18 — serial vs. rank-parallel optimization time\n\n\
-         Median of 7 runs, chain queries, 4 memory buckets, \
-         {threads} worker thread(s) (`Parallelism::auto()`). Both paths \
-         return bit-identical plans; speedup above 1.000x means the \
-         parallel path was faster. Machine-readable copy written to \
-         `results/BENCH_parallel.json`.\n\n{}\n",
+         Median of 7 runs, chain queries, 4 memory buckets, forced worker \
+         counts {THREAD_SWEEP:?}. Both paths return bit-identical plans; \
+         speedup above 1.000x means the parallel path was faster (threads \
+         = 1 routes through the serial path, so its speedup isolates \
+         dispatch overhead). Machine-readable copy — including per-rank \
+         wall times per row and the serial speedup over the pre-kernel \
+         baseline — written to `results/BENCH_parallel.json`.\n\n{}\n",
         t.render()
     )
 }
@@ -111,6 +155,12 @@ mod tests {
         assert!(json.contains("\"experiment\": \"x18_parallel\""));
         assert!(json.contains("\"n\": 9"));
         assert!(json.contains("\"n\": 13"));
-        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"effective_threads\""));
+        assert!(json.contains("\"rank_wall_ns\""));
+        assert!(json.contains("\"serial_speedup\""));
+        assert!(json.contains("\"baseline_serial_ns\""));
     }
 }

@@ -26,7 +26,7 @@ use crate::stats::OptStats;
 use lec_cost::fast_expect::{expected_join_fast, expected_join_naive, expected_sort};
 use lec_cost::{AccessMethod, CostModel, JoinMethod, PaperCostModel};
 use lec_plan::{JoinQuery, KeyId, Plan, RelSet};
-use lec_stats::{rebucket, Distribution};
+use lec_stats::{ConvolveScratch, Distribution};
 
 /// Distributions for the non-memory parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -293,12 +293,20 @@ fn validate_inputs<M: CostModel + ?Sized>(
 
 /// Result-size distribution of a dag node: computed once per node, from
 /// the lowest member as the designated `j` (any choice is equivalent).
+///
+/// Every product → §3.6.3 rebucket step runs through the caller's
+/// [`ConvolveScratch`], so steady-state nodes allocate nothing: the wide
+/// product support lives in the scratch buffers and the rebucketed result
+/// (≤ `size_buckets` ≤ 8 points by default) is emitted inline. The scratch
+/// kernels are bit-identical to `product_with` + `rebucket`, so this is
+/// purely an allocation change.
 fn node_size_dist(
     query: &JoinQuery,
     sizes: &SizeModel,
     config: AlgDConfig,
     size_of: &[Option<Distribution>],
     set: RelSet,
+    scratch: &mut ConvolveScratch,
 ) -> Result<Distribution, CoreError> {
     let j = set.iter().next().expect("non-empty");
     let sub = set.remove(j);
@@ -306,17 +314,20 @@ fn node_size_dist(
         .as_ref()
         .expect("subset computed earlier");
     let j_dist = &sizes.rel_sizes[j];
-    let mut dist = sub_dist.product_with(j_dist, |a, b| a * b)?;
-    dist = rebucket(&dist, config.size_buckets)?;
+    let mut dist = scratch.product_rebucket(sub_dist, j_dist, |a, b| a * b, config.size_buckets)?;
     for (pidx, pred) in query.predicates().iter().enumerate() {
         let crosses = (sub.contains(pred.left) && j == pred.right)
             || (sub.contains(pred.right) && j == pred.left);
         if crosses {
-            dist = dist.product_with(&sizes.selectivities[pidx], |s, sel| s * sel)?;
-            dist = rebucket(&dist, config.size_buckets)?;
+            dist = scratch.product_rebucket(
+                &dist,
+                &sizes.selectivities[pidx],
+                |s, sel| s * sel,
+                config.size_buckets,
+            )?;
         }
     }
-    Ok(dist.map(|v| v.max(1.0))?)
+    Ok(scratch.map(&dist, |v| v.max(1.0))?)
 }
 
 /// Prices every way of forming `set` by a last join, against the frozen
@@ -487,11 +498,19 @@ fn run_stats<M: CostModel + ?Sized>(
     stats.counters.entries_written = n as u64;
 
     let ranks = par::ranks(n);
+    let mut scratch = ConvolveScratch::new();
     for rank in &ranks[1..] {
         let (result, elapsed) = par::timed(|| -> Result<(), CoreError> {
             for &set in rank {
                 let idx = set.bits() as usize;
-                size_of[idx] = Some(node_size_dist(query, sizes, config, &size_of, set)?);
+                size_of[idx] = Some(node_size_dist(
+                    query,
+                    sizes,
+                    config,
+                    &size_of,
+                    set,
+                    &mut scratch,
+                )?);
                 let (best, ordered, candidates) = cost_mask_d(
                     query, model, sizes, config, &access, &phases, &table, &size_of, set, full,
                     required,
@@ -573,9 +592,10 @@ fn run_par_stats<M: CostModel + Sync + ?Sized>(
     for rank in &ranks[1..] {
         let (wave, elapsed) = par::timed(|| -> Result<Vec<_>, CoreError> {
             // Pass 1: this rank's result-size distributions (read lower
-            // ranks).
-            let dists = par::map_indexed(par, rank.len(), |i| {
-                node_size_dist(query, sizes, config, &size_of, rank[i])
+            // ranks). Each worker reuses one convolution scratch across
+            // all the nodes it claims.
+            let dists = par::map_indexed_scratch(par, rank.len(), ConvolveScratch::new, |s, i| {
+                node_size_dist(query, sizes, config, &size_of, rank[i], s)
             });
             for (set, dist) in rank.iter().zip(dists) {
                 size_of[set.bits() as usize] = Some(dist?);

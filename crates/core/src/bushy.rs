@@ -21,7 +21,6 @@
 use crate::dp::Optimized;
 use crate::env::MemoryModel;
 use crate::error::CoreError;
-use crate::evaluate::{join_step, sort_step};
 use crate::par::{self, Parallelism};
 use crate::precompute::QueryTables;
 use crate::stats::OptStats;
@@ -83,7 +82,8 @@ fn cost_mask_bushy<M: CostModel + ?Sized>(
             for method in JoinMethod::ALL {
                 for left_first in [true, false] {
                     let (a, b) = if left_first { (lp, rp) } else { (rp, lp) };
-                    let step = mem.expect(|m| join_step(model, method, a, b, out, m));
+                    let step =
+                        model.expected_join_step(method, a, b, out, mem.values(), mem.probs());
                     let cost = le.cost + re.cost + step;
                     candidates += 1;
                     let entry = Entry {
@@ -188,7 +188,7 @@ fn finalize<M: CostModel + ?Sized>(
         .ok_or(CoreError::NoPlanFound)?;
     let best = if query.required_order().is_some() {
         let out = tabs.pages(full);
-        let sorted_cost = root.cost + mem.expect(|m| sort_step(model, out, m));
+        let sorted_cost = root.cost + model.expected_sort_step(out, mem.values(), mem.probs());
         match &best_ordered {
             Some(ord) if ord.cost <= sorted_cost => Optimized {
                 plan: plan_for(query, table, full, Some(ord)),

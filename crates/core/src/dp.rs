@@ -55,6 +55,19 @@ pub trait StepCoster {
 
     /// Cost of a sort step, including output materialization.
     fn sort(&self, phase: usize, pages: f64) -> f64;
+
+    /// Join-step costs for all three methods at once, in
+    /// [`JoinMethod::ALL`] order. Overrides must stay bit-identical to
+    /// three [`StepCoster::join`] calls; the default guarantees it.
+    fn join_all(
+        &self,
+        phase: usize,
+        left_pages: f64,
+        right_pages: f64,
+        out_pages: f64,
+    ) -> [f64; 3] {
+        JoinMethod::ALL.map(|method| self.join(phase, method, left_pages, right_pages, out_pages))
+    }
 }
 
 /// Step coster for a single fixed memory value (the LSC world).
@@ -98,15 +111,23 @@ impl<'a, M: CostModel + ?Sized> ExpectedCoster<'a, M> {
 
 impl<M: CostModel + ?Sized> StepCoster for ExpectedCoster<'_, M> {
     fn join(&self, phase: usize, method: JoinMethod, l: f64, r: f64, out: f64) -> f64 {
-        self.phases
-            .at(phase)
-            .expect(|m| join_step(self.model, method, l, r, out, m))
+        // Routed through the model's expectation kernel (bit-identical to
+        // `dist.expect(|m| join_step(...))`, with hoisted overrides for the
+        // paper model) — this is the x18 hot path.
+        let d = self.phases.at(phase);
+        self.model
+            .expected_join_step(method, l, r, out, d.values(), d.probs())
     }
 
     fn sort(&self, phase: usize, pages: f64) -> f64 {
-        self.phases
-            .at(phase)
-            .expect(|m| sort_step(self.model, pages, m))
+        let d = self.phases.at(phase);
+        self.model.expected_sort_step(pages, d.values(), d.probs())
+    }
+
+    fn join_all(&self, phase: usize, l: f64, r: f64, out: f64) -> [f64; 3] {
+        let d = self.phases.at(phase);
+        self.model
+            .expected_join_steps(l, r, out, d.values(), d.probs())
     }
 }
 
@@ -174,8 +195,9 @@ fn cost_mask<C: StepCoster>(
         let left_out = tabs.pages(sub);
         let (acc_cost, _, acc_out) = tabs.access(j);
         let key = tabs.join_key(sub, j);
-        for method in JoinMethod::ALL {
-            let cost = left.cost + acc_cost + coster.join(phase, method, left_out, acc_out, out);
+        let steps = coster.join_all(phase, left_out, acc_out, out);
+        for (method, step) in JoinMethod::ALL.into_iter().zip(steps) {
+            let cost = left.cost + acc_cost + step;
             candidates += 1;
             let entry = Entry {
                 cost,

@@ -144,14 +144,18 @@ pub fn expected_cost<M: CostModel + ?Sized>(
                 let out = query.result_pages(plan.rel_set());
                 let dist = phases.at(*phase);
                 *phase += 1;
-                let step = dist.expect(|m| join_step(model, *method, lp, rp, out, m));
+                let step =
+                    model.expected_join_step(*method, lp, rp, out, dist.values(), dist.probs());
                 (lc + rc + step, out)
             }
             Plan::Sort { input, .. } => {
                 let (ic, ip) = walk(query, model, input, phase, phases);
                 let dist = phases.at(*phase);
                 *phase += 1;
-                (ic + dist.expect(|m| sort_step(model, ip, m)), ip)
+                (
+                    ic + model.expected_sort_step(ip, dist.values(), dist.probs()),
+                    ip,
+                )
             }
         }
     }
@@ -240,7 +244,14 @@ pub fn explain_with_costs<M: CostModel + ?Sized>(
                 let out_pages = query.result_pages(plan.rel_set());
                 let dist = phases.at(*phase);
                 *phase += 1;
-                let step = dist.expect(|m| join_step(model, *method, lp, rp, out_pages, m));
+                let step = model.expected_join_step(
+                    *method,
+                    lp,
+                    rp,
+                    out_pages,
+                    dist.values(),
+                    dist.probs(),
+                );
                 let on = key.map_or("(cross)".to_string(), |k| format!("on {k}"));
                 let _ = writeln!(
                     out,
@@ -255,7 +266,7 @@ pub fn explain_with_costs<M: CostModel + ?Sized>(
                 let (ic, ip) = walk(query, model, input, phase, phases, depth + 1, &mut in_txt);
                 let dist = phases.at(*phase);
                 *phase += 1;
-                let step = dist.expect(|m| sort_step(model, ip, m));
+                let step = model.expected_sort_step(ip, dist.values(), dist.probs());
                 let _ = writeln!(out, "{pad}sort by {key}  [E[step] {step:.0}]");
                 out.push_str(&in_txt);
                 (ic + step, ip)

@@ -262,7 +262,10 @@ fn best_scored_par<M: CostModel + Sync + ?Sized>(
     }
     let i = best.ok_or(CoreError::NoPlanFound)?;
     let cost = costs[i];
-    let plan = plans.into_iter().nth(i).expect("index in range");
+    // O(1) extraction: we only need plan `i`, not a prefix walk over (and
+    // drop of) every earlier plan.
+    let mut plans = plans;
+    let plan = plans.swap_remove(i);
     crate::verify::debug_verify_plan(query, &plan, cost);
     Ok(Optimized { plan, cost })
 }

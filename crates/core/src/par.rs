@@ -5,19 +5,44 @@
 //! equal cardinality (one "rank" of the subset lattice) are therefore
 //! independent and can be costed concurrently, rank by rank — a wavefront
 //! schedule. This module provides the scheduling primitive: split an index
-//! range into contiguous chunks, run the chunks on scoped `std::thread`
-//! workers, and gather results back **in input order**.
+//! range into fixed chunks that workers *claim* off a shared atomic
+//! counter (work stealing), and gather results back **in input order**.
+//!
+//! The claim queue matters because rank work is skewed: subsets of the
+//! same cardinality can differ wildly in how many join candidates they
+//! admit, so a static one-chunk-per-worker split leaves threads idle
+//! behind the unluckiest chunk. With `fetch_add` claiming, a fast worker
+//! simply takes the next chunk — no chunk is ever owned before it is
+//! started.
 //!
 //! Determinism: the per-item function is pure (it reads the frozen
-//! lower-rank table), chunk boundaries never change an item's inputs, and
-//! gathering in chunk order reassembles exactly the serial output. Parallel
-//! and serial runs are bit-identical by construction, which the equivalence
-//! property tests enforce end to end.
+//! lower-rank table), chunk boundaries are a function of `len` alone
+//! (never of thread count or timing), and each chunk's results carry
+//! their chunk index so the gather step reassembles exactly the serial
+//! output no matter which worker computed what. Parallel and serial runs
+//! are bit-identical by construction, which the equivalence property
+//! tests enforce end to end.
+//!
+//! [`map_indexed_scratch`] additionally threads a per-worker scratch
+//! value (e.g. a [`lec_stats::ConvolveScratch`]) through the chunk loop,
+//! so allocation-reusing kernels work under the same deterministic
+//! schedule: scratch state never crosses an item boundary's *output* —
+//! it only recycles buffers — so results stay schedule-independent.
 //!
 //! No external thread-pool crate is used — `std::thread::scope` is the
 //! fallback-free baseline available everywhere the workspace builds.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Target number of chunks a worker should get to claim, on average.
+/// More chunks → better load balance under skew; fewer → less claim
+/// traffic. Chunk boundaries depend only on `len`, never on this ratio
+/// interacting with timing, so the constant is a pure tuning knob.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Smallest chunk worth a `fetch_add` round-trip.
+const MIN_CHUNK: usize = 16;
 
 /// How much parallelism an enumerator may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,50 +107,74 @@ impl Parallelism {
 /// Maps `f` over `0..len`, preserving index order in the output.
 ///
 /// With one effective worker (or a tiny range) this is a plain serial map;
-/// otherwise the range is split into one contiguous chunk per worker and
-/// the chunks run on scoped threads. `f` must be pure with respect to the
-/// index for the output to equal the serial map — which is exactly the
-/// contract the wavefront DP passes give it.
+/// otherwise workers claim fixed chunks off an atomic counter (work
+/// stealing) and the chunks are gathered by index. `f` must be pure with
+/// respect to the index for the output to equal the serial map — which is
+/// exactly the contract the wavefront DP passes give it.
 pub fn map_indexed<R, F>(par: &Parallelism, len: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    map_indexed_scratch(par, len, || (), move |(), i| f(i))
+}
+
+/// [`map_indexed`] with a per-worker scratch value: each worker (the
+/// calling thread included) builds one scratch with `make_scratch` and
+/// reuses it for every item it claims. Use this to thread allocation
+/// arenas through the wavefront — the scratch must only recycle buffers,
+/// never carry state that changes an item's result, or determinism is
+/// lost.
+pub fn map_indexed_scratch<R, S, MS, F>(
+    par: &Parallelism,
+    len: usize,
+    make_scratch: MS,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    MS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     let workers = par.effective_threads().min(len.max(1));
     if workers <= 1 || len < 2 {
-        return (0..len).map(f).collect();
+        let mut scratch = make_scratch();
+        return (0..len).map(|i| f(&mut scratch, i)).collect();
     }
 
-    // Contiguous chunks, sized as evenly as possible.
-    let base = len / workers;
-    let extra = len % workers;
-    let mut bounds = Vec::with_capacity(workers + 1);
-    let mut at = 0usize;
-    bounds.push(0);
-    for w in 0..workers {
-        at += base + usize::from(w < extra);
-        bounds.push(at);
-    }
+    // Fixed chunk size from `len` and `workers` only — the schedule
+    // (which worker runs which chunk) is timing-dependent, the chunk
+    // *boundaries* are not.
+    let chunk = (len / (workers * CHUNKS_PER_WORKER)).max(MIN_CHUNK);
+    let next = AtomicUsize::new(0);
+    let run_worker = || {
+        let mut scratch = make_scratch();
+        let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+        loop {
+            let lo = next.fetch_add(chunk, Ordering::Relaxed);
+            if lo >= len {
+                break;
+            }
+            let hi = (lo + chunk).min(len);
+            mine.push((lo, (lo..hi).map(|i| f(&mut scratch, i)).collect()));
+        }
+        mine
+    };
 
-    let f = &f;
-    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(workers);
+    let mut parts: Vec<(usize, Vec<R>)> = Vec::new();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = bounds
-            .windows(2)
-            .skip(1)
-            .map(|w| {
-                let (lo, hi) = (w[0], w[1]);
-                scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
-            })
-            .collect();
-        // The first chunk runs on the calling thread while workers proceed.
-        chunks.push((bounds[0]..bounds[1]).map(f).collect());
+        let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
+        // The calling thread participates as worker 0.
+        parts.extend(run_worker());
         for handle in handles {
-            chunks.push(handle.join().expect("worker panicked"));
+            parts.extend(handle.join().expect("worker panicked"));
         }
     });
+    // Deterministic gather: chunk start indices are unique, so sorting by
+    // them reassembles the serial order regardless of claim order.
+    parts.sort_by_key(|&(lo, _)| lo);
     let mut out = Vec::with_capacity(len);
-    for chunk in chunks {
+    for (_, chunk) in parts {
         out.extend(chunk);
     }
     out
@@ -166,6 +215,62 @@ mod tests {
             let par = Parallelism::with_threads(threads);
             let out = map_indexed(&par, 23, |i| i * i);
             assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_indexed_balances_skewed_work() {
+        // Heavily skewed per-item cost: the last items are far slower. The
+        // claim queue must still reassemble the serial order exactly.
+        let par = Parallelism::with_threads(4);
+        let len = 4 * MIN_CHUNK + 3;
+        let out = map_indexed(&par, len, |i| {
+            let mut acc = i as u64;
+            for _ in 0..(i * i % 977) {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        let serial = map_indexed(&Parallelism::serial(), len, |i| {
+            let mut acc = i as u64;
+            for _ in 0..(i * i % 977) {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_results_are_ordered() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let builds = AtomicUsize::new(0);
+        for threads in [1, 3] {
+            builds.store(0, Ordering::SeqCst);
+            let par = Parallelism::with_threads(threads);
+            let len = 3 * MIN_CHUNK + 1;
+            let out = map_indexed_scratch(
+                &par,
+                len,
+                || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    Vec::<usize>::new()
+                },
+                |scratch, i| {
+                    // Reuse the buffer; its *content* never leaks into the
+                    // result beyond the current item.
+                    scratch.clear();
+                    scratch.extend(0..=i);
+                    scratch.iter().sum::<usize>()
+                },
+            );
+            assert_eq!(
+                out,
+                (0..len).map(|i| i * (i + 1) / 2).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+            // One scratch per participating worker, no more.
+            assert!(builds.load(Ordering::SeqCst) <= threads.max(1));
         }
     }
 

@@ -181,13 +181,15 @@ pub fn optimize_with_stats<M: CostModel + ?Sized>(
                         .min_by(|a, b| a.0.total_cmp(&b.0))
                         .expect("at least the full scan");
                     let key = query.join_key_between(sub, RelSet::single(j));
-                    let left_list = table[sub.bits() as usize].clone();
+                    // Borrow, don't clone: the sub-entry lives in a strictly
+                    // lower rank, so it is never written while `set` is.
+                    let left_list = &table[sub.bits() as usize];
                     for method in JoinMethod::ALL {
                         let step: Vec<f64> = values
                             .iter()
                             .map(|&m| join_step(model, method, left_out, acc_out, out, m))
                             .collect();
-                        for left in &left_list {
+                        for left in left_list {
                             let mut profile: Vec<f64> = left
                                 .profile
                                 .iter()
@@ -305,7 +307,10 @@ pub fn scalar_dp<M: CostModel + ?Sized>(
         let mut best: Option<(f64, ProfEntry)> = None;
         for j in set.iter() {
             let sub = set.remove(j);
-            let left = table[sub.bits() as usize].clone().expect("subset computed");
+            // Borrow, don't clone: sub-entries live in strictly lower ranks.
+            let left = table[sub.bits() as usize]
+                .as_ref()
+                .expect("subset computed");
             let left_out = query.result_pages(sub);
             let rel = query.relation(j);
             let (acc_cost, acc_out, acc_method) = access_choices(rel)

@@ -32,11 +32,14 @@ pub struct QueryTables {
     /// `JoinQuery::result_pages` call so the 1-page floor lands exactly
     /// where the un-memoized code put it.
     result_pages: Vec<f64>,
-    /// For each relation `j`, the predicates touching `j` in declaration
-    /// order, as `(other_endpoint, key)` pairs — the adjacency list that
-    /// answers `join_key_between(set, {j})` without scanning all
-    /// predicates.
-    touching: Vec<Vec<(usize, KeyId)>>,
+    /// Flattened (CSR) adjacency: for each relation `j`, the predicates
+    /// touching `j` in declaration order as `(other_endpoint, key)` pairs,
+    /// stored contiguously in `touch_entries[touch_offsets[j]..
+    /// touch_offsets[j + 1]]`. One flat allocation instead of a `Vec` per
+    /// relation keeps the per-candidate `join_key` probe on a single cache
+    /// line for typical chain/star queries.
+    touch_offsets: Vec<usize>,
+    touch_entries: Vec<(usize, KeyId)>,
 }
 
 impl QueryTables {
@@ -60,23 +63,92 @@ impl QueryTables {
             })
             .collect();
 
+        // `result_pages(set)` is an ascending left-fold over member pages
+        // followed by declaration-order selectivity multiplies. The relation
+        // fold for mask `m` is the fold for `m` minus its highest bit times
+        // that bit's pages — the same prefix, so building the fold
+        // incrementally over ascending masks reproduces the direct call bit
+        // for bit (`pages_match_query_result_pages_bitwise` pins this).
+        let eff: Vec<f64> = (0..n)
+            .map(|i| query.relation(i).effective_pages())
+            .collect();
+        let sels: Vec<f64> = query.predicates().iter().map(|p| p.selectivity).collect();
+        let mut rel_prod = vec![1.0f64; 1usize << n];
         let mut result_pages = Vec::with_capacity(1usize << n);
         result_pages.push(1.0);
-        for set in RelSet::all_subsets(n) {
-            debug_assert_eq!(set.bits() as usize, result_pages.len());
-            result_pages.push(query.result_pages(set));
+        if sels.len() <= 64 {
+            // Track the set of internal predicates per mask as a bitmask
+            // (bit k = declaration index k, so ascending bit order IS
+            // declaration order): a predicate becomes internal when the
+            // mask gains its second endpoint.
+            let mut incident: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+            for (k, p) in query.predicates().iter().enumerate() {
+                incident[p.left].push((1u64 << k, 1u64 << p.right));
+                incident[p.right].push((1u64 << k, 1u64 << p.left));
+            }
+            let mut internal = vec![0u64; 1usize << n];
+            for m in 1u64..(1u64 << n) {
+                let h = (u64::BITS - 1 - m.leading_zeros()) as usize;
+                let rest = (m & !(1u64 << h)) as usize;
+                let prod = rel_prod[rest] * eff[h];
+                rel_prod[m as usize] = prod;
+                let mut ip = internal[rest];
+                for &(pbit, obit) in &incident[h] {
+                    if rest as u64 & obit != 0 {
+                        ip |= pbit;
+                    }
+                }
+                internal[m as usize] = ip;
+                let mut pages = prod;
+                let mut bits = ip;
+                while bits != 0 {
+                    pages *= sels[bits.trailing_zeros() as usize];
+                    bits &= bits - 1;
+                }
+                result_pages.push(pages.max(1.0));
+            }
+        } else {
+            // > 64 predicates: scan them directly, still in declaration
+            // order.
+            let preds: Vec<(u64, u64, f64)> = query
+                .predicates()
+                .iter()
+                .map(|p| (1u64 << p.left, 1u64 << p.right, p.selectivity))
+                .collect();
+            for m in 1u64..(1u64 << n) {
+                let h = (u64::BITS - 1 - m.leading_zeros()) as usize;
+                let prod = rel_prod[(m & !(1u64 << h)) as usize] * eff[h];
+                rel_prod[m as usize] = prod;
+                let mut pages = prod;
+                for &(l, r, s) in &preds {
+                    if m & l != 0 && m & r != 0 {
+                        pages *= s;
+                    }
+                }
+                result_pages.push(pages.max(1.0));
+            }
         }
 
+        // Build per-relation rows (declaration order within each row), then
+        // flatten to CSR. The nested build is construction-time only.
         let mut touching: Vec<Vec<(usize, KeyId)>> = vec![Vec::new(); n];
         for p in query.predicates() {
             touching[p.left].push((p.right, p.key));
             touching[p.right].push((p.left, p.key));
         }
+        let mut touch_offsets = Vec::with_capacity(n + 1);
+        let mut touch_entries = Vec::with_capacity(2 * query.predicates().len());
+        touch_offsets.push(0);
+        for row in &touching {
+            touch_entries.extend_from_slice(row);
+            touch_offsets.push(touch_entries.len());
+        }
 
         QueryTables {
             best_access,
             result_pages,
-            touching,
+            touch_offsets,
+            touch_entries,
         }
     }
 
@@ -100,7 +172,7 @@ impl QueryTables {
         crate::stats::PrecomputeSizes {
             access_entries: self.best_access.len(),
             pages_entries: self.result_pages.len(),
-            adjacency_entries: self.touching.iter().map(Vec::len).sum(),
+            adjacency_entries: self.touch_entries.len(),
         }
     }
 
@@ -109,7 +181,8 @@ impl QueryTables {
     /// the first crossing predicate when all crossing predicates agree,
     /// `None` for cross products or multi-key joins.
     pub fn join_key(&self, set: RelSet, j: usize) -> Option<KeyId> {
-        let mut keys = self.touching[j]
+        let row = &self.touch_entries[self.touch_offsets[j]..self.touch_offsets[j + 1]];
+        let mut keys = row
             .iter()
             .filter(|(other, _)| set.contains(*other))
             .map(|(_, k)| *k);

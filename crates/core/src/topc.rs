@@ -88,24 +88,20 @@ fn merge_mask<M: CostModel + ?Sized>(
         if left_list.is_empty() {
             continue;
         }
+        // The access output size depends only on `j` — hoist it out of the
+        // method loop instead of recomputing it per join method.
+        let acc_out = access_step(
+            query.relation(j),
+            match access[0].plan {
+                Plan::Access { method, .. } => method,
+                _ => unreachable!("depth-1 entries are accesses"),
+            },
+        )
+        .1;
         for method in JoinMethod::ALL {
             // One cost-formula evaluation per (j, method): identical for
             // every input combination.
-            let step = join_step(
-                model,
-                method,
-                left_out,
-                access_step(
-                    query.relation(j),
-                    match access[0].plan {
-                        Plan::Access { method, .. } => method,
-                        _ => unreachable!("depth-1 entries are accesses"),
-                    },
-                )
-                .1,
-                out,
-                memory,
-            );
+            let step = join_step(model, method, left_out, acc_out, out, memory);
             naive += (left_list.len() * access.len()) as u64;
             for (k, acc) in access.iter().enumerate() {
                 for (i, left) in left_list.iter().enumerate() {

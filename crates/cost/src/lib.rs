@@ -69,6 +69,73 @@ pub trait CostModel {
 
     /// Memory values at which `sort_cost` for this size is discontinuous.
     fn sort_breakpoints(&self, pages: f64) -> Vec<f64>;
+
+    /// Expected join-*step* cost (join formula plus `out_pages` output
+    /// materialization) over a bucketed memory distribution given as aligned
+    /// `(values, probs)` slices.
+    ///
+    /// The default accumulates `(join_cost + out_pages) · p` in slice order —
+    /// bitwise identical to `dist.expect(|m| join_cost(..., m) + out_pages)`.
+    /// Models whose formulas share per-call invariants (thresholds, size
+    /// sums) may override with a hoisted kernel, **provided** the per-bucket
+    /// arithmetic expressions and the accumulation order are unchanged, so
+    /// the override stays bit-identical to the default. The optimizer
+    /// equivalence and differential test batteries rely on this.
+    fn expected_join_step(
+        &self,
+        method: JoinMethod,
+        left_pages: f64,
+        right_pages: f64,
+        out_pages: f64,
+        mem_values: &[f64],
+        mem_probs: &[f64],
+    ) -> f64 {
+        let mut acc = 0.0;
+        for (&m, &p) in mem_values.iter().zip(mem_probs) {
+            acc += (self.join_cost(method, left_pages, right_pages, m) + out_pages) * p;
+        }
+        acc
+    }
+
+    /// Expected join-step costs for **all three** join methods at once, in
+    /// [`JoinMethod::ALL`] order. The default defers to
+    /// [`CostModel::expected_join_step`] per method; models may override
+    /// with a single fused bucket pass, provided each method's accumulator
+    /// receives exactly the per-method sequence of adds (bit-identity, as
+    /// above). The DP inner loop prices every candidate under all three
+    /// methods, so fusing shares the bucket loads and loop overhead.
+    fn expected_join_steps(
+        &self,
+        left_pages: f64,
+        right_pages: f64,
+        out_pages: f64,
+        mem_values: &[f64],
+        mem_probs: &[f64],
+    ) -> [f64; 3] {
+        JoinMethod::ALL.map(|method| {
+            self.expected_join_step(
+                method,
+                left_pages,
+                right_pages,
+                out_pages,
+                mem_values,
+                mem_probs,
+            )
+        })
+    }
+
+    /// Expected sort-*step* cost (sort formula plus `pages` output
+    /// materialization) over a bucketed memory distribution. Same contract
+    /// as [`CostModel::expected_join_step`]: the default is bitwise
+    /// identical to `dist.expect(|m| sort_cost(pages, m) + pages)`, and any
+    /// override must preserve that bit-identity.
+    fn expected_sort_step(&self, pages: f64, mem_values: &[f64], mem_probs: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (&m, &p) in mem_values.iter().zip(mem_probs) {
+            acc += (self.sort_cost(pages, m) + pages) * p;
+        }
+        acc
+    }
 }
 
 impl<M: CostModel + ?Sized> CostModel for &M {
@@ -83,5 +150,29 @@ impl<M: CostModel + ?Sized> CostModel for &M {
     }
     fn sort_breakpoints(&self, pages: f64) -> Vec<f64> {
         (**self).sort_breakpoints(pages)
+    }
+    fn expected_join_step(
+        &self,
+        method: JoinMethod,
+        l: f64,
+        r: f64,
+        out: f64,
+        mem_values: &[f64],
+        mem_probs: &[f64],
+    ) -> f64 {
+        (**self).expected_join_step(method, l, r, out, mem_values, mem_probs)
+    }
+    fn expected_join_steps(
+        &self,
+        l: f64,
+        r: f64,
+        out: f64,
+        mem_values: &[f64],
+        mem_probs: &[f64],
+    ) -> [f64; 3] {
+        (**self).expected_join_steps(l, r, out, mem_values, mem_probs)
+    }
+    fn expected_sort_step(&self, pages: f64, mem_values: &[f64], mem_probs: &[f64]) -> f64 {
+        (**self).expected_sort_step(pages, mem_values, mem_probs)
     }
 }

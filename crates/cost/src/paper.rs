@@ -88,6 +88,128 @@ impl CostModel for PaperCostModel {
     fn sort_breakpoints(&self, pages: f64) -> Vec<f64> {
         vec![pages.sqrt().sqrt(), pages.sqrt(), pages]
     }
+
+    // Hoisted expectation kernels: the three-case formulas share per-call
+    // invariants (√L, ⁴√L, |A|+|B|, S+2, |A|+|A||B|) that the default
+    // bucket loop recomputes `b` times. `sqrt` is correctly rounded and the
+    // per-bucket expression shape and accumulation order match the trait
+    // defaults exactly, so these are bit-identical — `expectation_kernels_
+    // match_defaults_bitwise` below pins that.
+    fn expected_join_step(
+        &self,
+        method: JoinMethod,
+        a: f64,
+        b: f64,
+        out: f64,
+        mem_values: &[f64],
+        mem_probs: &[f64],
+    ) -> f64 {
+        debug_assert!(a > 0.0 && b > 0.0);
+        let mut acc = 0.0;
+        match method {
+            JoinMethod::SortMerge | JoinMethod::GraceHash => {
+                let n = if method == JoinMethod::SortMerge {
+                    a.max(b)
+                } else {
+                    a.min(b)
+                };
+                let s = n.sqrt();
+                let q = s.sqrt();
+                let ab = a + b;
+                for (&m, &p) in mem_values.iter().zip(mem_probs) {
+                    let coeff = if m > s {
+                        2.0
+                    } else if m > q {
+                        4.0
+                    } else {
+                        6.0
+                    };
+                    acc += (coeff * ab + out) * p;
+                }
+            }
+            JoinMethod::NestedLoop => {
+                let threshold = a.min(b) + 2.0;
+                let cached = a + b;
+                let quadratic = a + a * b;
+                for (&m, &p) in mem_values.iter().zip(mem_probs) {
+                    let c = if m >= threshold { cached } else { quadratic };
+                    acc += (c + out) * p;
+                }
+            }
+        }
+        acc
+    }
+
+    fn expected_join_steps(
+        &self,
+        a: f64,
+        b: f64,
+        out: f64,
+        mem_values: &[f64],
+        mem_probs: &[f64],
+    ) -> [f64; 3] {
+        debug_assert!(a > 0.0 && b > 0.0);
+        // One fused bucket pass. Each accumulator sees exactly the adds its
+        // per-method kernel would produce, in the same order, so the result
+        // is bit-identical to three separate `expected_join_step` calls
+        // (pinned by `fused_join_steps_match_per_method_bitwise`).
+        let l = a.max(b);
+        let (sl, ss) = (l.sqrt(), a.min(b).sqrt());
+        let (ql, qs) = (sl.sqrt(), ss.sqrt());
+        let ab = a + b;
+        let nl_threshold = a.min(b) + 2.0;
+        let nl_cached = a + b;
+        let nl_quadratic = a + a * b;
+        let (mut sm, mut gh, mut nl) = (0.0, 0.0, 0.0);
+        for (&m, &p) in mem_values.iter().zip(mem_probs) {
+            let c_sm = if m > sl {
+                2.0
+            } else if m > ql {
+                4.0
+            } else {
+                6.0
+            };
+            sm += (c_sm * ab + out) * p;
+            let c_gh = if m > ss {
+                2.0
+            } else if m > qs {
+                4.0
+            } else {
+                6.0
+            };
+            gh += (c_gh * ab + out) * p;
+            let c_nl = if m >= nl_threshold {
+                nl_cached
+            } else {
+                nl_quadratic
+            };
+            nl += (c_nl + out) * p;
+        }
+        [sm, gh, nl]
+    }
+
+    fn expected_sort_step(&self, pages: f64, mem_values: &[f64], mem_probs: &[f64]) -> f64 {
+        debug_assert!(pages > 0.0);
+        let s = pages.sqrt();
+        let q = s.sqrt();
+        let mut acc = 0.0;
+        for (&m, &p) in mem_values.iter().zip(mem_probs) {
+            let c = if pages <= m {
+                0.0
+            } else {
+                let coeff = if m > s {
+                    2.0
+                } else if m > q {
+                    4.0
+                } else {
+                    6.0
+                };
+                coeff * pages
+            };
+            acc += (c + pages) * p;
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +322,68 @@ mod tests {
                 let lo = m.join_cost(method, A, B, p - eps);
                 let hi = m.join_cost(method, A, B, p + eps);
                 assert_eq!(lo, hi, "{method} discontinuity off-breakpoint at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_kernels_match_defaults_bitwise() {
+        // The hoisted kernels must reproduce the trait-default bucket loop
+        // bit for bit — the optimizer equivalence batteries depend on it.
+        let m = PaperCostModel;
+        let default_join = |method, a: f64, b: f64, out: f64, mv: &[f64], mp: &[f64]| -> f64 {
+            let mut acc = 0.0;
+            for (&mem, &p) in mv.iter().zip(mp) {
+                acc += (m.join_cost(method, a, b, mem) + out) * p;
+            }
+            acc
+        };
+        let default_sort = |pages: f64, mv: &[f64], mp: &[f64]| -> f64 {
+            let mut acc = 0.0;
+            for (&mem, &p) in mv.iter().zip(mp) {
+                acc += (m.sort_cost(pages, mem) + pages) * p;
+            }
+            acc
+        };
+        let mems = [3.0, 10.0, 50.0, 632.0, 633.0, 700.0, 1000.0, 2000.0, 1e6];
+        let probs = [0.05, 0.05, 0.1, 0.1, 0.1, 0.2, 0.1, 0.2, 0.1];
+        let sizes = [
+            (A, B, RESULT),
+            (B, A, RESULT),
+            (10.0, 10.0, 1.0),
+            (123.0, 45_678.0, 901.0),
+            (7.5, 2.25, 0.5),
+        ];
+        for (a, b, out) in sizes {
+            for method in JoinMethod::ALL {
+                let fast = m.expected_join_step(method, a, b, out, &mems, &probs);
+                let slow = default_join(method, a, b, out, &mems, &probs);
+                assert_eq!(
+                    fast.to_bits(),
+                    slow.to_bits(),
+                    "{method} kernel drifted at sizes ({a}, {b})"
+                );
+            }
+            let fast = m.expected_sort_step(a, &mems, &probs);
+            let slow = default_sort(a, &mems, &probs);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "sort kernel drifted at {a}");
+        }
+    }
+
+    #[test]
+    fn fused_join_steps_match_per_method_bitwise() {
+        let m = PaperCostModel;
+        let mems = [3.0, 10.0, 632.0, 633.0, 700.0, 1000.0, 2000.0];
+        let probs = [0.1, 0.1, 0.1, 0.2, 0.2, 0.2, 0.1];
+        for (a, b, out) in [(A, B, RESULT), (B, A, RESULT), (12.5, 480.0, 3.0)] {
+            let fused = m.expected_join_steps(a, b, out, &mems, &probs);
+            for (k, method) in JoinMethod::ALL.into_iter().enumerate() {
+                let single = m.expected_join_step(method, a, b, out, &mems, &probs);
+                assert_eq!(
+                    fused[k].to_bits(),
+                    single.to_bits(),
+                    "{method} fused lane drifted at ({a}, {b})"
+                );
             }
         }
     }

@@ -124,7 +124,7 @@ fn equi_depth(fine: &Distribution, b: usize) -> Result<Distribution, StatsError>
     // mass reaches the next multiple of 1/b.
     let target = 1.0 / b as f64;
     let mut cum = 0.0;
-    let probs: Vec<f64> = fine.probs().to_vec();
+    let probs = fine.probs();
     let mut next_idx = 0usize;
     group_contiguous(fine, move |i, _| {
         let g = next_idx;

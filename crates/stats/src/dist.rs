@@ -10,10 +10,11 @@
 //! * probabilities sum to 1 (renormalized if within a small tolerance).
 
 use crate::error::StatsError;
+use crate::smallbuf::SmallBuf;
 use rand::Rng;
 
 /// Relative tolerance within which total mass is silently renormalized.
-const MASS_TOLERANCE: f64 = 1e-6;
+pub(crate) const MASS_TOLERANCE: f64 = 1e-6;
 
 /// A discrete probability distribution over finitely many `f64` values.
 ///
@@ -40,8 +41,8 @@ const MASS_TOLERANCE: f64 = 1e-6;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Distribution {
-    values: Vec<f64>,
-    probs: Vec<f64>,
+    values: SmallBuf,
+    probs: SmallBuf,
 }
 
 impl Distribution {
@@ -83,10 +84,40 @@ impl Distribution {
         if !(total.is_finite() && (total - 1.0).abs() <= MASS_TOLERANCE * total.max(1.0)) {
             return Err(StatsError::MassNotNormalizable(total));
         }
-        for p in &mut probs {
-            *p /= total;
+        // Skip the renormalizing divide for exactly-unit mass: division by
+        // 1.0 is exact in IEEE 754, so this changes no bits — it only avoids
+        // `b` needless divides on the (common) already-normalized path. The
+        // `normalized_input_probs_are_bit_stable` test pins both halves of
+        // that claim.
+        if total != 1.0 {
+            for p in &mut probs {
+                *p /= total;
+            }
         }
-        Ok(Self { values, probs })
+        Ok(Self {
+            values: SmallBuf::from_vec(values),
+            probs: SmallBuf::from_vec(probs),
+        })
+    }
+
+    /// Crate-internal constructor for kernels that have already produced a
+    /// sorted, deduplicated, normalized support (the [`crate::scratch`]
+    /// convolution arena). Copies out of the caller's buffers — inline, no
+    /// heap, when the support fits [`crate::smallbuf::INLINE_CAP`].
+    ///
+    /// Invariants are the caller's responsibility and are debug-asserted
+    /// here: same lengths, non-empty, values finite and strictly increasing
+    /// under `total_cmp` after `==`-dedup, probabilities positive.
+    pub(crate) fn from_normalized_slices(values: &[f64], probs: &[f64]) -> Self {
+        debug_assert_eq!(values.len(), probs.len());
+        debug_assert!(!values.is_empty());
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(values.iter().all(|v| v.is_finite()));
+        debug_assert!(probs.iter().all(|&p| p > 0.0));
+        Self {
+            values: SmallBuf::from_slice(values),
+            probs: SmallBuf::from_slice(probs),
+        }
     }
 
     /// Builds a distribution from unnormalized non-negative weights.
@@ -363,6 +394,25 @@ mod tests {
             Distribution::new([(1.0, 0.4)]),
             Err(StatsError::MassNotNormalizable(_))
         ));
+    }
+
+    #[test]
+    fn normalized_input_probs_are_bit_stable() {
+        // When the input masses already sum to exactly 1.0, construction
+        // must not renormalize: dividing by 1.0 is an IEEE identity, but we
+        // skip the divide entirely, and this pins that the stored
+        // probabilities are the very bits that came in. 0.1 + 0.2 + 0.7
+        // sums to exactly 1.0 in f64 (0.30000000000000004 + 0.7 == 1.0).
+        let probs = [0.1f64, 0.2, 0.7];
+        assert_eq!(probs.iter().sum::<f64>().to_bits(), 1.0f64.to_bits());
+        let d = Distribution::new([(1.0, probs[0]), (2.0, probs[1]), (3.0, probs[2])]).unwrap();
+        for (stored, input) in d.probs().iter().zip(probs) {
+            assert_eq!(stored.to_bits(), input.to_bits());
+        }
+        // And a nearly-normalized input (inside tolerance, total != 1.0)
+        // still renormalizes to exact unit mass.
+        let e = Distribution::new([(1.0, 0.5), (2.0, 0.5 + 1e-9)]).unwrap();
+        assert!((e.probs().iter().sum::<f64>() - 1.0).abs() < 1e-15);
     }
 
     #[test]

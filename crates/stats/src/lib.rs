@@ -31,12 +31,15 @@ pub mod dist;
 pub mod error;
 pub mod families;
 pub mod markov;
+pub mod scratch;
+mod smallbuf;
 pub mod utility;
 
 pub use bucket::{rebucket, Bucketing};
 pub use dist::Distribution;
 pub use error::StatsError;
 pub use markov::MarkovChain;
+pub use scratch::ConvolveScratch;
 pub use utility::Utility;
 
 /// Convenience result alias for this crate.

@@ -1,0 +1,473 @@
+//! Allocation-free convolution kernels (the `lec-stats` hot path).
+//!
+//! Every LEC optimizer prices candidates by combining bucketed
+//! distributions: `alg_d` forms a size product and rebuckets it once per
+//! `(subset, relation)` visit (§3.6.3), and the utility extension convolves
+//! running-cost distributions. Routed through [`Distribution::product_with`]
+//! each of those steps allocates an `O(b_A · b_B)` point vector, stable-sorts
+//! it, and allocates again for the result.
+//!
+//! [`ConvolveScratch`] removes all of that in the steady state. The key
+//! observation: for a fixed left value `x`, the product points
+//! `f(x, y₀), f(x, y₁), …` are produced in `y`-ascending order, and every
+//! combiner the optimizers use (`+`, `·` over positive supports) is monotone
+//! non-decreasing in `y` — so the `b_A · b_B` points form `b_A` pre-sorted
+//! runs, and a stable k-way merge (ties broken toward the lower run index)
+//! reproduces the collect-and-stable-sort result **bit for bit**, without
+//! sorting and without allocating: all buffers live in the scratch and are
+//! reused across calls. Monotonicity is checked at runtime; non-monotone
+//! combiners fall back to a stable sort of the same points (still
+//! bit-identical, no longer allocation-free).
+//!
+//! The merged support is materialized only inside the scratch. Small results
+//! (≤ 8 points, the `alg_d` default) are emitted with inline storage, so a
+//! warm `product → rebucket` loop performs **zero** heap allocations — the
+//! `alloc_free` integration test pins this with a counting allocator, and
+//! the proptest battery in `tests/scratch_kernels.rs` pins bit-identity
+//! against the naive reference.
+
+use crate::dist::{Distribution, MASS_TOLERANCE};
+use crate::error::StatsError;
+use std::cmp::Ordering;
+
+/// Reusable buffers for allocation-free products, convolutions, fused
+/// convolve-expectations, and product-then-rebucket pipelines.
+///
+/// Construct once (per worker, per optimizer run, …) and feed it every
+/// combination in the loop. Results are ordinary [`Distribution`]s.
+///
+/// # Examples
+///
+/// ```
+/// use lec_stats::{ConvolveScratch, Distribution};
+///
+/// let a = Distribution::new([(1.0, 0.5), (2.0, 0.5)])?;
+/// let b = Distribution::new([(10.0, 0.5), (20.0, 0.5)])?;
+/// let mut scratch = ConvolveScratch::new();
+/// let sum = scratch.convolve(&a, &b)?;
+/// assert_eq!(sum, a.convolve(&b)?); // bit-identical to the allocating path
+/// let e = scratch.convolve_expect(&a, &b, |v| v * v)?;
+/// assert_eq!(e, a.convolve(&b)?.expect(|v| v * v));
+/// # Ok::<(), lec_stats::StatsError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ConvolveScratch {
+    /// Raw `(value, mass)` product points, `runs` runs of `run_len` each.
+    pairs: Vec<(f64, f64)>,
+    /// Merged, deduplicated, normalized support.
+    vals: Vec<f64>,
+    /// Probabilities aligned with `vals`.
+    prbs: Vec<f64>,
+    /// Per-run read cursors for the k-way merge.
+    cursors: Vec<usize>,
+    /// Stable-sort fallback buffer (non-monotone combiners only).
+    sorted: Vec<(f64, f64)>,
+}
+
+impl ConvolveScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `a.product_with(b, f)` without steady-state allocations.
+    /// Bit-identical to the [`Distribution::product_with`] reference.
+    pub fn product_with(
+        &mut self,
+        a: &Distribution,
+        b: &Distribution,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Result<Distribution, StatsError> {
+        let run_len = self.fill_product(a, b, &mut f);
+        self.merge_normalize(run_len)?;
+        Ok(self.emit())
+    }
+
+    /// `a.convolve(b)` without steady-state allocations.
+    pub fn convolve(
+        &mut self,
+        a: &Distribution,
+        b: &Distribution,
+    ) -> Result<Distribution, StatsError> {
+        self.product_with(a, b, |x, y| x + y)
+    }
+
+    /// Fused `a.convolve(b)?.expect(g)`: the expectation is computed
+    /// directly off the scratch buffers and no product [`Distribution`] is
+    /// ever materialized. Bit-identical to the two-step reference (the
+    /// merged support and the summation order are exactly the same).
+    pub fn convolve_expect(
+        &mut self,
+        a: &Distribution,
+        b: &Distribution,
+        mut g: impl FnMut(f64) -> f64,
+    ) -> Result<f64, StatsError> {
+        let run_len = self.fill_product(a, b, &mut |x, y| x + y);
+        self.merge_normalize(run_len)?;
+        Ok(self
+            .vals
+            .iter()
+            .zip(&self.prbs)
+            .map(|(&v, &p)| g(v) * p)
+            .sum())
+    }
+
+    /// `rebucket(&a.product_with(b, f)?, buckets)` — the §3.6.3 step of
+    /// `alg_d` — without materializing the wide product distribution and
+    /// without steady-state allocations.
+    pub fn product_rebucket(
+        &mut self,
+        a: &Distribution,
+        b: &Distribution,
+        mut f: impl FnMut(f64, f64) -> f64,
+        buckets: usize,
+    ) -> Result<Distribution, StatsError> {
+        if buckets == 0 {
+            return Err(StatsError::ZeroBuckets);
+        }
+        let run_len = self.fill_product(a, b, &mut f);
+        self.merge_normalize(run_len)?;
+        self.rebucket_emit(buckets)
+    }
+
+    /// `d.map(f)` without steady-state allocations (single-run case of the
+    /// merge: monotone `f` needs no sort, anything else falls back).
+    pub fn map(
+        &mut self,
+        d: &Distribution,
+        mut f: impl FnMut(f64) -> f64,
+    ) -> Result<Distribution, StatsError> {
+        self.pairs.clear();
+        self.pairs.reserve(d.len());
+        for (v, p) in d.iter() {
+            self.pairs.push((f(v), p));
+        }
+        self.merge_normalize(d.len())?;
+        Ok(self.emit())
+    }
+
+    /// Fills `pairs` with the product points in the reference order
+    /// (`a`-major, `b`-minor) and returns the run length (= `b.len()`).
+    fn fill_product(
+        &mut self,
+        a: &Distribution,
+        b: &Distribution,
+        f: &mut impl FnMut(f64, f64) -> f64,
+    ) -> usize {
+        self.pairs.clear();
+        self.pairs.reserve(a.len() * b.len());
+        for (x, px) in a.iter() {
+            for (y, py) in b.iter() {
+                self.pairs.push((f(x, y), px * py));
+            }
+        }
+        b.len()
+    }
+
+    /// The [`Distribution::new`] pipeline over `pairs` (runs of `run_len`),
+    /// writing the merged result into `vals`/`prbs`: validate, drop
+    /// zero-mass points, order by `total_cmp` (stable), merge `==`-equal
+    /// values, check total mass, renormalize unless exactly 1. Sorted-merge
+    /// fast path when every run is non-decreasing; stable-sort fallback
+    /// otherwise.
+    fn merge_normalize(&mut self, run_len: usize) -> Result<(), StatsError> {
+        debug_assert!(run_len > 0 && self.pairs.len().is_multiple_of(run_len));
+
+        // Validation sweep, identical checks and order to the reference
+        // collection loop; also detects per-run monotonicity (w.r.t.
+        // total_cmp, over the surviving positive-mass points).
+        let mut monotone = true;
+        for run in self.pairs.chunks(run_len) {
+            let mut last: Option<f64> = None;
+            for &(v, p) in run {
+                if !v.is_finite() {
+                    return Err(StatsError::NonFiniteValue(v));
+                }
+                if !p.is_finite() || p < 0.0 {
+                    return Err(StatsError::InvalidProbability(p));
+                }
+                if p > 0.0 {
+                    if let Some(prev) = last {
+                        if prev.total_cmp(&v) == Ordering::Greater {
+                            monotone = false;
+                        }
+                    }
+                    last = Some(v);
+                }
+            }
+        }
+
+        self.vals.clear();
+        self.prbs.clear();
+        if monotone {
+            self.kway_merge(run_len);
+        } else {
+            // Non-monotone combiner: reproduce the reference exactly with a
+            // stable sort of the same (filtered) sequence. This path is not
+            // allocation-free; the optimizers' combiners never take it.
+            self.sorted.clear();
+            self.sorted
+                .extend(self.pairs.iter().copied().filter(|&(_, p)| p > 0.0));
+            self.sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for &(v, p) in &self.sorted {
+                push_merged(&mut self.vals, &mut self.prbs, v, p);
+            }
+        }
+
+        if self.vals.is_empty() {
+            return Err(StatsError::EmptySupport);
+        }
+        let total: f64 = self.prbs.iter().sum();
+        if !(total.is_finite() && (total - 1.0).abs() <= MASS_TOLERANCE * total.max(1.0)) {
+            return Err(StatsError::MassNotNormalizable(total));
+        }
+        if total != 1.0 {
+            for p in &mut self.prbs {
+                *p /= total;
+            }
+        }
+        Ok(())
+    }
+
+    /// Stable k-way merge of the pre-sorted runs in `pairs`: at each step
+    /// take the `total_cmp`-smallest head, ties to the lowest run index —
+    /// exactly the order a stable sort gives the concatenated runs.
+    fn kway_merge(&mut self, run_len: usize) {
+        let runs = self.pairs.len() / run_len;
+        self.cursors.clear();
+        self.cursors.extend((0..runs).map(|r| r * run_len));
+        // Pre-skip zero-mass heads so every live cursor points at a
+        // contributing element.
+        for r in 0..runs {
+            skip_zero_mass(&self.pairs, &mut self.cursors[r], (r + 1) * run_len);
+        }
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for r in 0..runs {
+                let c = self.cursors[r];
+                if c < (r + 1) * run_len {
+                    let v = self.pairs[c].0;
+                    // Strict Less keeps the earlier run on ties (stability).
+                    if best.is_none_or(|(_, bv)| v.total_cmp(&bv) == Ordering::Less) {
+                        best = Some((r, v));
+                    }
+                }
+            }
+            let Some((r, v)) = best else { break };
+            let p = self.pairs[self.cursors[r]].1;
+            self.cursors[r] += 1;
+            skip_zero_mass(&self.pairs, &mut self.cursors[r], (r + 1) * run_len);
+            push_merged(&mut self.vals, &mut self.prbs, v, p);
+        }
+    }
+
+    /// Builds a [`Distribution`] from the merged buffers (inline storage,
+    /// hence allocation-free, when the support fits 8 points).
+    fn emit(&self) -> Distribution {
+        Distribution::from_normalized_slices(&self.vals, &self.prbs)
+    }
+
+    /// [`bucket::rebucket`] applied to the merged buffers: emit directly
+    /// when the support already fits, else equi-depth grouping — the same
+    /// arithmetic, in the same order, as the reference implementation.
+    fn rebucket_emit(&mut self, buckets: usize) -> Result<Distribution, StatsError> {
+        if self.vals.len() <= buckets {
+            return Ok(self.emit());
+        }
+        if buckets == 1 {
+            // equi_depth(_, 1) → point(mean); replicate `Distribution::point`
+            // (validation included; mass is exactly 1.0 by construction).
+            let mean: f64 = self.vals.iter().zip(&self.prbs).map(|(&v, &p)| v * p).sum();
+            if !mean.is_finite() {
+                return Err(StatsError::NonFiniteValue(mean));
+            }
+            return Ok(Distribution::from_normalized_slices(&[mean], &[1.0]));
+        }
+        // Inlined `equi_depth` + `group_contiguous` over (vals, prbs):
+        // close a bucket once cumulative mass reaches the next multiple of
+        // 1/buckets; each group becomes one point at its conditional mean.
+        let target = 1.0 / buckets as f64;
+        let mut cum = 0.0;
+        let mut next_idx = 0usize;
+        let mut cur_group = usize::MAX;
+        let mut mass = 0.0;
+        let mut weighted = 0.0;
+        // Grouped points are staged back into `pairs` (its contents are
+        // dead here) as one run, then fed through the same
+        // validate/merge/normalize pipeline `Distribution::new` applies.
+        self.pairs.clear();
+        for i in 0..self.vals.len() {
+            let (v, p) = (self.vals[i], self.prbs[i]);
+            let g = next_idx;
+            cum += p;
+            if cum >= target * (next_idx + 1) as f64 - 1e-12 {
+                next_idx += 1;
+            }
+            if g != cur_group && mass > 0.0 {
+                self.pairs.push((weighted / mass, mass));
+                mass = 0.0;
+                weighted = 0.0;
+            }
+            cur_group = g;
+            mass += p;
+            weighted += v * p;
+        }
+        if mass > 0.0 {
+            self.pairs.push((weighted / mass, mass));
+        }
+        let n = self.pairs.len();
+        self.merge_normalize(n)?;
+        Ok(self.emit())
+    }
+}
+
+/// Appends `(v, p)`, merging mass into the last point when the value is
+/// `==`-equal — the reference's dedup step.
+#[inline]
+fn push_merged(vals: &mut Vec<f64>, prbs: &mut Vec<f64>, v: f64, p: f64) {
+    if vals.last() == Some(&v) {
+        *prbs.last_mut().expect("non-empty") += p;
+    } else {
+        vals.push(v);
+        prbs.push(p);
+    }
+}
+
+/// Advances `cursor` past zero-mass points (dropped by the reference before
+/// sorting) up to `end`.
+#[inline]
+fn skip_zero_mass(pairs: &[(f64, f64)], cursor: &mut usize, end: usize) {
+    while *cursor < end && pairs[*cursor].1 <= 0.0 {
+        *cursor += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket;
+
+    fn d(points: &[(f64, f64)]) -> Distribution {
+        Distribution::new(points.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn product_matches_reference_bitwise() {
+        let a = d(&[(1.0, 0.25), (2.0, 0.5), (3.0, 0.25)]);
+        let b = d(&[(10.0, 0.3), (20.0, 0.7)]);
+        let mut s = ConvolveScratch::new();
+        for f in [|x: f64, y: f64| x + y, |x: f64, y: f64| x * y] {
+            let fast = s.product_with(&a, &b, f).unwrap();
+            let slow = a.product_with(&b, f).unwrap();
+            assert_eq!(fast, slow);
+            for (x, y) in fast.values().iter().zip(slow.values()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in fast.probs().iter().zip(slow.probs()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn collisions_merge_exactly_like_reference() {
+        // 1+3 == 2+2 == 4: cross-run collisions must merge in the same
+        // order the stable sort produces.
+        let a = d(&[(1.0, 0.5), (2.0, 0.5)]);
+        let b = d(&[(2.0, 0.5), (3.0, 0.5)]);
+        let mut s = ConvolveScratch::new();
+        let fast = s.convolve(&a, &b).unwrap();
+        let slow = a.convolve(&b).unwrap();
+        assert_eq!(fast.values(), &[3.0, 4.0, 5.0]);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fused_expect_matches_two_step() {
+        let a = d(&[(1.5, 0.2), (4.0, 0.8)]);
+        let b = d(&[(0.5, 0.9), (100.0, 0.1)]);
+        let mut s = ConvolveScratch::new();
+        let fused = s.convolve_expect(&a, &b, |v| v.sqrt()).unwrap();
+        let two_step = a.convolve(&b).unwrap().expect(|v| v.sqrt());
+        assert_eq!(fused.to_bits(), two_step.to_bits());
+    }
+
+    #[test]
+    fn non_monotone_combiner_falls_back_correctly() {
+        // f decreasing in y: runs are reversed, the merge cannot be used.
+        let a = d(&[(1.0, 0.5), (2.0, 0.5)]);
+        let b = d(&[(1.0, 0.25), (2.0, 0.25), (3.0, 0.5)]);
+        let f = |x: f64, y: f64| x - y;
+        let mut s = ConvolveScratch::new();
+        let fast = s.product_with(&a, &b, f).unwrap();
+        let slow = a.product_with(&b, f).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn product_rebucket_matches_reference_bitwise() {
+        let a = d(&[(10.0, 0.125), (20.0, 0.25), (30.0, 0.5), (40.0, 0.125)]);
+        let b = d(&[(1.0, 0.2), (2.0, 0.2), (3.0, 0.6)]);
+        let mut s = ConvolveScratch::new();
+        for buckets in [1, 2, 4, 8, 64] {
+            let fast = s.product_rebucket(&a, &b, |x, y| x * y, buckets).unwrap();
+            let prod = a.product_with(&b, |x, y| x * y).unwrap();
+            let slow = bucket::rebucket(&prod, buckets).unwrap();
+            assert_eq!(fast, slow, "buckets = {buckets}");
+            for (x, y) in fast
+                .values()
+                .iter()
+                .chain(fast.probs())
+                .zip(slow.values().iter().chain(slow.probs()))
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "buckets = {buckets}");
+            }
+        }
+        assert_eq!(
+            s.product_rebucket(&a, &b, |x, y| x * y, 0),
+            Err(StatsError::ZeroBuckets)
+        );
+    }
+
+    #[test]
+    fn map_matches_reference() {
+        let a = d(&[(1.0, 0.25), (2.0, 0.25), (3.0, 0.5)]);
+        let mut s = ConvolveScratch::new();
+        // Monotone map.
+        assert_eq!(
+            s.map(&a, |v| v.max(2.0)).unwrap(),
+            a.map(|v| v.max(2.0)).unwrap()
+        );
+        // Non-monotone map (collision through the fallback).
+        let f = |v: f64| (v - 2.0) * (v - 2.0);
+        assert_eq!(s.map(&a, f).unwrap(), a.map(f).unwrap());
+    }
+
+    #[test]
+    fn errors_match_reference() {
+        let a = d(&[(1.0, 0.5), (2.0, 0.5)]);
+        let b = d(&[(3.0, 1.0)]);
+        let mut s = ConvolveScratch::new();
+        // Non-finite combined value.
+        assert!(matches!(
+            s.product_with(&a, &b, |_, _| f64::NAN),
+            Err(StatsError::NonFiniteValue(_))
+        ));
+        assert!(matches!(
+            a.product_with(&b, |_, _| f64::NAN),
+            Err(StatsError::NonFiniteValue(_))
+        ));
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_shapes() {
+        let mut s = ConvolveScratch::new();
+        let a = d(&[(1.0, 0.5), (2.0, 0.5)]);
+        let pts: Vec<(f64, f64)> = (0..8).map(|i| (i as f64 + 1.0, 0.125)).collect();
+        let b = d(&pts);
+        let wide = s.product_with(&a, &b, |x, y| x + y).unwrap();
+        let narrow = s.convolve(&a, &a).unwrap();
+        assert_eq!(wide, a.product_with(&b, |x, y| x + y).unwrap());
+        assert_eq!(narrow, a.convolve(&a).unwrap());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests pinning the [`ConvolveScratch`] kernels bit-for-bit to
+//! the naive allocating reference: the scratch path is a pure
+//! allocation/scheduling change, so every value, probability, and fused
+//! expectation must match the `product_with` / `convolve().expect()` /
+//! `rebucket` composition exactly — same bits, not just same tolerance.
+
+use lec_stats::{rebucket, ConvolveScratch, Distribution};
+use proptest::prelude::*;
+
+/// Strategy: a random distribution with 1..=12 support points.
+fn arb_dist() -> impl Strategy<Value = Distribution> {
+    prop::collection::vec((0.0f64..1e6, 0.01f64..1.0), 1..=12)
+        .prop_map(|pts| Distribution::from_weights(pts).expect("positive weights"))
+}
+
+/// Asserts two distributions are bitwise equal, support and mass alike.
+fn assert_bits_eq(fast: &Distribution, slow: &Distribution) {
+    assert_eq!(fast.len(), slow.len());
+    for (a, b) in fast.values().iter().zip(slow.values()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "value bits differ");
+    }
+    for (a, b) in fast.probs().iter().zip(slow.probs()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "prob bits differ");
+    }
+}
+
+proptest! {
+    #[test]
+    fn scratch_convolve_is_bit_identical(a in arb_dist(), b in arb_dist()) {
+        let mut s = ConvolveScratch::new();
+        let fast = s.convolve(&a, &b).unwrap();
+        let slow = a.convolve(&b).unwrap();
+        assert_bits_eq(&fast, &slow);
+    }
+
+    #[test]
+    fn scratch_product_is_bit_identical(a in arb_dist(), b in arb_dist()) {
+        let mut s = ConvolveScratch::new();
+        // Multiplicative product: the alg_d size-propagation combiner.
+        let fast = s.product_with(&a, &b, |x, y| x * y).unwrap();
+        let slow = a.product_with(&b, |x, y| x * y).unwrap();
+        assert_bits_eq(&fast, &slow);
+    }
+
+    #[test]
+    fn fused_convolve_expect_is_bit_identical(a in arb_dist(), b in arb_dist()) {
+        let mut s = ConvolveScratch::new();
+        // A few distinct integrands, including non-monotone ones — the
+        // fusion only changes *where* the expectation is accumulated.
+        let fns: [fn(f64) -> f64; 3] = [|v| v, |v| v.sqrt(), |v| (v - 5e5) * (v - 5e5)];
+        for g in fns {
+            let fused = s.convolve_expect(&a, &b, g).unwrap();
+            let two_step = a.convolve(&b).unwrap().expect(g);
+            prop_assert_eq!(fused.to_bits(), two_step.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_product_rebucket_is_bit_identical(
+        a in arb_dist(),
+        b in arb_dist(),
+        buckets in 1usize..=10,
+    ) {
+        let mut s = ConvolveScratch::new();
+        let fast = s.product_rebucket(&a, &b, |x, y| x * y, buckets).unwrap();
+        let prod = a.product_with(&b, |x, y| x * y).unwrap();
+        let slow = rebucket(&prod, buckets).unwrap();
+        assert_bits_eq(&fast, &slow);
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state(a in arb_dist(), b in arb_dist(), c in arb_dist()) {
+        // Interleave shapes through ONE scratch and re-check against fresh
+        // references: stale buffer contents must never surface.
+        let mut s = ConvolveScratch::new();
+        let f1 = s.convolve(&a, &b).unwrap();
+        let f2 = s.product_rebucket(&b, &c, |x, y| x * y, 4).unwrap();
+        let f3 = s.convolve(&a, &c).unwrap();
+        assert_bits_eq(&f1, &a.convolve(&b).unwrap());
+        assert_bits_eq(
+            &f2,
+            &rebucket(&b.product_with(&c, |x, y| x * y).unwrap(), 4).unwrap(),
+        );
+        assert_bits_eq(&f3, &a.convolve(&c).unwrap());
+    }
+}
