@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` is the tier-1 gate the CI driver
 # runs; the others are the fast local loops.
 
-.PHONY: verify test bench-smoke lint lint-strict xtable fault-smoke kernel-smoke ci
+.PHONY: verify test bench-smoke lint lint-strict xtable fault-smoke kernel-smoke serve-concurrent-smoke ci
 
 # Tier-1: release build + full test suite (what must never regress).
 verify:
@@ -51,9 +51,26 @@ kernel-smoke:
 	grep -q '"effective_threads"' results/BENCH_parallel.json
 	grep -q '"rank_wall_ns"' results/BENCH_parallel.json
 	grep -q '"serial_speedup"' results/BENCH_parallel.json
+	grep -q '"min_speedup"' results/BENCH_parallel.json
+	grep -q '"self_asserted": true' results/BENCH_parallel.json
+	grep -q '"optimized_build": true' results/BENCH_parallel.json
+
+# Concurrent-serving smoke: run X22 on a short stream (X22_REQUESTS
+# redirects the artifact to the _smoke file, so the committed full-length
+# BENCH_serve_concurrent.json is never overwritten here) and check the
+# self-assertion markers landed. X22 itself asserts the ≥2x batched
+# speedup floors, in-window dedup, and the 1-worker/window-1 replay's
+# counter identity with the sequential loop before writing anything.
+serve-concurrent-smoke:
+	X22_REQUESTS=4000 cargo run --release -p lec-bench --bin xtable x22 > /dev/null
+	test -s results/BENCH_serve_concurrent_smoke.json
+	grep -q '"experiment": "x22_serve_concurrent"' results/BENCH_serve_concurrent_smoke.json
+	grep -q '"self_asserted": true' results/BENCH_serve_concurrent_smoke.json
+	grep -q '"min_speedup"' results/BENCH_serve_concurrent_smoke.json
+	grep -q '"workers": 4' results/BENCH_serve_concurrent_smoke.json
 
 # Full local CI gate: formatting, lints, the whole test suite (unit +
-# integration + doc-tests), and X18/X19/X20/X21 smoke runs that must leave
+# integration + doc-tests), and X18/X19/X20/X21/X22 smoke runs that must leave
 # well-formed results/BENCH_stats.json, results/BENCH_serve.json, and
 # results/BENCH_faults.json behind (X20 self-asserts the control-run
 # closed forms and the drift-recovery bounds; X21 self-asserts the
@@ -73,3 +90,4 @@ ci:
 	grep -q '"experiment": "x20_serve"' results/BENCH_serve.json
 	$(MAKE) fault-smoke
 	$(MAKE) kernel-smoke
+	$(MAKE) serve-concurrent-smoke

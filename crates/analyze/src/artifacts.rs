@@ -1,0 +1,109 @@
+//! Bench-artifact checks: the honesty contract for checked-in numbers.
+//!
+//! Source rules (`rules`) keep the *code* deterministic; this module keeps
+//! the *artifacts* honest. Any `results/BENCH_*.json` that records a
+//! `"speedup"` claim must carry the self-assertion markers the experiment
+//! harness emits when it verified its own floors before writing the file:
+//! a `"min_speedup"` bound alongside every claim and a top-level
+//! `"self_asserted": true`. An artifact with a speedup but no bound is a
+//! number nobody will notice regressing — exactly the failure mode that
+//! let `BENCH_parallel.json` ship a 0.14× "speedup" for several PRs.
+
+use crate::diag::{Diagnostic, Status};
+use std::path::Path;
+
+/// Rule id: a bench artifact claiming a speedup must self-assert a floor.
+pub const SPEEDUP_SELF_ASSERT: &str = "bench-speedup-self-assert";
+
+/// Collect every `results/BENCH_*.json` under `root`, sorted, as
+/// workspace-relative forward-slash paths.
+pub fn collect_artifacts(root: &Path) -> std::io::Result<Vec<String>> {
+    let dir = root.join("results");
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        // No results directory yet: nothing to check.
+        Err(_) => return Ok(out),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        if path.is_file() && name.starts_with("BENCH_") && name.ends_with(".json") {
+            out.push(format!("results/{name}"));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint one artifact's text. `rel_path` is used only for reporting.
+pub fn lint_artifact(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let has_speedup = text.contains("\"speedup\"");
+    if !has_speedup {
+        return diags;
+    }
+    if !text.contains("\"min_speedup\"") {
+        diags.push(Diagnostic {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: SPEEDUP_SELF_ASSERT,
+            message: "artifact records a \"speedup\" without a \"min_speedup\" floor; make the \
+                      experiment assert its bound before writing the file and record the bound \
+                      beside the claim"
+                .to_string(),
+            snippet: String::new(),
+            status: Status::Violation,
+        });
+    }
+    if !text.contains("\"self_asserted\": true") {
+        diags.push(Diagnostic {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: SPEEDUP_SELF_ASSERT,
+            message: "artifact records a \"speedup\" without the top-level \
+                      \"self_asserted\": true marker; the experiment must verify its floors \
+                      before writing the artifact"
+                .to_string(),
+            snippet: String::new(),
+            status: Status::Violation,
+        });
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_without_speedup_is_clean() {
+        assert!(lint_artifact("results/BENCH_x.json", "{\"wall_ns\": 3}").is_empty());
+    }
+
+    #[test]
+    fn speedup_without_markers_is_two_violations() {
+        let diags = lint_artifact("results/BENCH_x.json", "{\"speedup\": 0.14}");
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == SPEEDUP_SELF_ASSERT));
+        assert!(diags.iter().all(|d| d.status == Status::Violation));
+    }
+
+    #[test]
+    fn speedup_with_both_markers_is_clean() {
+        let text =
+            "{\"self_asserted\": true, \"rows\": [{\"speedup\": 1.5, \"min_speedup\": 1.0}]}";
+        assert!(lint_artifact("results/BENCH_x.json", text).is_empty());
+    }
+
+    #[test]
+    fn partial_markers_flag_the_missing_one() {
+        let text = "{\"rows\": [{\"speedup\": 1.5, \"min_speedup\": 1.0}]}";
+        let diags = lint_artifact("results/BENCH_x.json", text);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("self_asserted"));
+    }
+}

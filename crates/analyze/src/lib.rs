@@ -5,12 +5,15 @@
 //! compiler cannot see and that the paper's guarantees rest on — determinism
 //! of the optimizer/serve paths, exact (epsilon-free) dominance, and honest
 //! error handling in library code. See DESIGN.md §7 for the rule catalog and
-//! `rules` for the per-rule scopes.
+//! `rules` for the per-rule scopes. Checked-in bench artifacts are linted
+//! too (`artifacts`): a `results/BENCH_*.json` claiming a speedup must
+//! carry the self-assertion markers its experiment verified before writing.
 //!
 //! The companion Layer 2 — the plan-IR verifier and utility-soundness gate —
 //! lives in `lec-plan::verify` and `lec-core::soundness`; this crate checks
 //! the *source text*, those check the *emitted plans*.
 
+pub mod artifacts;
 pub mod diag;
 pub mod lexer;
 pub mod pragma;
@@ -126,6 +129,16 @@ pub fn run(opts: &RunOptions) -> Result<Report, String> {
         let source =
             std::fs::read_to_string(opts.root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
         diagnostics.extend(rules::lint_source(rel, &source));
+    }
+
+    // Bench artifacts are checked too: a checked-in speedup claim must
+    // carry the self-assertion markers its experiment verified.
+    let artifact_files = artifacts::collect_artifacts(&opts.root)
+        .map_err(|e| format!("artifact scan failed: {e}"))?;
+    for rel in &artifact_files {
+        let text =
+            std::fs::read_to_string(opts.root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        diagnostics.extend(artifacts::lint_artifact(rel, &text));
     }
 
     let ratchet_entries = apply_ratchet(&mut diagnostics, &ratchet, opts.strict);

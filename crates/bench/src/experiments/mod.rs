@@ -21,3 +21,4 @@ pub mod x18_parallel;
 pub mod x19_stats;
 pub mod x20_serve;
 pub mod x21_faults;
+pub mod x22_serve_concurrent;

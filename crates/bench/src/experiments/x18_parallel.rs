@@ -13,8 +13,19 @@
 //! The serial and parallel paths return bit-identical plans
 //! (property-tested in `crates/core/tests/parallel_equivalence.rs`); only
 //! wall-clock differs, and on a single-core host the honest expectation
-//! for the thread sweep is a speedup near (or below) 1.0 — the JSON
-//! records whatever the machine delivers.
+//! for the thread sweep is a speedup near (or below) 1.0.
+//!
+//! The run **self-asserts** before writing: the serial median must not
+//! regress below the recorded baseline (`serial_speedup ≥ 1.0`), and
+//! every thread-sweep row must clear the floor recorded next to it as
+//! `min_speedup` — dispatch-only rows ≥ 0.75, truly fanned-out rows
+//! ≥ 0.5 (on an oversubscribed host >1.0 is physically impossible; the
+//! floor bounds coordination overhead instead). A regression therefore
+//! panics `make kernel-smoke` rather than being silently written to the
+//! artifact. Debug builds (e.g. `cargo test --workspace`) check only the
+//! ratio floors and write `BENCH_parallel_debug.json` (gitignored) — an
+//! unoptimized run can neither trip the absolute-time floor nor clobber
+//! the committed release artifact.
 
 use crate::fixtures::{chain_query, spread_memory, static_mem, SEED};
 use crate::table::{ratio, Table};
@@ -35,6 +46,58 @@ const SPEEDUP_N: usize = 13;
 /// against this number.
 const BASELINE_SERIAL_NS: u128 = 3_616_000;
 
+/// The serial path must never regress below the pre-kernel baseline: the
+/// run panics (failing `make kernel-smoke`) instead of silently writing a
+/// sub-1.0 serial speedup into the artifact. A committed artifact once
+/// recorded 0.1396 here — an unoptimized debug-build test run (~0.14× is
+/// exactly debug-vs-release for this kernel) that clobbered the release
+/// artifact, while the docs kept quoting the healthy number. Two guards
+/// make that class of artifact impossible to commit: this assertion, and
+/// `json_path` routing debug builds to a separate gitignored file.
+const MIN_SERIAL_SPEEDUP: f64 = 1.0;
+
+/// Whether this binary can honestly be compared against the recorded
+/// release-build baseline. Debug builds still check the *ratio* floors
+/// (both sides slow down together) but skip the absolute-nanoseconds
+/// serial floor and write their artifact to a debug-suffixed path.
+const OPTIMIZED_BUILD: bool = !cfg!(debug_assertions);
+
+/// Self-asserted floor for thread-sweep rows that never leave the serial
+/// path (forced threads = 1, or `n` below the sequential cutoff): the
+/// parallel entry point is then pure dispatch, so anything beyond ~25%
+/// overhead is a bug, not noise.
+const MIN_DISPATCH_SPEEDUP: f64 = 0.75;
+
+/// Self-asserted floor for rows that really fan out. When the forced
+/// worker count exceeds the machine's cores the workers time-share one
+/// CPU, so a speedup above 1.0 is physically impossible — the floor only
+/// bounds the oversubscription overhead (barrier wake-ups and claim
+/// traffic on a single core). With threads ≤ cores the same floor is
+/// deliberately conservative: scaling wins are environment-dependent, but
+/// losing more than half to coordination is a regression on any machine.
+const MIN_PARALLEL_SPEEDUP: f64 = 0.5;
+
+/// The floor a row is judged against, recorded next to its measured
+/// speedup so the artifact is self-describing.
+fn row_min_speedup(parallelized: bool) -> f64 {
+    if parallelized {
+        MIN_PARALLEL_SPEEDUP
+    } else {
+        MIN_DISPATCH_SPEEDUP
+    }
+}
+
+/// Samples per median. High enough that a transient stall on a busy box
+/// cannot drag the median of an unchanged code path below its floor.
+const REPS: usize = 15;
+
+/// Measurement attempts per thread-sweep row. A row that misses its floor
+/// is re-measured from scratch (both sides) before the assertion fires:
+/// a real regression misses every attempt, while a stall burst from a
+/// co-scheduled process (e.g. the rest of the test suite on a 1-CPU box)
+/// rarely survives one re-measure, let alone two.
+const ROW_ATTEMPTS: usize = 3;
+
 /// Median wall-clock of `f` over `reps` runs after one warm-up call.
 fn median_ns<F: FnMut()>(mut f: F, reps: usize) -> u128 {
     f();
@@ -50,8 +113,16 @@ fn median_ns<F: FnMut()>(mut f: F, reps: usize) -> u128 {
 }
 
 /// Where the machine-readable trajectory lands (workspace `results/`).
+/// Debug builds write a separate, gitignored file: their absolute wall
+/// times are meaningless against the release baseline, and a debug test
+/// run must never overwrite the committed release artifact.
 fn json_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_parallel.json")
+    let name = if OPTIMIZED_BUILD {
+        "../../results/BENCH_parallel.json"
+    } else {
+        "../../results/BENCH_parallel_debug.json"
+    };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name)
 }
 
 fn fmt_rank_ns(rank_wall_ns: &[u64]) -> String {
@@ -74,54 +145,114 @@ pub fn run() -> String {
     for n in [9usize, 11, 13] {
         let q = chain_query(n, SEED + n as u64);
         let mem = static_mem(spread_memory(4));
-        let serial = median_ns(
-            || {
-                alg_c::optimize(&q, &PaperCostModel, &mem).expect("serial");
-            },
-            7,
-        );
         if n == SPEEDUP_N {
+            // Same second-chance scheme as the sweep rows below: against a
+            // fixed nanosecond baseline, a co-scheduled stall during the
+            // one measured median reads as a regression of unchanged code,
+            // so only a miss on every attempt is treated as real. Debug
+            // builds skip the absolute floor entirely — they are ~7×
+            // slower by construction and their artifact lands elsewhere.
+            let mut serial = 0u128;
+            let mut speedup = 0.0f64;
+            for _ in 0..ROW_ATTEMPTS {
+                serial = median_ns(
+                    || {
+                        alg_c::optimize(&q, &PaperCostModel, &mem).expect("serial");
+                    },
+                    REPS,
+                );
+                speedup = BASELINE_SERIAL_NS as f64 / serial as f64;
+                if !OPTIMIZED_BUILD || speedup >= MIN_SERIAL_SPEEDUP {
+                    break;
+                }
+            }
+            assert!(
+                !OPTIMIZED_BUILD || speedup >= MIN_SERIAL_SPEEDUP,
+                "serial regression: alg_c n={SPEEDUP_N} serial median {serial} ns is \
+                 {speedup:.4}x the {BASELINE_SERIAL_NS} ns baseline (self-asserted \
+                 floor {MIN_SERIAL_SPEEDUP}) on all {ROW_ATTEMPTS} measurement \
+                 attempts — refusing to write the artifact"
+            );
             speedup_block = format!(
                 "  \"serial_speedup\": {{\"n\": {SPEEDUP_N}, \
                  \"baseline_serial_ns\": {BASELINE_SERIAL_NS}, \
-                 \"serial_ns\": {serial}, \"speedup\": {:.4}}},\n",
-                BASELINE_SERIAL_NS as f64 / serial as f64
+                 \"serial_ns\": {serial}, \"speedup\": {speedup:.4}, \
+                 \"min_speedup\": {MIN_SERIAL_SPEEDUP:.1}}},\n",
             );
         }
         for threads in THREAD_SWEEP {
             let par = Parallelism::with_threads(threads);
             let effective = par.effective_threads();
-            let parallel = median_ns(
-                || {
-                    alg_c::optimize_par(&q, &PaperCostModel, &mem, &par).expect("parallel");
-                },
-                7,
-            );
+            let parallelized = par.use_parallel(n);
+            let min_speedup = row_min_speedup(parallelized);
+            // Re-measure the serial reference adjacent to each row so the
+            // ratio compares two medians taken under the same machine
+            // conditions — a frequency dip or background stall between the
+            // top-of-loop serial measurement and this row would otherwise
+            // read as a phantom regression of an unchanged code path. A row
+            // that still misses its floor gets measured again from scratch
+            // (ROW_ATTEMPTS): real regressions miss every time, stall
+            // bursts don't.
+            let mut serial_row = 0u128;
+            let mut parallel = 0u128;
+            let mut speedup = 0.0f64;
+            for _ in 0..ROW_ATTEMPTS {
+                serial_row = median_ns(
+                    || {
+                        alg_c::optimize(&q, &PaperCostModel, &mem).expect("serial");
+                    },
+                    REPS,
+                );
+                parallel = median_ns(
+                    || {
+                        alg_c::optimize_par(&q, &PaperCostModel, &mem, &par).expect("parallel");
+                    },
+                    REPS,
+                );
+                speedup = serial_row as f64 / parallel as f64;
+                if speedup >= min_speedup {
+                    break;
+                }
+            }
             // Per-rank wall times from one representative run (timing is
             // the only non-deterministic stat).
             let (_, stats) =
                 alg_c::optimize_with_stats_par(&q, &PaperCostModel, &mem, &par).expect("stats run");
-            let speedup = serial as f64 / parallel as f64;
+            assert!(
+                speedup >= min_speedup,
+                "parallel regression: n={n} threads={threads} (parallelized: \
+                 {parallelized}) speedup {speedup:.4} fell below its self-asserted \
+                 floor {min_speedup} on all {ROW_ATTEMPTS} measurement attempts — \
+                 refusing to write the artifact"
+            );
             t.row(vec![
                 n.to_string(),
                 threads.to_string(),
-                format!("{:.3} ms", serial as f64 / 1e6),
+                format!("{:.3} ms", serial_row as f64 / 1e6),
                 format!("{:.3} ms", parallel as f64 / 1e6),
                 ratio(speedup),
             ]);
             json_rows.push(format!(
                 "    {{\"n\": {n}, \"threads\": {threads}, \
                  \"effective_threads\": {effective}, \
-                 \"serial_median_ns\": {serial}, \
+                 \"parallelized\": {parallelized}, \
+                 \"serial_median_ns\": {serial_row}, \
                  \"parallel_median_ns\": {parallel}, \"speedup\": {speedup:.4}, \
+                 \"min_speedup\": {min_speedup}, \
                  \"rank_wall_ns\": {}}}",
                 fmt_rank_ns(&stats.rank_wall_ns)
             ));
         }
     }
+    // `host_threads` records what the sweep was up against: rows with
+    // threads > host_threads time-share cores, so their floors are the
+    // oversubscription bound, not a scaling claim.
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
         "{{\n  \"experiment\": \"x18_parallel\",\n  \"algorithm\": \"alg_c\",\n  \
-         \"memory_buckets\": 4,\n{speedup_block}  \"rows\": [\n{}\n  ]\n}}\n",
+         \"memory_buckets\": 4,\n  \"host_threads\": {host_threads},\n  \
+         \"optimized_build\": {OPTIMIZED_BUILD},\n  \
+         \"self_asserted\": true,\n{speedup_block}  \"rows\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
     let path = json_path();
@@ -131,7 +262,7 @@ pub fn run() -> String {
     std::fs::write(&path, &json).expect("write BENCH_parallel.json");
     format!(
         "## X18 — serial vs. rank-parallel optimization time\n\n\
-         Median of 7 runs, chain queries, 4 memory buckets, forced worker \
+         Median of {REPS} runs, chain queries, 4 memory buckets, forced worker \
          counts {THREAD_SWEEP:?}. Both paths return bit-identical plans; \
          speedup above 1.000x means the parallel path was faster (threads \
          = 1 routes through the serial path, so its speedup isolates \
@@ -159,8 +290,21 @@ mod tests {
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"effective_threads\""));
+        assert!(json.contains("\"parallelized\""));
         assert!(json.contains("\"rank_wall_ns\""));
         assert!(json.contains("\"serial_speedup\""));
         assert!(json.contains("\"baseline_serial_ns\""));
+        assert!(json.contains("\"host_threads\""));
+        assert!(json.contains("\"self_asserted\": true"));
+        assert!(json.contains("\"min_speedup\""));
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn floors_are_recorded_per_row_shape() {
+        assert_eq!(row_min_speedup(false), MIN_DISPATCH_SPEEDUP);
+        assert_eq!(row_min_speedup(true), MIN_PARALLEL_SPEEDUP);
+        assert!(MIN_SERIAL_SPEEDUP >= 1.0);
+        assert!(MIN_DISPATCH_SPEEDUP < 1.0 && MIN_PARALLEL_SPEEDUP < MIN_DISPATCH_SPEEDUP);
     }
 }

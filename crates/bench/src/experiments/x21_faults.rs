@@ -121,6 +121,7 @@ fn config(injection: FaultInjection) -> ServeConfig {
     cfg.resilience = ResiliencePolicy {
         max_retries: MAX_RETRIES,
         breaker_threshold: BREAKER_THRESHOLD,
+        shard_breaker_threshold: 0,
     };
     cfg.fault_injection = injection;
     cfg

@@ -11,7 +11,7 @@ pub mod experiments;
 pub mod fixtures;
 pub mod table;
 
-/// Runs one experiment by id (`"x1"` … `"x21"`), returning its markdown
+/// Runs one experiment by id (`"x1"` … `"x22"`), returning its markdown
 /// section, or `None` for an unknown id.
 pub fn run_experiment(id: &str) -> Option<String> {
     use experiments::*;
@@ -37,13 +37,14 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "x19" => x19_stats::run(),
         "x20" => x20_serve::run(),
         "x21" => x21_faults::run(),
+        "x22" => x22_serve_concurrent::run(),
         _ => return None,
     };
     Some(out)
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14", "x15",
-    "x16", "x17", "x18", "x19", "x20", "x21",
+    "x16", "x17", "x18", "x19", "x20", "x21", "x22",
 ];

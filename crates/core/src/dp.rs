@@ -27,6 +27,8 @@ use crate::precompute::QueryTables;
 use crate::stats::OptStats;
 use lec_cost::{AccessMethod, CostModel, JoinMethod};
 use lec_plan::{JoinQuery, KeyId, Plan, RelSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// An optimized plan with its (expected) cost under the optimizing
 /// objective.
@@ -153,12 +155,29 @@ enum Choice {
     Join { last: usize, method: JoinMethod },
 }
 
+/// The DP table: one write-once slot per subset mask. `OnceLock` slots
+/// let the rank-parallel wavefront share the table immutably across
+/// workers — lower ranks are frozen by the inter-wave barrier, and each
+/// current-rank slot is written exactly once by whichever worker claims
+/// its mask — while the serial sweep uses the same representation so both
+/// drivers run the identical `cost_mask` code path.
+type DpTable = Vec<OnceLock<Entry>>;
+
+fn new_table(size: usize) -> DpTable {
+    std::iter::repeat_with(OnceLock::new).take(size).collect()
+}
+
+/// Reads a frozen entry (a strictly smaller subset, or a finished rank).
+fn entry_at(table: &[OnceLock<Entry>], set: RelSet) -> Option<Entry> {
+    table[set.bits() as usize].get().copied()
+}
+
 /// Fills the depth-1 entries (best access path per relation) from the
 /// precomputed tables.
-fn seed_singletons(tabs: &QueryTables, n: usize, table: &mut [Option<Entry>]) {
+fn seed_singletons(tabs: &QueryTables, n: usize, table: &[OnceLock<Entry>]) {
     for i in 0..n {
         let (cost, method, _) = tabs.access(i);
-        table[RelSet::single(i).bits() as usize] = Some(Entry {
+        let _ = table[RelSet::single(i).bits() as usize].set(Entry {
             cost,
             choice: Choice::Access(method),
         });
@@ -179,7 +198,7 @@ fn seed_singletons(tabs: &QueryTables, n: usize, table: &mut [Option<Entry>]) {
 fn cost_mask<C: StepCoster>(
     tabs: &QueryTables,
     coster: &C,
-    table: &[Option<Entry>],
+    table: &[OnceLock<Entry>],
     set: RelSet,
     full: RelSet,
     required: Option<KeyId>,
@@ -191,7 +210,7 @@ fn cost_mask<C: StepCoster>(
     let mut candidates = 0u64;
     for j in set.iter() {
         let sub = set.remove(j);
-        let left = table[sub.bits() as usize].expect("subset computed earlier");
+        let left = entry_at(table, sub).expect("subset computed earlier");
         let left_out = tabs.pages(sub);
         let (acc_cost, _, acc_out) = tabs.access(j);
         let key = tabs.join_key(sub, j);
@@ -230,12 +249,12 @@ fn finalize<C: StepCoster>(
     query: &JoinQuery,
     tabs: &QueryTables,
     coster: &C,
-    table: &[Option<Entry>],
+    table: &[OnceLock<Entry>],
     best_ordered: Option<Entry>,
 ) -> Result<Optimized, CoreError> {
     let n = query.n();
     let full = query.all();
-    let root = table[full.bits() as usize].ok_or(CoreError::NoPlanFound)?;
+    let root = entry_at(table, full).ok_or(CoreError::NoPlanFound)?;
 
     let best = if query.required_order().is_some() {
         let out = tabs.pages(full);
@@ -307,8 +326,8 @@ pub fn optimize_left_deep_with_tables_and_stats<C: StepCoster>(
 ) -> Result<(Optimized, OptStats), CoreError> {
     let n = query.n();
     let full = query.all();
-    let mut table: Vec<Option<Entry>> = vec![None; (full.bits() + 1) as usize];
-    seed_singletons(tabs, n, &mut table);
+    let table = new_table((full.bits() + 1) as usize);
+    seed_singletons(tabs, n, &table);
 
     // The best full-set plan whose final join is a sort-merge on the
     // required key (satisfies the ORDER BY for free).
@@ -330,7 +349,7 @@ pub fn optimize_left_deep_with_tables_and_stats<C: StepCoster>(
             for &set in rank {
                 let (best, ordered, candidates) =
                     cost_mask(tabs, coster, &table, set, full, required);
-                table[set.bits() as usize] = Some(best);
+                let _ = table[set.bits() as usize].set(best);
                 if let Some(ord) = ordered {
                     best_ordered = Some(ord);
                 }
@@ -398,39 +417,45 @@ pub fn optimize_left_deep_par_with_tables_and_stats<C: StepCoster + Sync>(
         return optimize_left_deep_with_tables_and_stats(query, tabs, coster, options);
     }
     let full = query.all();
-    let mut table: Vec<Option<Entry>> = vec![None; (full.bits() + 1) as usize];
-    seed_singletons(tabs, n, &mut table);
+    let table = new_table((full.bits() + 1) as usize);
+    seed_singletons(tabs, n, &table);
 
     let required = if options.ignore_orders {
         None
     } else {
         query.required_order()
     };
-    let mut best_ordered: Option<Entry> = None;
 
     let mut stats = OptStats::new("dp", n);
     stats.precompute = tabs.sizes();
     stats.counters.entries_written = n as u64;
 
+    // One persistent worker pool drives every rank: workers claim masks
+    // off the shared queue and write their winning entries straight into
+    // the write-once table slots; the inter-wave barrier freezes each
+    // rank before the next reads it. Candidate counts accumulate in a
+    // shared atomic — u64 addition commutes, so the total equals the
+    // serial mask-order sum exactly. The ordered-root alternative can
+    // only arise at the full mask (the single mask of the last rank), so
+    // a single write-once cell captures it.
     let ranks = par::ranks(n);
-    for rank in &ranks[1..] {
-        // The lower ranks are frozen; this rank's masks are independent.
-        let (results, elapsed) = par::timed(|| {
-            par::map_indexed(par, rank.len(), |i| {
-                cost_mask(tabs, coster, &table, rank[i], full, required)
-            })
-        });
-        stats.rank_wall_ns.push(elapsed);
-        for (set, (best, ordered, candidates)) in rank.iter().zip(results) {
-            table[set.bits() as usize] = Some(best);
-            if let Some(ord) = ordered {
-                best_ordered = Some(ord);
-            }
-            stats.counters.masks_expanded += 1;
-            stats.counters.candidates_priced += candidates;
-            stats.counters.entries_written += 1;
+    let wave_lens: Vec<usize> = ranks[1..].iter().map(Vec::len).collect();
+    let candidates = AtomicU64::new(0);
+    let ordered_cell: OnceLock<Option<Entry>> = OnceLock::new();
+    stats.rank_wall_ns = par::run_waves(par, &wave_lens, |wave, i| {
+        let set = ranks[wave + 1][i];
+        let (best, ordered, cand) = cost_mask(tabs, coster, &table, set, full, required);
+        candidates.fetch_add(cand, Ordering::Relaxed);
+        let _ = table[set.bits() as usize].set(best);
+        if set == full {
+            let _ = ordered_cell.set(ordered);
         }
-    }
+    });
+    let masks: u64 = wave_lens.iter().map(|&len| len as u64).sum();
+    stats.counters.masks_expanded = masks;
+    stats.counters.candidates_priced = candidates.load(Ordering::Relaxed);
+    stats.counters.entries_written += masks;
+    let best_ordered = ordered_cell.get().copied().flatten();
 
     let best = finalize(query, tabs, coster, &table, best_ordered)?;
     Ok((best, stats))
@@ -440,11 +465,11 @@ pub fn optimize_left_deep_par_with_tables_and_stats<C: StepCoster + Sync>(
 /// different final-join choice (the ordered alternative).
 fn reconstruct(
     tabs: &QueryTables,
-    table: &[Option<Entry>],
+    table: &[OnceLock<Entry>],
     set: RelSet,
     override_root: Option<Entry>,
 ) -> Plan {
-    let entry = override_root.unwrap_or_else(|| table[set.bits() as usize].expect("entry exists"));
+    let entry = override_root.unwrap_or_else(|| entry_at(table, set).expect("entry exists"));
     match entry.choice {
         Choice::Access(method) => {
             let rel = set.iter().next().expect("singleton");

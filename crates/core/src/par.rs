@@ -51,8 +51,10 @@ pub struct Parallelism {
     /// [`std::thread::available_parallelism`].
     pub threads: usize,
     /// Queries with fewer relations than this run fully serially — below
-    /// ~8 relations a rank has so few subsets that thread spawn/join
-    /// overhead dominates the costing work.
+    /// ~10 relations the widest rank is only a few hundred masks
+    /// (`C(9, 4) = 126`), so pool wake-ups and claim traffic swamp the
+    /// costing work (measured on x18: n = 9 never beats serial at any
+    /// worker count, n = 11 is the first size where it can).
     pub sequential_cutoff: usize,
 }
 
@@ -60,7 +62,7 @@ impl Default for Parallelism {
     fn default() -> Self {
         Parallelism {
             threads: 0,
-            sequential_cutoff: 8,
+            sequential_cutoff: 10,
         }
     }
 }
@@ -180,6 +182,116 @@ where
     out
 }
 
+/// Drives a sequence of dependent waves through one persistent worker
+/// pool: the worker set is spawned **once** and parks at a barrier
+/// between waves, instead of paying a full spawn/join round per wave the
+/// way repeated [`map_indexed`] calls would. Wave `w` has `waves[w]`
+/// items; `body(w, i)` must be safe to run concurrently for all `i`
+/// within one wave and is responsible for publishing its own result
+/// (e.g. into a `OnceLock` slot) — by the time `body` runs for wave
+/// `w + 1`, every `body` call of wave `w` has completed (the inter-wave
+/// barrier is the happens-before edge).
+///
+/// Chunk boundaries are a pure function of each wave's length and the
+/// worker count, and claiming uses the same `fetch_add` queue as
+/// [`map_indexed`], so which worker runs which item is timing-dependent
+/// but the set of `(wave, item)` executions is not.
+///
+/// Returns the wall-clock nanoseconds each wave took (the per-rank
+/// timing the stats layer records).
+pub fn run_waves<F>(par: &Parallelism, waves: &[usize], body: F) -> Vec<u64>
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let longest = waves.iter().copied().max().unwrap_or(0);
+    let workers = par.effective_threads().min(longest.max(1));
+    if workers <= 1 {
+        return waves
+            .iter()
+            .enumerate()
+            .map(|(w, &len)| {
+                let ((), ns) = timed(|| {
+                    for i in 0..len {
+                        body(w, i);
+                    }
+                });
+                ns
+            })
+            .collect();
+    }
+
+    // Waves with fewer items than one chunk per worker run inline on the
+    // lead thread, with no barrier traffic at all — both sides compute
+    // this predicate from the wave length alone, so lead and workers
+    // always agree on which waves synchronize. (The head and tail ranks
+    // of a subset lattice are tiny; waking the pool for them costs more
+    // than the costing work itself.)
+    let inline = |len: usize| len < workers * MIN_CHUNK;
+    let next = AtomicUsize::new(0);
+    let barrier = std::sync::Barrier::new(workers);
+    let claim_wave = |w: usize, len: usize| {
+        let chunk = (len / (workers * CHUNKS_PER_WORKER)).max(MIN_CHUNK);
+        loop {
+            let lo = next.fetch_add(chunk, Ordering::Relaxed);
+            if lo >= len {
+                break;
+            }
+            for i in lo..(lo + chunk).min(len) {
+                body(w, i);
+            }
+        }
+    };
+    let mut wall = Vec::with_capacity(waves.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    for (w, &len) in waves.iter().enumerate() {
+                        if inline(len) {
+                            continue;
+                        }
+                        // Entry barrier: the lead has finished every
+                        // earlier wave (inline ones included) and rearmed
+                        // the claim queue — that wait is the
+                        // happens-before edge freezing the lower ranks.
+                        barrier.wait();
+                        claim_wave(w, len);
+                        // Exit barrier: the wave is fully drained.
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        // The calling thread is the lead worker: it runs tiny waves
+        // alone, and for pool waves rearms the queue, releases the
+        // workers, participates, and records wall time. The clock starts
+        // *before* the entry barrier so work done by workers while the
+        // lead is still being scheduled is attributed to the right wave.
+        for (w, &len) in waves.iter().enumerate() {
+            if inline(len) {
+                let ((), ns) = timed(|| {
+                    for i in 0..len {
+                        body(w, i);
+                    }
+                });
+                wall.push(ns);
+                continue;
+            }
+            next.store(0, Ordering::Relaxed);
+            // lec-lint: allow(no-wallclock-or-ambient-rng) — observability-only wall time; feeds OptStats::rank_wall_ns, never a plan choice
+            let start = std::time::Instant::now();
+            barrier.wait();
+            claim_wave(w, len);
+            barrier.wait();
+            wall.push(start.elapsed().as_nanos() as u64);
+        }
+        for handle in handles {
+            handle.join().expect("wave worker panicked");
+        }
+    });
+    wall
+}
+
 /// Runs `f` and returns its result together with the coarse wall-clock
 /// nanoseconds it took — the per-rank timing primitive behind
 /// [`OptStats::rank_wall_ns`](crate::stats::OptStats::rank_wall_ns).
@@ -272,6 +384,71 @@ mod tests {
             // One scratch per participating worker, no more.
             assert!(builds.load(Ordering::SeqCst) <= threads.max(1));
         }
+    }
+
+    #[test]
+    fn run_waves_matches_serial_and_respects_dependencies() {
+        use std::sync::OnceLock;
+        // Wave w writes slot (w, i) = f(previous wave's slot i) — the
+        // inter-wave barrier must make every lower wave fully visible.
+        // Wave lengths mix pool waves (≥ workers · MIN_CHUNK) with inline
+        // ones so the barrier-skipping path is exercised in between.
+        let waves = [200usize, 5, 200, 200, 1];
+        for threads in [1, 2, 4] {
+            let par = Parallelism::with_threads(threads);
+            let slots: Vec<Vec<OnceLock<u64>>> = waves
+                .iter()
+                .map(|&len| std::iter::repeat_with(OnceLock::new).take(len).collect())
+                .collect();
+            let wall = run_waves(&par, &waves, |w, i| {
+                let below = if w == 0 {
+                    i as u64
+                } else {
+                    *slots[w - 1][i % waves[w - 1]]
+                        .get()
+                        .expect("lower wave frozen")
+                };
+                slots[w][i]
+                    .set(below.wrapping_mul(31).wrapping_add(w as u64))
+                    .unwrap();
+            });
+            assert_eq!(wall.len(), waves.len());
+            let mut expect: Vec<Vec<u64>> = Vec::new();
+            for (w, &len) in waves.iter().enumerate() {
+                let row: Vec<u64> = (0..len)
+                    .map(|i| {
+                        let below = if w == 0 {
+                            i as u64
+                        } else {
+                            expect[w - 1][i % waves[w - 1]]
+                        };
+                        below.wrapping_mul(31).wrapping_add(w as u64)
+                    })
+                    .collect();
+                expect.push(row);
+            }
+            for (w, row) in expect.iter().enumerate() {
+                for (i, want) in row.iter().enumerate() {
+                    assert_eq!(
+                        slots[w][i].get(),
+                        Some(want),
+                        "threads={threads} w={w} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_waves_handles_empty_and_tiny_waves() {
+        let par = Parallelism::with_threads(4);
+        assert!(run_waves(&par, &[], |_, _| {}).is_empty());
+        let hits = AtomicUsize::new(0);
+        let wall = run_waves(&par, &[0, 1, 0, 3], |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(wall.len(), 4);
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -103,6 +103,10 @@ pub struct ResilienceCounters {
     /// Circuit-breaker trips: fingerprints routed straight to the robust
     /// fallback after repeated faults, flagged for reoptimization.
     pub breaker_trips: u64,
+    /// Shard-breaker trips: whole cache shards routed to the robust
+    /// fallback (and flushed) after accumulating faults across their
+    /// fingerprints — the coarse layer above per-fingerprint trips.
+    pub shard_breaker_trips: u64,
     /// Degraded serves answered by a next-best Pareto-frontier plan.
     pub frontier_fallbacks: u64,
     /// Degraded serves answered by the LSC baseline (last resort).
@@ -199,6 +203,7 @@ impl OptStats {
         self.resilience.retries += other.resilience.retries;
         self.resilience.degraded_serves += other.resilience.degraded_serves;
         self.resilience.breaker_trips += other.resilience.breaker_trips;
+        self.resilience.shard_breaker_trips += other.resilience.shard_breaker_trips;
         self.resilience.frontier_fallbacks += other.resilience.frontier_fallbacks;
         self.resilience.lsc_fallbacks += other.resilience.lsc_fallbacks;
         extend_add(&mut self.rank_wall_ns, &other.rank_wall_ns);
@@ -242,11 +247,12 @@ impl OptStats {
         if !self.resilience.is_zero() {
             let _ = writeln!(
                 out,
-                "resilience:        {} fault / {} retry / {} degraded / {} breaker ({} frontier, {} lsc)",
+                "resilience:        {} fault / {} retry / {} degraded / {} breaker / {} shard-breaker ({} frontier, {} lsc)",
                 self.resilience.faults_injected,
                 self.resilience.retries,
                 self.resilience.degraded_serves,
                 self.resilience.breaker_trips,
+                self.resilience.shard_breaker_trips,
                 self.resilience.frontier_fallbacks,
                 self.resilience.lsc_fallbacks
             );
@@ -362,6 +368,7 @@ mod tests {
             retries: 3,
             degraded_serves: 2,
             breaker_trips: 1,
+            shard_breaker_trips: 1,
             frontier_fallbacks: 2,
             lsc_fallbacks: 1,
         };
@@ -374,7 +381,9 @@ mod tests {
         assert_eq!(a.resilience.degraded_serves, 2);
         let text = a.render();
         assert!(
-            text.contains("resilience:        10 fault / 8 retry / 2 degraded / 1 breaker"),
+            text.contains(
+                "resilience:        10 fault / 8 retry / 2 degraded / 1 breaker / 1 shard-breaker"
+            ),
             "{text}"
         );
         // A record with no faults says nothing about resilience.

@@ -25,6 +25,13 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// The shard a fingerprint maps to under `shards`-way splitting — the one
+/// routing formula shared by the cache and the concurrent dispatcher, so
+/// "same shard" always means "same cache lock".
+pub fn shard_of(fp: &Fingerprint, shards: usize) -> usize {
+    (fp.hash() % shards.max(1) as u64) as usize
+}
+
 struct Slot<V> {
     value: V,
     last_used: u64,
@@ -71,7 +78,36 @@ impl<V: Clone> PlanCache<V> {
     }
 
     fn shard(&self, fp: &Fingerprint) -> &Mutex<Shard<V>> {
-        &self.shards[(fp.hash() % self.shards.len() as u64) as usize]
+        &self.shards[shard_of(fp, self.shards.len())]
+    }
+
+    /// Which shard `fp` maps to — the affinity key the concurrent driver
+    /// partitions request streams by.
+    pub fn shard_index(&self, fp: &Fingerprint) -> usize {
+        shard_of(fp, self.shards.len())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pure membership probe: no hit/miss counting, no recency refresh.
+    /// Batch priming uses this to ask "would this request miss?" without
+    /// perturbing the counters or the LRU order the serve itself will see.
+    pub fn contains(&self, fp: &Fingerprint) -> bool {
+        let shard = self.shard(fp).lock().expect("cache shard poisoned");
+        shard.entries.contains_key(fp.encoding())
+    }
+
+    /// Pure read of an entry: no hit/miss counting, no recency refresh.
+    /// Batch priming uses this to *pin* a resident entry into the window's
+    /// primer — within-window inserts may evict it from the cache, and the
+    /// pinned clone keeps later occurrences from re-optimizing — without
+    /// perturbing anything the serve itself will observe.
+    pub fn peek(&self, fp: &Fingerprint) -> Option<V> {
+        let shard = self.shard(fp).lock().expect("cache shard poisoned");
+        shard.entries.get(fp.encoding()).map(|s| s.value.clone())
     }
 
     fn next_tick(&self) -> u64 {

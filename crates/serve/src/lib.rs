@@ -25,19 +25,28 @@
 //! Everything is deterministic for a given request stream — including the
 //! cache and recalibration counters, which are identical between the
 //! serial and rank-parallel optimizer backends.
+//!
+//! The [`concurrent`] module scales the loop out: a [`ConcurrentServer`]
+//! partitions one logical stream across shard-affine workers with bounded
+//! batch windows and in-window miss deduplication, preserving the
+//! sequential loop's counters and served plans bit for bit (see the module
+//! docs for the exact contract).
 
 pub mod cache;
+pub mod concurrent;
 pub mod drift;
 pub mod error;
 pub mod resilience;
 pub mod service;
 
 pub use cache::PlanCache;
+pub use concurrent::{ConcurrencyConfig, ConcurrentServer, RequestOutcome, StreamOutcome};
 pub use drift::{DriftConfig, DriftDetector, DriftEvent, DriftTarget};
 pub use error::ServeError;
 pub use resilience::{
-    CircuitBreaker, FaultInjection, ResiliencePolicy, ResilienceReport, ServeRoute,
+    CircuitBreaker, FaultInjection, ResiliencePolicy, ResilienceReport, ServeRoute, ShardBreaker,
 };
 pub use service::{
-    QueryRequest, QueryService, Recalibration, RecalibrationDecision, ServeConfig, ServedQuery,
+    BatchPrimer, PreparedRequest, QueryRequest, QueryService, Recalibration, RecalibrationDecision,
+    ServeConfig, ServedQuery,
 };

@@ -38,6 +38,12 @@ pub struct ResiliencePolicy {
     /// straight to the LSC baseline and flags its entry for
     /// reoptimization.
     pub breaker_threshold: u32,
+    /// Faults a whole *cache shard* accumulates (across all its
+    /// fingerprints) before the shard breaker flushes the shard and routes
+    /// the tripping request straight to the LSC baseline. Zero (the
+    /// default) disables the shard layer, preserving the pre-shard-breaker
+    /// behavior bit for bit.
+    pub shard_breaker_threshold: u32,
 }
 
 impl Default for ResiliencePolicy {
@@ -45,6 +51,7 @@ impl Default for ResiliencePolicy {
         ResiliencePolicy {
             max_retries: 2,
             breaker_threshold: 3,
+            shard_breaker_threshold: 0,
         }
     }
 }
@@ -197,6 +204,47 @@ impl CircuitBreaker {
     }
 }
 
+/// Per-shard fault strikes — the coarse companion to [`CircuitBreaker`].
+/// Strikes accumulate against the *cache shard* a faulting fingerprint
+/// maps to, so correlated faults across distinct fingerprints in one shard
+/// can trip even when no single fingerprint reaches its own threshold.
+/// Deterministic: a [`BTreeMap`] keyed by shard index.
+#[derive(Debug, Clone, Default)]
+pub struct ShardBreaker {
+    strikes: BTreeMap<usize, u32>,
+}
+
+impl ShardBreaker {
+    /// A breaker with no strikes recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one fault against `shard`, returning the new strike count.
+    pub fn record_fault(&mut self, shard: usize) -> u32 {
+        let count = self.strikes.entry(shard).or_insert(0);
+        *count += 1;
+        *count
+    }
+
+    /// Strikes recorded against `shard`.
+    pub fn strikes(&self, shard: usize) -> u32 {
+        self.strikes.get(&shard).copied().unwrap_or(0)
+    }
+
+    /// True when `shard` has reached `threshold` strikes (a zero threshold
+    /// never opens — same contract as [`CircuitBreaker::is_open`]).
+    pub fn is_open(&self, shard: usize, threshold: u32) -> bool {
+        threshold > 0 && self.strikes(shard) >= threshold
+    }
+
+    /// Clears the strikes against `shard` (done when the shard breaker
+    /// trips and flushes, so the refilled shard starts clean).
+    pub fn reset(&mut self, shard: usize) {
+        self.strikes.remove(&shard);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +292,24 @@ mod tests {
         // A zero threshold never opens.
         b.record_fault(key);
         assert!(!b.is_open(key, 0));
+    }
+
+    #[test]
+    fn shard_breaker_opens_at_threshold_and_resets() {
+        let mut b = ShardBreaker::new();
+        assert!(!b.is_open(2, 2));
+        assert_eq!(b.record_fault(2), 1);
+        assert_eq!(b.record_fault(2), 2);
+        assert!(b.is_open(2, 2));
+        // Other shards are independent.
+        assert!(!b.is_open(3, 2));
+        b.reset(2);
+        assert_eq!(b.strikes(2), 0);
+        assert!(!b.is_open(2, 2));
+        // A zero threshold never opens, so the default policy keeps the
+        // shard layer inert.
+        b.record_fault(2);
+        assert!(!b.is_open(2, 0));
+        assert_eq!(ResiliencePolicy::default().shard_breaker_threshold, 0);
     }
 }

@@ -15,18 +15,26 @@
 //!
 //! ### Determinism contract
 //!
-//! The request stream is processed sequentially, so every counter — cache
-//! hits/misses/evictions/invalidations, optimizer invocations,
+//! One service processes its request stream sequentially, so every counter
+//! — cache hits/misses/evictions/invalidations, optimizer invocations,
 //! recalibrations — is a pure function of the stream and the initial
 //! catalogs. The optimizer backend (serial vs. rank-parallel) is the one
 //! configurable source of concurrency, and the DP is bit-identical either
 //! way; `tests/parallel_equivalence.rs` asserts the end-to-end equality.
+//!
+//! [`serve_at`](QueryService::serve_at) exposes the same loop with the
+//! stream position made explicit, so the concurrent driver
+//! ([`crate::concurrent`]) can partition one logical stream across several
+//! services while reproducing the sequential loop's memory draws and fault
+//! schedules exactly; [`prepare`](QueryService::prepare) and
+//! [`prime_window`](QueryService::prime_window) move canonicalization and
+//! miss optimization off the serve path without perturbing any counter.
 
-use crate::cache::PlanCache;
+use crate::cache::{shard_of, PlanCache};
 use crate::drift::{DriftConfig, DriftDetector, DriftEvent, DriftTarget};
 use crate::error::ServeError;
 use crate::resilience::{
-    CircuitBreaker, FaultInjection, ResiliencePolicy, ResilienceReport, ServeRoute,
+    CircuitBreaker, FaultInjection, ResiliencePolicy, ResilienceReport, ServeRoute, ShardBreaker,
 };
 use lec_catalog::{Catalog, Histogram, Predicate};
 use lec_core::alg_d::SizeModel;
@@ -44,7 +52,7 @@ use lec_stats::Distribution;
 use lec_workload::from_catalog::{query_from_catalog, FilterSpec, JoinSpec};
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration for a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -185,6 +193,68 @@ pub struct ServedQuery {
     pub resilience: ResilienceReport,
 }
 
+/// A request pre-processed off the serving path: its belief-side query and
+/// canonicalization, tagged with the beliefs version they were computed
+/// under. The concurrent driver builds one per distinct request shape so
+/// routing (fingerprint → shard → worker) happens before any worker is
+/// involved. [`QueryService::serve_at`] and
+/// [`QueryService::prime_window`] trust a prepared request only while the
+/// service's beliefs version still matches — a recalibration in between
+/// invalidates it, and it is silently recomputed rather than served stale.
+///
+/// A `PreparedRequest` must only ever be paired with the request it was
+/// built from (same tables, joins, filters, order).
+#[derive(Debug, Clone)]
+pub struct PreparedRequest {
+    pub(crate) query: JoinQuery,
+    pub(crate) canon: lec_plan::Canonical,
+    pub(crate) version: u64,
+}
+
+impl PreparedRequest {
+    /// The cache shard the prepared fingerprint maps to under `shards`-way
+    /// splitting — the concurrent driver's routing key.
+    pub fn shard(&self, shards: usize) -> usize {
+        shard_of(&self.canon.fingerprint, shards)
+    }
+}
+
+/// Parametric plan sets optimized ahead of one batch window, keyed by
+/// canonical fingerprint encoding.
+///
+/// [`QueryService::prime_window`] walks a window of requests and optimizes
+/// each *distinct would-miss* fingerprint exactly once; isomorphic
+/// requests later in the window find the entry already primed and are
+/// counted in [`dedup_saved`](BatchPrimer::dedup_saved). Primed entries
+/// are **not** consume-once: under unchanged beliefs re-reading one is
+/// semantically identical to re-optimizing, so a window whose entries get
+/// evicted between serves (capacity thrash) still pays one optimization
+/// per class per window instead of one per request.
+///
+/// Like a prepared request, a primer is version-tagged: a recalibration
+/// mid-window bumps the service's beliefs version and the remaining
+/// serves fall back to fresh optimization instead of consuming plans
+/// priced under the old beliefs.
+pub struct BatchPrimer {
+    version: u64,
+    plans: BTreeMap<Vec<u8>, ParametricPlans>,
+    /// Fingerprints whose primer entry is a *pin* — a pure clone of an
+    /// entry resident in the cache at prime time. Pins cost no optimizer
+    /// run, so their in-window repeats do not count as `dedup_saved`.
+    pinned: BTreeSet<Vec<u8>>,
+    /// Window requests whose optimization was skipped because an
+    /// isomorphic request earlier in the same window had already primed
+    /// their fingerprint.
+    pub dedup_saved: u64,
+}
+
+impl BatchPrimer {
+    /// Number of distinct fingerprints primed.
+    pub fn primed(&self) -> usize {
+        self.plans.len()
+    }
+}
+
 /// One rung of the fallback ladder, ready to execute in the request's
 /// numbering.
 struct LadderRung {
@@ -240,12 +310,20 @@ pub struct QueryService<M: CostModel + Sync> {
     config: ServeConfig,
     stats: OptStats,
     breaker: CircuitBreaker,
+    shard_breaker: ShardBreaker,
     resilience: ResilienceCounters,
     optimizer_invocations: u64,
     recalibrations: u64,
     reoptimize_decisions: u64,
     recost_decisions: u64,
     queries_served: u64,
+    /// Bumped on every recalibration; prepared requests and batch primers
+    /// carry the version they were computed under and are ignored once it
+    /// goes stale.
+    beliefs_version: u64,
+    /// Cache misses answered from a batch primer instead of a fresh
+    /// optimizer run.
+    primed_consumed: u64,
 }
 
 impl<M: CostModel + Sync> QueryService<M> {
@@ -289,20 +367,137 @@ impl<M: CostModel + Sync> QueryService<M> {
             config,
             stats: OptStats::new("serve", 0),
             breaker: CircuitBreaker::new(),
+            shard_breaker: ShardBreaker::new(),
             resilience: ResilienceCounters::default(),
             optimizer_invocations: 0,
             recalibrations: 0,
             reoptimize_decisions: 0,
             recost_decisions: 0,
             queries_served: 0,
+            beliefs_version: 0,
+            primed_consumed: 0,
         })
     }
 
     /// Serves one request end to end: plan (cache or optimizer), execute,
     /// harvest feedback, recalibrate on drift.
     pub fn serve(&mut self, request: &QueryRequest) -> Result<ServedQuery, ServeError> {
+        self.serve_at(self.queries_served, request, None, None)
+    }
+
+    /// Pre-processes a request off the serving path: builds its belief-side
+    /// query and canonicalization, tagged with the current beliefs version.
+    /// Pure with respect to service state (no counters move).
+    pub fn prepare(&self, request: &QueryRequest) -> Result<PreparedRequest, ServeError> {
         let query = self.build_query(request)?;
         let canon = canonicalize(&query);
+        Ok(PreparedRequest {
+            query,
+            canon,
+            version: self.beliefs_version,
+        })
+    }
+
+    /// Optimizes every *distinct would-miss* fingerprint in `window` exactly
+    /// once, ahead of serving. Requests resident in the cache at prime time
+    /// are *pinned*: their entry is cloned into the primer by a pure read
+    /// ([`PlanCache::peek`] — no counters, no recency refresh), so that if
+    /// within-window inserts evict them, later occurrences serve from the
+    /// primer instead of re-optimizing. Isomorphic repeats of an optimized
+    /// prime within the window are deduplicated (counted in the primer's
+    /// `dedup_saved`). Optimizer work done here is indistinguishable from
+    /// the same work done on the miss path: the same stats are absorbed and
+    /// the same invocation counter moves, so a window of one request leaves
+    /// every counter exactly where plain [`serve`] would — a resident
+    /// request's pin is never consulted (its serve hits the cache first),
+    /// and a non-resident one is optimized exactly once either way.
+    ///
+    /// Each `window` element pairs a request with its prepared form, if the
+    /// caller has one; stale or absent preparations are recomputed here.
+    ///
+    /// [`serve`]: QueryService::serve
+    pub fn prime_window(
+        &mut self,
+        window: &[(&QueryRequest, Option<&PreparedRequest>)],
+    ) -> Result<BatchPrimer, ServeError> {
+        let mut primer = BatchPrimer {
+            version: self.beliefs_version,
+            plans: BTreeMap::new(),
+            pinned: BTreeSet::new(),
+            dedup_saved: 0,
+        };
+        for (request, prepared) in window {
+            let canon = match prepared.filter(|p| p.version == self.beliefs_version) {
+                Some(p) => p.canon.clone(),
+                None => canonicalize(&self.build_query(request)?),
+            };
+            let key = canon.fingerprint.encoding();
+            if primer.plans.contains_key(key) {
+                if !primer.pinned.contains(key) {
+                    primer.dedup_saved += 1;
+                }
+                continue;
+            }
+            if let Some(entry) = self.cache.peek(&canon.fingerprint) {
+                primer.pinned.insert(key.to_vec());
+                primer.plans.insert(key.to_vec(), entry.plans);
+                continue;
+            }
+            let plans = self.optimize_canonical(&canon)?;
+            primer.plans.insert(key.to_vec(), plans);
+        }
+        Ok(primer)
+    }
+
+    /// One full optimizer run against a canonical query, with stats
+    /// absorbed and the invocation counter moved — the single chokepoint
+    /// both the miss path and the batch primer go through.
+    fn optimize_canonical(
+        &mut self,
+        canon: &lec_plan::Canonical,
+    ) -> Result<ParametricPlans, ServeError> {
+        let (plans, pstats) = match &self.config.parallelism {
+            Some(par) => ParametricPlans::precompute_with_stats_par(
+                &canon.query,
+                &self.model,
+                &self.config.scenarios,
+                par,
+            )?,
+            None => ParametricPlans::precompute_with_stats(
+                &canon.query,
+                &self.model,
+                &self.config.scenarios,
+            )?,
+        };
+        self.stats.absorb(&pstats);
+        self.optimizer_invocations += 1;
+        Ok(plans)
+    }
+
+    /// [`serve`](QueryService::serve) with the stream position made
+    /// explicit. `ordinal` keys everything ordinal-dependent — the
+    /// per-execution memory draw and the fault-injection schedule — so a
+    /// concurrent driver that partitions one logical stream across several
+    /// services can hand each request its *global* position and reproduce
+    /// the sequential loop's draws exactly. `prepared`, if given, must have
+    /// been built from this same `request`; `primer` lets cache misses
+    /// consume plans optimized ahead of the batch window. Both are ignored
+    /// (and recomputed fresh) when their beliefs version is stale.
+    pub fn serve_at(
+        &mut self,
+        ordinal: u64,
+        request: &QueryRequest,
+        prepared: Option<&PreparedRequest>,
+        primer: Option<&BatchPrimer>,
+    ) -> Result<ServedQuery, ServeError> {
+        let (query, canon) = match prepared.filter(|p| p.version == self.beliefs_version) {
+            Some(p) => (p.query.clone(), p.canon.clone()),
+            None => {
+                let query = self.build_query(request)?;
+                let canon = canonicalize(&query);
+                (query, canon)
+            }
+        };
 
         // Both the hit and the miss path optimize *and* cost against the
         // canonical query, so a hit's expected cost is bit-identical to the
@@ -311,21 +506,16 @@ impl<M: CostModel + Sync> QueryService<M> {
         let (entry, cache_hit) = match self.cache.get(&canon.fingerprint) {
             Some(entry) => (entry, true),
             None => {
-                let (plans, pstats) = match &self.config.parallelism {
-                    Some(par) => ParametricPlans::precompute_with_stats_par(
-                        &canon.query,
-                        &self.model,
-                        &self.config.scenarios,
-                        par,
-                    )?,
-                    None => ParametricPlans::precompute_with_stats(
-                        &canon.query,
-                        &self.model,
-                        &self.config.scenarios,
-                    )?,
+                let primed = primer
+                    .filter(|p| p.version == self.beliefs_version)
+                    .and_then(|p| p.plans.get(canon.fingerprint.encoding()));
+                let plans = match primed {
+                    Some(plans) => {
+                        self.primed_consumed += 1;
+                        plans.clone()
+                    }
+                    None => self.optimize_canonical(&canon)?,
                 };
-                self.stats.absorb(&pstats);
-                self.optimizer_invocations += 1;
                 let entry = CacheEntry {
                     request: request.clone(),
                     plans,
@@ -353,12 +543,34 @@ impl<M: CostModel + Sync> QueryService<M> {
 
         let policy = self.config.resilience;
         let fp_key: Vec<u8> = canon.fingerprint.encoding().to_vec();
+        let shard = self.cache.shard_index(&canon.fingerprint);
+
+        // Shard breaker first — the coarse layer: a shard whose
+        // fingerprints have *collectively* accumulated enough faults is
+        // flushed wholesale and this request serves the LSC baseline
+        // fault-free. Checked before the per-fingerprint breaker because a
+        // tripping shard invalidates strictly more state.
+        if self
+            .shard_breaker
+            .is_open(shard, policy.shard_breaker_threshold)
+        {
+            return self.serve_shard_reroute(
+                ordinal,
+                request,
+                &query,
+                &canon,
+                choice.scenario,
+                cache_hit,
+                shard,
+            );
+        }
 
         // Circuit breaker: a fingerprint with enough accumulated faults
         // skips the ladder, serves the robust LSC baseline fault-free, and
         // has its entry dropped so the next request reoptimizes.
         if self.breaker.is_open(&fp_key, policy.breaker_threshold) {
             return self.serve_breaker_reroute(
+                ordinal,
                 request,
                 &query,
                 &canon,
@@ -376,7 +588,6 @@ impl<M: CostModel + Sync> QueryService<M> {
         // errored out. Rungs are built lazily: a fault-free serve (the
         // common case, and the whole PR-3 path) never prices or verifies
         // them at all.
-        let ordinal = self.queries_served;
         let max_attempts = policy.max_retries.saturating_add(1);
         let mut ladder: Option<Vec<LadderRung>> = None;
         let mut attempted: Vec<ServeRoute> = Vec::new();
@@ -420,7 +631,7 @@ impl<M: CostModel + Sync> QueryService<M> {
                 self.config.fault_injection.schedule_for(ordinal, attempt)
             };
 
-            match self.execute(request, &att_plan, &mut faults) {
+            match self.execute(ordinal, request, &att_plan, &mut faults) {
                 Ok((report, feedback)) => {
                     self.resilience.faults_injected += faults.trace().len() as u64;
                     fault_records.extend_from_slice(faults.trace());
@@ -459,6 +670,7 @@ impl<M: CostModel + Sync> QueryService<M> {
                     self.resilience.faults_injected += faults.trace().len() as u64;
                     fault_records.extend_from_slice(faults.trace());
                     self.breaker.record_fault(&fp_key);
+                    self.shard_breaker.record_fault(shard);
                     self.resilience.retries += 1;
                 }
                 Err(other) => return Err(other),
@@ -474,8 +686,10 @@ impl<M: CostModel + Sync> QueryService<M> {
     /// The circuit breaker's direct route: reset the strikes, drop the
     /// offending cache entry (its next request reoptimizes), and serve the
     /// LSC baseline without injection.
+    #[allow(clippy::too_many_arguments)]
     fn serve_breaker_reroute(
         &mut self,
+        ordinal: u64,
         request: &QueryRequest,
         query: &JoinQuery,
         canon: &lec_plan::Canonical,
@@ -487,9 +701,46 @@ impl<M: CostModel + Sync> QueryService<M> {
         self.resilience.breaker_trips += 1;
         self.cache
             .invalidate_collect(|e| e.canon.fingerprint.encoding() == fp_key);
+        self.serve_lsc_fallback(ordinal, request, query, canon, scenario, cache_hit)
+    }
+
+    /// The shard breaker's direct route: reset the shard's strikes, flush
+    /// *every* entry in the shard (correlated faults taint them all — each
+    /// reoptimizes on its next request), and serve the LSC baseline without
+    /// injection.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_shard_reroute(
+        &mut self,
+        ordinal: u64,
+        request: &QueryRequest,
+        query: &JoinQuery,
+        canon: &lec_plan::Canonical,
+        scenario: usize,
+        cache_hit: bool,
+        shard: usize,
+    ) -> Result<ServedQuery, ServeError> {
+        self.shard_breaker.reset(shard);
+        self.resilience.shard_breaker_trips += 1;
+        let shards = self.cache.shard_count();
+        self.cache
+            .invalidate_collect(|e| shard_of(&e.canon.fingerprint, shards) == shard);
+        self.serve_lsc_fallback(ordinal, request, query, canon, scenario, cache_hit)
+    }
+
+    /// Shared tail of both breaker reroutes: execute the LSC baseline
+    /// fault-free and report a degraded, breaker-tripped serve.
+    fn serve_lsc_fallback(
+        &mut self,
+        ordinal: u64,
+        request: &QueryRequest,
+        query: &JoinQuery,
+        canon: &lec_plan::Canonical,
+        scenario: usize,
+        cache_hit: bool,
+    ) -> Result<ServedQuery, ServeError> {
         let (plan, expected) = self.lsc_baseline(query, canon)?;
         let mut faults = FaultSchedule::empty();
-        let (report, feedback) = self.execute(request, &plan, &mut faults)?;
+        let (report, feedback) = self.execute(ordinal, request, &plan, &mut faults)?;
         self.resilience.degraded_serves += 1;
         self.resilience.lsc_fallbacks += 1;
         let recalibrations = self.ingest_feedback(request, query, &feedback)?;
@@ -599,9 +850,13 @@ impl<M: CostModel + Sync> QueryService<M> {
     }
 
     /// Executes `plan` over the generated data, realizing the *truth*
-    /// catalog's filter selectivities.
+    /// catalog's filter selectivities. `ordinal` is the request's position
+    /// in the logical stream: it seeds the memory draw, so concurrent
+    /// drivers replaying a partition of the stream draw what the
+    /// sequential loop would.
     fn execute(
         &mut self,
+        ordinal: u64,
         request: &QueryRequest,
         plan: &Plan,
         faults: &mut FaultSchedule,
@@ -638,7 +893,7 @@ impl<M: CostModel + Sync> QueryService<M> {
         // switch.
         let mut env = ExecMemoryEnv::draw_once(
             self.config.observed_memory.clone(),
-            self.config.exec_seed.wrapping_add(self.queries_served),
+            self.config.exec_seed.wrapping_add(ordinal),
         );
         Ok(execute_plan_with_faults(
             plan,
@@ -762,6 +1017,8 @@ impl<M: CostModel + Sync> QueryService<M> {
             }
         }
         self.recalibrations += 1;
+        // Anything prepared or primed under the old beliefs is now stale.
+        self.beliefs_version += 1;
 
         // Every cached entry optimized under the stale statistic is pulled.
         let affected: Vec<&str> = event.target.tables();
@@ -1086,6 +1343,18 @@ impl<M: CostModel + Sync> QueryService<M> {
     /// Requests served so far.
     pub fn queries_served(&self) -> u64 {
         self.queries_served
+    }
+
+    /// Current beliefs version (bumped once per recalibration). Prepared
+    /// requests and batch primers tagged with an older version are ignored.
+    pub fn beliefs_version(&self) -> u64 {
+        self.beliefs_version
+    }
+
+    /// Cache misses answered from a batch primer instead of a fresh
+    /// optimizer run.
+    pub fn primed_consumed(&self) -> u64 {
+        self.primed_consumed
     }
 
     /// Live cache size in entries.

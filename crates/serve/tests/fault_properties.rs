@@ -158,6 +158,7 @@ fn off_injection_is_bit_identical_whatever_the_policy() {
         ResiliencePolicy {
             max_retries: 5,
             breaker_threshold: 1,
+            shard_breaker_threshold: 2,
         },
         None,
         24,
@@ -184,6 +185,7 @@ fn same_injection_config_replays_identically_across_runs_and_backends() {
     let policy = ResiliencePolicy {
         max_retries: 2,
         breaker_threshold: 3,
+        shard_breaker_threshold: 0,
     };
     let injection = FaultInjection::every(3, FaultKind::IoError);
     let (first, first_svc) = run(injection, policy, None, 27);
@@ -220,6 +222,7 @@ fn degraded_serves_return_plans_the_verifier_accepts() {
     let policy = ResiliencePolicy {
         max_retries: 2,
         breaker_threshold: 1,
+        shard_breaker_threshold: 0,
     };
     let injection = FaultInjection::every(2, FaultKind::IoError);
     let (served, svc) = run(injection, policy, None, 24);
