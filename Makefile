@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` is the tier-1 gate the CI driver
 # runs; the others are the fast local loops.
 
-.PHONY: verify test bench-smoke lint lint-strict xtable fault-smoke kernel-smoke serve-concurrent-smoke ci
+.PHONY: verify test bench-smoke lint lint-strict xtable fault-smoke kernel-smoke serve-concurrent-smoke rules-smoke ci
 
 # Tier-1: release build + full test suite (what must never regress).
 verify:
@@ -69,8 +69,25 @@ serve-concurrent-smoke:
 	grep -q '"min_speedup"' results/BENCH_serve_concurrent_smoke.json
 	grep -q '"workers": 4' results/BENCH_serve_concurrent_smoke.json
 
+# Selection-rule smoke: run X23 (which self-asserts LEC bit-identity to
+# alg_c, the LEC-rule serve stream's bit-identity to the default config,
+# minmax's worst-case-regret dominance, and at least one strict robust
+# win before writing anything) and check the artifact markers landed.
+rules-smoke:
+	cargo run --release -p lec-bench --bin xtable x23 > /dev/null
+	test -s results/BENCH_rules.json
+	grep -q '"experiment": "x23_rules"' results/BENCH_rules.json
+	grep -q '"self_asserted": true' results/BENCH_rules.json
+	grep -q '"least-expected-cost"' results/BENCH_rules.json
+	grep -q '"minmax-regret"' results/BENCH_rules.json
+	grep -q '"penalty-aware"' results/BENCH_rules.json
+	grep -q '"tail-risk"' results/BENCH_rules.json
+	grep -q '"worst_case_regret"' results/BENCH_rules.json
+	grep -q '"p99_degradation"' results/BENCH_rules.json
+	grep -q '"optimized_build": true' results/BENCH_rules.json
+
 # Full local CI gate: formatting, lints, the whole test suite (unit +
-# integration + doc-tests), and X18/X19/X20/X21/X22 smoke runs that must leave
+# integration + doc-tests), and X18–X23 smoke runs that must leave
 # well-formed results/BENCH_stats.json, results/BENCH_serve.json, and
 # results/BENCH_faults.json behind (X20 self-asserts the control-run
 # closed forms and the drift-recovery bounds; X21 self-asserts the
@@ -91,3 +108,4 @@ ci:
 	$(MAKE) fault-smoke
 	$(MAKE) kernel-smoke
 	$(MAKE) serve-concurrent-smoke
+	$(MAKE) rules-smoke

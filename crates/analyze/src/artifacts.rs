@@ -8,12 +8,21 @@
 //! `"self_asserted": true`. An artifact with a speedup but no bound is a
 //! number nobody will notice regressing — exactly the failure mode that
 //! let `BENCH_parallel.json` ship a 0.14× "speedup" for several PRs.
+//!
+//! A second check closes the other half of that incident: the writers now
+//! stamp `"optimized_build"` into every artifact and route debug builds
+//! to gitignored `*_debug.json` files, so a non-`_debug` artifact that
+//! records `"optimized_build": false` is a debug run that escaped onto a
+//! committed path and is flagged as a violation.
 
 use crate::diag::{Diagnostic, Status};
 use std::path::Path;
 
 /// Rule id: a bench artifact claiming a speedup must self-assert a floor.
 pub const SPEEDUP_SELF_ASSERT: &str = "bench-speedup-self-assert";
+
+/// Rule id: a committed-path artifact must come from an optimized build.
+pub const DEBUG_BUILD_ARTIFACT: &str = "bench-debug-build-artifact";
 
 /// Collect every `results/BENCH_*.json` under `root`, sorted, as
 /// workspace-relative forward-slash paths.
@@ -39,9 +48,27 @@ pub fn collect_artifacts(root: &Path) -> std::io::Result<Vec<String>> {
     Ok(out)
 }
 
-/// Lint one artifact's text. `rel_path` is used only for reporting.
+/// Lint one artifact's text. `rel_path` is used for reporting and for the
+/// `_debug`-path exemption.
 pub fn lint_artifact(rel_path: &str, text: &str) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
+    // Debug-build records on a committed (non-`_debug`) path: the wall
+    // times are meaningless against release baselines. `_debug` files are
+    // gitignored and exempt — that is where debug runs belong.
+    let debug_path = rel_path.ends_with("_debug.json");
+    if !debug_path && text.contains("\"optimized_build\": false") {
+        diags.push(Diagnostic {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: DEBUG_BUILD_ARTIFACT,
+            message: "artifact records \"optimized_build\": false on a committed path; \
+                      debug runs must land in the gitignored *_debug.json file — rerun the \
+                      experiment with a release build"
+                .to_string(),
+            snippet: String::new(),
+            status: Status::Violation,
+        });
+    }
     let has_speedup = text.contains("\"speedup\"");
     if !has_speedup {
         return diags;
@@ -105,5 +132,25 @@ mod tests {
         let diags = lint_artifact("results/BENCH_x.json", text);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("self_asserted"));
+    }
+
+    #[test]
+    fn debug_record_on_committed_path_is_flagged() {
+        let diags = lint_artifact("results/BENCH_x.json", "{\"optimized_build\": false}");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, DEBUG_BUILD_ARTIFACT);
+        assert_eq!(diags[0].status, Status::Violation);
+    }
+
+    #[test]
+    fn debug_record_on_debug_path_is_exempt() {
+        assert!(
+            lint_artifact("results/BENCH_x_debug.json", "{\"optimized_build\": false}").is_empty()
+        );
+    }
+
+    #[test]
+    fn release_record_is_clean() {
+        assert!(lint_artifact("results/BENCH_x.json", "{\"optimized_build\": true}").is_empty());
     }
 }

@@ -1,0 +1,46 @@
+//! Artifact-path policy for the machine-readable `results/BENCH_*.json`
+//! records.
+//!
+//! A committed artifact once recorded a 0.1396× "speedup" — an
+//! unoptimized debug-build test run (~0.14× is exactly debug-vs-release
+//! for that kernel) that clobbered the release artifact while the docs
+//! kept quoting the healthy number. X18 grew a guard against that class
+//! of bug; this module is the same guard, shared by every BENCH writer:
+//! debug builds route to a `_debug`-suffixed, gitignored file, and every
+//! artifact records `"optimized_build"` so a stray debug record is
+//! machine-detectable (`lec-analyze` flags it) even if it lands on the
+//! wrong path.
+
+use std::path::PathBuf;
+
+/// Whether this binary can honestly be compared against recorded
+/// release-build baselines. Debug builds still run every self-assertion
+/// that is build-independent (counter equalities, ratio floors where both
+/// sides slow down together) but must never overwrite a committed release
+/// artifact with their wall times.
+pub const OPTIMIZED_BUILD: bool = !cfg!(debug_assertions);
+
+/// Resolves `results/BENCH_<stem>.json` in the workspace, routing debug
+/// builds to the gitignored `results/BENCH_<stem>_debug.json` instead.
+pub fn artifact_path(stem: &str) -> PathBuf {
+    let suffix = if OPTIMIZED_BUILD { "" } else { "_debug" };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("../../results/BENCH_{stem}{suffix}.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_routes_on_build_profile() {
+        let p = artifact_path("stats");
+        let name = p.file_name().unwrap().to_str().unwrap();
+        if OPTIMIZED_BUILD {
+            assert_eq!(name, "BENCH_stats.json");
+        } else {
+            assert_eq!(name, "BENCH_stats_debug.json");
+        }
+        assert!(p.to_str().unwrap().contains("results"));
+    }
+}

@@ -22,3 +22,4 @@ pub mod x19_stats;
 pub mod x20_serve;
 pub mod x21_faults;
 pub mod x22_serve_concurrent;
+pub mod x23_rules;

@@ -27,6 +27,7 @@
 //! unoptimized run can neither trip the absolute-time floor nor clobber
 //! the committed release artifact.
 
+use crate::artifacts::{artifact_path, OPTIMIZED_BUILD};
 use crate::fixtures::{chain_query, spread_memory, static_mem, SEED};
 use crate::table::{ratio, Table};
 use lec_core::{alg_c, Parallelism};
@@ -55,12 +56,6 @@ const BASELINE_SERIAL_NS: u128 = 3_616_000;
 /// make that class of artifact impossible to commit: this assertion, and
 /// `json_path` routing debug builds to a separate gitignored file.
 const MIN_SERIAL_SPEEDUP: f64 = 1.0;
-
-/// Whether this binary can honestly be compared against the recorded
-/// release-build baseline. Debug builds still check the *ratio* floors
-/// (both sides slow down together) but skip the absolute-nanoseconds
-/// serial floor and write their artifact to a debug-suffixed path.
-const OPTIMIZED_BUILD: bool = !cfg!(debug_assertions);
 
 /// Self-asserted floor for thread-sweep rows that never leave the serial
 /// path (forced threads = 1, or `n` below the sequential cutoff): the
@@ -117,12 +112,7 @@ fn median_ns<F: FnMut()>(mut f: F, reps: usize) -> u128 {
 /// times are meaningless against the release baseline, and a debug test
 /// run must never overwrite the committed release artifact.
 fn json_path() -> PathBuf {
-    let name = if OPTIMIZED_BUILD {
-        "../../results/BENCH_parallel.json"
-    } else {
-        "../../results/BENCH_parallel_debug.json"
-    };
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name)
+    artifact_path("parallel")
 }
 
 fn fmt_rank_ns(rank_wall_ns: &[u64]) -> String {

@@ -13,6 +13,7 @@
 //! per-rank frontier sizes, the quantity that decides whether the exact
 //! profile DP is affordable.
 
+use crate::artifacts::{artifact_path, OPTIMIZED_BUILD};
 use crate::fixtures::{chain_query, spread_memory, static_mem, SEED};
 use crate::table::Table;
 use lec_core::{alg_c, pareto};
@@ -21,8 +22,10 @@ use lec_stats::Utility;
 use std::path::PathBuf;
 
 /// Where the machine-readable trajectory lands (workspace `results/`).
+/// Debug builds route to the gitignored `_debug` file — the counters are
+/// build-independent, but the wall times are not.
 fn json_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_stats.json")
+    artifact_path("stats")
 }
 
 /// Runs the experiment, returning a markdown section; also writes
@@ -86,6 +89,7 @@ pub fn run() -> String {
 
     let json = format!(
         "{{\n  \"experiment\": \"x19_stats\",\n  \"algorithm\": \"alg_c\",\n  \
+         \"optimized_build\": {OPTIMIZED_BUILD},\n  \
          \"memory_buckets\": 4,\n  \"rows\": [\n{}\n  ],\n  \"pareto\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n"),
         pareto_rows.join(",\n")

@@ -18,6 +18,7 @@
 //!   settles, mean regret must fall below 5% while the service still
 //!   spends ≤ 10% as many optimizer invocations as the oracle.
 
+use crate::artifacts::{artifact_path, OPTIMIZED_BUILD};
 use crate::table::Table;
 use lec_catalog::{Catalog, ColumnMeta, Histogram, TableMeta};
 use lec_core::{alg_c, expected_cost, MemoryModel};
@@ -29,8 +30,9 @@ use lec_workload::from_catalog::{query_from_catalog, FilterSpec, JoinSpec};
 use std::path::PathBuf;
 
 /// Where the machine-readable record lands (workspace `results/`).
+/// Debug builds route to the gitignored `_debug` file.
 fn json_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_serve.json")
+    artifact_path("serve")
 }
 
 /// `cust ⋈ ord` and `cust ⋈ item` on 512 shared keys; `cust.v` over
@@ -299,7 +301,8 @@ pub fn run() -> String {
         .collect::<Vec<_>>()
         .join(", ");
     let json = format!(
-        "{{\n  \"experiment\": \"x20_serve\",\n  \"stream_len\": {STREAM_LEN},\n  \
+        "{{\n  \"experiment\": \"x20_serve\",\n  \
+         \"optimized_build\": {OPTIMIZED_BUILD},\n  \"stream_len\": {STREAM_LEN},\n  \
          \"drift_at\": {DRIFT_AT},\n  \"recovery_from\": {RECOVERY_FROM},\n  \
          \"control\": {{\"hits\": {}, \"misses\": {}, \"recalibrations\": {}, \
          \"invalidations\": {}, \"hit_rate\": {:.6}}},\n  \

@@ -28,9 +28,12 @@ use lec_stats::Distribution;
 use lec_workload::from_catalog::{FilterSpec, JoinSpec};
 use std::path::PathBuf;
 
+use crate::artifacts::{artifact_path, OPTIMIZED_BUILD};
+
 /// Where the machine-readable record lands (workspace `results/`).
+/// Debug builds route to the gitignored `_debug` file.
 fn json_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_faults.json")
+    artifact_path("faults")
 }
 
 /// `cust ⋈ ord` and `cust ⋈ item` on 512 shared keys. Beliefs ≡ truth:
@@ -298,7 +301,8 @@ pub fn run() -> String {
         .collect::<Vec<_>>()
         .join(", ");
     let json = format!(
-        "{{\n  \"experiment\": \"x21_faults\",\n  \"stream_len\": {STREAM_LEN},\n  \
+        "{{\n  \"experiment\": \"x21_faults\",\n  \
+         \"optimized_build\": {OPTIMIZED_BUILD},\n  \"stream_len\": {STREAM_LEN},\n  \
          \"fault_period\": {FAULT_PERIOD},\n  \"max_retries\": {MAX_RETRIES},\n  \
          \"breaker_threshold\": {BREAKER_THRESHOLD},\n  \
          \"control\": {{\"faults\": {}, \"retries\": {}, \"degraded\": {}, \

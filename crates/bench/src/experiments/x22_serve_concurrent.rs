@@ -54,7 +54,10 @@ const CACHE_SHARDS: usize = 4;
 /// Batch window in global ordinals: eight full rounds of the class
 /// rotation, so priming amortizes each class's optimization ~8×.
 const BATCH_WINDOW: usize = 128;
-/// Full-artifact stream length (override with `X22_REQUESTS`).
+/// Full-artifact stream length. `X22_REQUESTS` overrides in either
+/// direction: shorter runs are smoke passes, while `X22_REQUESTS=1000000`
+/// (or more) writes the full artifact at the million-request scale the
+/// committed record targets.
 const DEFAULT_REQUESTS: usize = 100_000;
 
 /// Self-asserted floor for every batched row's throughput speedup over
@@ -67,13 +70,13 @@ const MIN_CONCURRENT_SPEEDUP: f64 = 2.0;
 /// dispatch, so anything beyond ~25% overhead is a bug.
 const MIN_REPLAY_SPEEDUP: f64 = 0.75;
 
+/// Debug builds additionally route to the gitignored `_debug` files.
 fn json_path(smoke: bool) -> PathBuf {
-    let name = if smoke {
-        "../../results/BENCH_serve_concurrent_smoke.json"
+    crate::artifacts::artifact_path(if smoke {
+        "serve_concurrent_smoke"
     } else {
-        "../../results/BENCH_serve_concurrent.json"
-    };
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name)
+        "serve_concurrent"
+    })
 }
 
 /// Twenty single-page tables whose join-key domains differ (`400 + 16·i`
@@ -271,7 +274,9 @@ pub fn run() -> String {
 }
 
 fn run_impl(requests_len: usize) -> String {
-    let smoke = requests_len != DEFAULT_REQUESTS;
+    // Anything below the default stream length is a smoke pass; scaled-up
+    // runs (`X22_REQUESTS=1000000`) write the full artifact.
+    let smoke = requests_len < DEFAULT_REQUESTS;
     let requests = stream(requests_len);
 
     let (seq, seq_svc) = sequential_row(&requests);
@@ -407,11 +412,13 @@ fn run_impl(requests_len: usize) -> String {
          \"classes\": {CLASSES},\n  \"cache_capacity\": {CACHE_CAPACITY},\n  \
          \"cache_shards\": {CACHE_SHARDS},\n  \"batch_window\": {BATCH_WINDOW},\n  \
          \"host_threads\": {host_threads},\n  \"self_asserted\": true,\n  \
+         \"optimized_build\": {},\n  \
          \"class_shards\": [{}],\n  \
          \"sequential\": {{\"wall_ns\": {}, \"throughput_rps\": {:.1}, \
          \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"cache_hits\": {}, \
          \"cache_misses\": {}, \"optimizer_invocations\": {}}},\n  \
          \"rows\": [\n{}\n  ]\n}}\n",
+        crate::artifacts::OPTIMIZED_BUILD,
         shard_list.join(", "),
         seq.wall_ns,
         throughput(&seq),

@@ -7,11 +7,12 @@
 //! binary dispatches on experiment id (`xtable x1`, `xtable all`). The
 //! Criterion benches under `benches/` reuse the same fixtures.
 
+pub mod artifacts;
 pub mod experiments;
 pub mod fixtures;
 pub mod table;
 
-/// Runs one experiment by id (`"x1"` … `"x22"`), returning its markdown
+/// Runs one experiment by id (`"x1"` … `"x23"`), returning its markdown
 /// section, or `None` for an unknown id.
 pub fn run_experiment(id: &str) -> Option<String> {
     use experiments::*;
@@ -38,13 +39,14 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "x20" => x20_serve::run(),
         "x21" => x21_faults::run(),
         "x22" => x22_serve_concurrent::run(),
+        "x23" => x23_rules::run(),
         _ => return None,
     };
     Some(out)
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 22] = [
+pub const ALL_EXPERIMENTS: [&str; 23] = [
     "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14", "x15",
-    "x16", "x17", "x18", "x19", "x20", "x21", "x22",
+    "x16", "x17", "x18", "x19", "x20", "x21", "x22", "x23",
 ];

@@ -36,6 +36,41 @@ impl Default for SyntheticSpec {
 /// Generates a catalog of `spec.tables` tables named `t0, t1, ...`, each with
 /// a `key` column carrying a histogram built from a synthetic value sample.
 pub fn generate(spec: &SyntheticSpec, rng: &mut impl Rng) -> Result<Catalog, CatalogError> {
+    let pages = draw_pages(spec, rng)?;
+    from_pages(spec, &pages, spec.zipf_theta, rng)
+}
+
+/// A beliefs/truth catalog pair for belief-miscalibration experiments:
+/// identical table shapes (same page draws, same rows, same key domains),
+/// but the beliefs' key values are drawn at `spec.zipf_theta` (usually 0,
+/// i.e. uniform) while the truth's are Zipf-skewed at `truth_theta`. A
+/// filter that beliefs price as uniform therefore passes far more (or
+/// fewer) rows in truth — the regime where selection rules beyond
+/// expected cost actually differ (experiment X23).
+pub fn skewed_pair(
+    spec: &SyntheticSpec,
+    truth_theta: f64,
+    rng: &mut impl Rng,
+) -> Result<(Catalog, Catalog), CatalogError> {
+    let pages = draw_pages(spec, rng)?;
+    let beliefs = from_pages(spec, &pages, spec.zipf_theta, rng)?;
+    let truth = from_pages(spec, &pages, truth_theta, rng)?;
+    Ok((beliefs, truth))
+}
+
+/// Normalized Zipf(`theta`) masses over `n` ranks: `p_r ∝ (r+1)^-theta`,
+/// summing to 1. `theta = 0` is uniform; larger values concentrate mass on
+/// the first ranks. Deterministic and closed-form — the scenario-side
+/// skew generator (reweight a belief distribution's support to build a
+/// "truth" that piles probability onto the scenarios beliefs considered
+/// unlikely).
+pub fn zipf_masses(n: usize, theta: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..n).map(|r| ((r + 1) as f64).powf(-theta)).collect();
+    let total: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| w / total).collect()
+}
+
+fn draw_pages(spec: &SyntheticSpec, rng: &mut impl Rng) -> Result<Vec<u64>, CatalogError> {
     if spec.tables == 0 {
         return Err(CatalogError::InvalidStatistic("zero tables".into()));
     }
@@ -45,15 +80,24 @@ pub fn generate(spec: &SyntheticSpec, rng: &mut impl Rng) -> Result<Catalog, Cat
             "bad pages range [{lo}, {hi}]"
         )));
     }
+    Ok((0..spec.tables).map(|_| log_uniform(rng, lo, hi)).collect())
+}
+
+/// Builds the catalog for pre-drawn page counts with the given key skew.
+fn from_pages(
+    spec: &SyntheticSpec,
+    pages_per_table: &[u64],
+    theta: f64,
+    rng: &mut impl Rng,
+) -> Result<Catalog, CatalogError> {
     let mut catalog = Catalog::new();
-    for i in 0..spec.tables {
-        let pages = log_uniform(rng, lo, hi);
+    for (i, &pages) in pages_per_table.iter().enumerate() {
         let rows = pages * spec.tuples_per_page;
         // Sample key values (capped sample size keeps generation fast).
         let domain = (rows / 2).max(2);
         let sample_n = 4096.min(rows as usize).max(2);
         let sample: Vec<f64> = (0..sample_n)
-            .map(|_| zipf_value(rng, domain, spec.zipf_theta))
+            .map(|_| zipf_value(rng, domain, theta))
             .collect();
         let hist = Histogram::equi_depth(&sample, spec.histogram_buckets)?;
         // Scale the sampled distinct count up to the full table.
@@ -138,6 +182,59 @@ mod tests {
             skewed_low > uniform_low * 2,
             "{skewed_low} vs {uniform_low}"
         );
+    }
+
+    #[test]
+    fn skewed_pair_shares_shapes_but_not_histograms() {
+        let spec = SyntheticSpec {
+            tables: 4,
+            ..SyntheticSpec::default()
+        };
+        let (beliefs, truth) = skewed_pair(&spec, 0.8, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+        let (b2, t2) = skewed_pair(&spec, 0.8, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+        assert_eq!(beliefs, b2, "pair generation is deterministic");
+        assert_eq!(truth, t2);
+        assert_ne!(beliefs, truth, "the skew must actually differ");
+        for (b, t) in beliefs.iter().zip(truth.iter()) {
+            assert_eq!(b.name, t.name);
+            assert_eq!(b.pages, t.pages, "shapes shared between beliefs and truth");
+            assert_eq!(b.rows, t.rows);
+            let (bk, tk) = (b.column("key").unwrap(), t.column("key").unwrap());
+            assert_eq!(bk.min, tk.min);
+            assert_eq!(bk.max, tk.max);
+        }
+        // Zipf truth piles values onto the low end of the domain: the row
+        // mass its histograms place in the bottom decile dwarfs beliefs'.
+        let low_mass = |cat: &Catalog| -> f64 {
+            cat.iter()
+                .map(|t| {
+                    let key = t.column("key").unwrap();
+                    key.histogram
+                        .as_ref()
+                        .unwrap()
+                        .selectivity_range(key.min, key.max / 10.0)
+                })
+                .sum()
+        };
+        assert!(
+            low_mass(&truth) > 2.0 * low_mass(&beliefs),
+            "truth ({}) must concentrate mass in the low decile vs beliefs ({})",
+            low_mass(&truth),
+            low_mass(&beliefs)
+        );
+    }
+
+    #[test]
+    fn zipf_masses_are_normalized_and_skewed() {
+        let uniform = zipf_masses(5, 0.0);
+        assert!(uniform.iter().all(|&p| (p - 0.2).abs() < 1e-12));
+        let skewed = zipf_masses(5, 1.5);
+        assert!((skewed.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(
+            skewed.windows(2).all(|w| w[0] > w[1]),
+            "masses must strictly decrease in rank: {skewed:?}"
+        );
+        assert!(skewed[0] > 0.5, "theta 1.5 concentrates the head");
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub enum CoreError {
         /// `score(X) + score(Y)` on the same probe.
         split: f64,
     },
+    /// The rule-soundness gate rejected a selection rule (see
+    /// `lec_rules::certify` and the `rules` module): its score is not
+    /// monotone in per-scenario costs, so even Pareto-frontier pruning
+    /// may discard its optimum.
+    UnsoundRule(lec_rules::RuleError),
 }
 
 impl fmt::Display for CoreError {
@@ -47,6 +52,7 @@ impl fmt::Display for CoreError {
                  pareto::exhaustive_utility (exact brute force) or pareto::optimize \
                  (exact Pareto-frontier DP for monotone utilities) instead"
             ),
+            CoreError::UnsoundRule(e) => write!(f, "selection-rule gate: {e}"),
         }
     }
 }
@@ -56,6 +62,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Plan(e) => Some(e),
             CoreError::Stats(e) => Some(e),
+            CoreError::UnsoundRule(e) => Some(e),
             _ => None,
         }
     }
@@ -70,5 +77,14 @@ impl From<lec_plan::PlanError> for CoreError {
 impl From<lec_stats::StatsError> for CoreError {
     fn from(e: lec_stats::StatsError) -> Self {
         CoreError::Stats(e)
+    }
+}
+
+impl From<lec_rules::RuleError> for CoreError {
+    fn from(e: lec_rules::RuleError) -> Self {
+        match e {
+            lec_rules::RuleError::BadConfig(msg) => CoreError::BadParameter(msg),
+            unsound @ lec_rules::RuleError::UnsoundRule { .. } => CoreError::UnsoundRule(unsound),
+        }
     }
 }

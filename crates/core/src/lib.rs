@@ -14,6 +14,7 @@
 //! | [`alg_d`] | §3.6 | Multi-parameter: relation sizes and selectivities are distributions too; result-size distributions propagate with §3.6.3 rebucketing |
 //! | [`exhaustive`] | — | Brute-force left-deep / bushy enumeration: ground truth for every theorem test |
 //! | [`pareto`] | PODS 2002 | Pareto-frontier DP over cost *profiles*: exact for any monotone utility; plus the scalar utility DP and the counterexample showing it is unsound for non-linear utilities |
+//! | [`rules`] | \[AHW15\]/PARQO | Rule-parameterized finalize over the frontier outputs: minmax regret, penalty-aware, CVaR — the `lec-rules` subsystem threaded through the optimizer |
 //! | [`bucketing`] | §3.7 | Level-set bucketing: memory buckets placed at the cost formulas' discontinuities |
 //! | [`bushy`] | §4 future work | Bushy-tree LEC dynamic programming (DPsub-style), exact under static memory |
 //! | [`voi`] | §2.3 / \[SBM93\] | Expected value of perfect information: when sampling to reduce uncertainty pays for itself |
@@ -56,6 +57,7 @@ pub mod par;
 pub mod parametric;
 pub mod pareto;
 pub mod precompute;
+pub mod rules;
 pub mod soundness;
 pub mod stats;
 pub mod topc;
@@ -68,6 +70,7 @@ pub use error::CoreError;
 pub use evaluate::{cost_distribution_static, expected_cost, plan_cost_at};
 pub use par::Parallelism;
 pub use precompute::QueryTables;
+pub use rules::{optimize_with_rule, RuleResult};
 pub use stats::{CacheCounters, OptStats, PrecomputeSizes, ResilienceCounters, SearchCounters};
 
 /// Convenience result alias for this crate.

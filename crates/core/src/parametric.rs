@@ -191,6 +191,52 @@ impl ParametricPlans {
         }
         best.ok_or(CoreError::NoPlanFound)
     }
+
+    /// [`pick`](Self::pick) under a configurable selection rule.
+    ///
+    /// [`Rule::LeastExpectedCost`] dispatches to [`pick`](Self::pick)
+    /// itself — same code path, bit-identical choice. Any other rule
+    /// scores the stored plans' cost *profiles* under the observed
+    /// distribution jointly (regret-style rules are context-sensitive)
+    /// and keeps the argmin, first-wins on ties in scenario order — the
+    /// same dedup and tie conventions as the expected-cost path. The
+    /// reported `expected_cost` is always the plan's expected cost under
+    /// `observed`, whatever the rule optimized, so callers can account
+    /// the robustness premium.
+    pub fn pick_with_rule<M: CostModel + ?Sized>(
+        &self,
+        query: &JoinQuery,
+        model: &M,
+        observed: &Distribution,
+        rule: &lec_rules::Rule,
+    ) -> Result<StartupChoice, CoreError> {
+        if matches!(rule, lec_rules::Rule::LeastExpectedCost) {
+            return self.pick(query, model, observed);
+        }
+        rule.certify()?;
+        // Deduplicate identical plans across scenarios before costing
+        // (same convention as `pick`).
+        let mut kept: Vec<(usize, &Plan)> = Vec::new();
+        for (idx, (_, opt)) in self.scenarios.iter().enumerate() {
+            if kept.iter().any(|(_, p)| **p == opt.plan) {
+                continue;
+            }
+            kept.push((idx, &opt.plan));
+        }
+        let profiles: Vec<Vec<f64>> = kept
+            .iter()
+            .map(|(_, plan)| crate::evaluate::cost_profile(query, model, plan, observed.values()))
+            .collect();
+        let scores = lec_rules::SelectionRule::scores(rule, &profiles, observed.probs());
+        let win = lec_rules::argmin(&scores).ok_or(CoreError::NoPlanFound)?;
+        let (scenario, plan) = kept[win];
+        let phases = MemoryModel::Static(observed.clone()).table(query.n().max(2))?;
+        Ok(StartupChoice {
+            scenario,
+            plan: plan.clone(),
+            expected_cost: expected_cost(query, model, plan, &phases),
+        })
+    }
 }
 
 #[cfg(test)]

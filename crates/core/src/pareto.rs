@@ -53,10 +53,14 @@ pub struct UtilityResult {
     pub frontier_profiles: Vec<Vec<f64>>,
 }
 
+/// A surviving frontier entry: a plan and its cost profile (one cost per
+/// memory value, in `memory.values()` order). Crate-visible so the
+/// rule-selection layer ([`crate::rules`]) can score the root frontier
+/// without re-enumerating.
 #[derive(Debug, Clone)]
-struct ProfEntry {
-    profile: Vec<f64>,
-    plan: Plan,
+pub(crate) struct ProfEntry {
+    pub(crate) profile: Vec<f64>,
+    pub(crate) plan: Plan,
 }
 
 /// `a` dominates `b` when it is at least as cheap at every parameter value.
@@ -134,6 +138,49 @@ pub fn optimize_with_stats<M: CostModel + ?Sized>(
     memory: &Distribution,
     utility: Utility,
 ) -> Result<(UtilityResult, OptStats), CoreError> {
+    let (roots, max_frontier, stats) = root_frontier_with_stats(query, model, memory)?;
+    let best = roots
+        .iter()
+        .map(|e| {
+            let dist = Distribution::new(
+                memory
+                    .probs()
+                    .iter()
+                    .zip(e.profile.iter())
+                    .map(|(&p, &c)| (c, p)),
+            )
+            .expect("profile costs are finite");
+            (e, utility.score(&dist), dist)
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .ok_or(CoreError::NoPlanFound)?;
+
+    let result = UtilityResult {
+        best: Optimized {
+            plan: best.0.plan.clone(),
+            cost: best.1,
+        },
+        cost_distribution: best.2,
+        max_frontier,
+        frontier_profiles: roots.iter().map(|e| e.profile.clone()).collect(),
+    };
+    crate::verify::debug_verify_plan(query, &result.best.plan, result.best.cost);
+    crate::verify::debug_verify_frontier(&result.frontier_profiles);
+    Ok((result, stats))
+}
+
+/// The frontier DP itself, stopping just short of the utility pick:
+/// returns the surviving *root* frontier (plans plus profiles), the
+/// largest frontier encountered anywhere, and the search counters. Both
+/// [`optimize_with_stats`] and the rule-selection layer finalize from
+/// this — the table build is utility- and rule-independent, so a
+/// different selection rule costs one extra scoring pass, not a second
+/// enumeration.
+pub(crate) fn root_frontier_with_stats<M: CostModel + ?Sized>(
+    query: &JoinQuery,
+    model: &M,
+    memory: &Distribution,
+) -> Result<(Vec<ProfEntry>, usize, OptStats), CoreError> {
     let n = query.n();
     let full = query.all();
     let values = memory.values();
@@ -234,35 +281,8 @@ pub fn optimize_with_stats<M: CostModel + ?Sized>(
         stats.rank_wall_ns.push(ns);
     }
 
-    let roots = &table[full.bits() as usize];
-    let best = roots
-        .iter()
-        .map(|e| {
-            let dist = Distribution::new(
-                memory
-                    .probs()
-                    .iter()
-                    .zip(e.profile.iter())
-                    .map(|(&p, &c)| (c, p)),
-            )
-            .expect("profile costs are finite");
-            (e, utility.score(&dist), dist)
-        })
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .ok_or(CoreError::NoPlanFound)?;
-
-    let result = UtilityResult {
-        best: Optimized {
-            plan: best.0.plan.clone(),
-            cost: best.1,
-        },
-        cost_distribution: best.2,
-        max_frontier,
-        frontier_profiles: roots.iter().map(|e| e.profile.clone()).collect(),
-    };
-    crate::verify::debug_verify_plan(query, &result.best.plan, result.best.cost);
-    crate::verify::debug_verify_frontier(&result.frontier_profiles);
-    Ok((result, stats))
+    let roots = std::mem::take(&mut table[full.bits() as usize]);
+    Ok((roots, max_frontier, stats))
 }
 
 /// The unsound scalar utility DP: keeps, at every dag node, the single

@@ -50,3 +50,6 @@ pub use service::{
     BatchPrimer, PreparedRequest, QueryRequest, QueryService, Recalibration, RecalibrationDecision,
     ServeConfig, ServedQuery,
 };
+// Re-exported so serving configs can name selection rules without a direct
+// `lec-rules` dependency.
+pub use lec_rules::{Penalty, PenaltyAware, Rule, RuleAdmission, SelectionRule, TailRisk};

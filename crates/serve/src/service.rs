@@ -48,6 +48,7 @@ use lec_exec::{
 };
 use lec_plan::Plan;
 use lec_plan::{canonicalize, JoinQuery};
+use lec_rules::{Rule, SelectionRule};
 use lec_stats::Distribution;
 use lec_workload::from_catalog::{query_from_catalog, FilterSpec, JoinSpec};
 use rand_chacha::rand_core::SeedableRng;
@@ -91,6 +92,15 @@ pub struct ServeConfig {
     /// number. [`FaultInjection::OFF`] (the default) keeps every execution
     /// on the exact pre-resilience code path.
     pub fault_injection: FaultInjection,
+    /// How the start-up pick and the fallback-ladder ordering choose
+    /// among the cached per-scenario plans. The default,
+    /// [`Rule::LeastExpectedCost`], dispatches to the pre-rules code
+    /// path and is bit-identical to it; robust rules (minmax regret,
+    /// penalty-aware, CVaR) trade expected cost for degradation
+    /// guarantees when the observed beliefs are wrong. Drift detection,
+    /// recalibration, and the resilience ladder all run under whichever
+    /// rule is configured.
+    pub selection_rule: Rule,
 }
 
 impl ServeConfig {
@@ -109,6 +119,7 @@ impl ServeConfig {
             verify_plans: true,
             resilience: ResiliencePolicy::default(),
             fault_injection: FaultInjection::OFF,
+            selection_rule: Rule::LeastExpectedCost,
         }
     }
 }
@@ -527,9 +538,12 @@ impl<M: CostModel + Sync> QueryService<M> {
             }
         };
 
-        let choice = entry
-            .plans
-            .pick(&canon.query, &self.model, &self.config.observed_memory)?;
+        let choice = entry.plans.pick_with_rule(
+            &canon.query,
+            &self.model,
+            &self.config.observed_memory,
+            &self.config.selection_rule,
+        )?;
         let plan = canon.plan_to_original(&choice.plan);
 
         // Always-on verification (`--verify` mode): the plan about to run
@@ -766,9 +780,12 @@ impl<M: CostModel + Sync> QueryService<M> {
 
     /// Prices the fallback rungs for one request: the entry's remaining
     /// distinct scenario plans re-cost under the observed memory
-    /// distribution (sorted ascending, ties broken by scenario index),
-    /// followed by the LSC baseline as the last resort. The LSC rung
-    /// reports the primary's scenario (it belongs to none).
+    /// distribution, ordered by the configured selection rule (for the
+    /// default LEC rule, expected cost ascending — bit-identical to the
+    /// pre-rules ladder; for robust rules, their joint rule score — ties
+    /// broken by scenario index either way), followed by the LSC
+    /// baseline as the last resort. The LSC rung reports the primary's
+    /// scenario (it belongs to none).
     fn build_ladder(
         &self,
         query: &JoinQuery,
@@ -788,7 +805,37 @@ impl<M: CostModel + Sync> QueryService<M> {
             let cost = expected_cost(&canon.query, &self.model, &opt.plan, &phases);
             priced.push((opt.plan.clone(), cost, idx));
         }
-        priced.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)));
+        if matches!(self.config.selection_rule, Rule::LeastExpectedCost) {
+            priced.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)));
+        } else {
+            // Robust rules order the rungs by their own (joint) score, so
+            // a fallback under minmax regret walks the *regret* frontier,
+            // not the expected-cost one. Rung expected costs still report
+            // expected cost — the comparable currency across routes.
+            let observed = &self.config.observed_memory;
+            let profiles: Vec<Vec<f64>> = priced
+                .iter()
+                .map(|(p, _, _)| {
+                    lec_core::evaluate::cost_profile(
+                        &canon.query,
+                        &self.model,
+                        p,
+                        observed.values(),
+                    )
+                })
+                .collect();
+            let scores = self
+                .config
+                .selection_rule
+                .scores(&profiles, observed.probs());
+            let mut order: Vec<usize> = (0..priced.len()).collect();
+            order.sort_by(|&a, &b| {
+                scores[a]
+                    .total_cmp(&scores[b])
+                    .then(priced[a].2.cmp(&priced[b].2))
+            });
+            priced = order.into_iter().map(|i| priced[i].clone()).collect();
+        }
         let mut rungs = Vec::with_capacity(priced.len() + 1);
         for (rank, (cplan, cost, scenario)) in priced.into_iter().enumerate() {
             let plan = canon.plan_to_original(&cplan);

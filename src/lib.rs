@@ -41,6 +41,7 @@ pub use lec_core as core;
 pub use lec_cost as cost;
 pub use lec_exec as exec;
 pub use lec_plan as plan;
+pub use lec_rules as rules;
 pub use lec_serve as serve;
 pub use lec_stats as stats;
 pub use lec_workload as workload;
