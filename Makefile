@@ -19,11 +19,13 @@ lint:
 	cargo clippy --workspace --all-targets -- -D warnings
 
 # Project-specific lint pass (lec-lint): determinism/soundness rules over
-# all workspace sources, unwrap ratchet enforced, machine-readable
+# all workspace sources, plus the call-graph audit passes (lec-audit:
+# panic-reachability, concurrency-determinism, float-order, invariant
+# conformance — DESIGN.md §10), ratchets enforced, machine-readable
 # diagnostics left in results/LINT.json.
 lint-strict:
 	mkdir -p results
-	cargo run --release -p lec-analyze --bin lec-lint -- --strict --json results/LINT.json
+	cargo run --release -p lec-analyze --bin lec-lint -- --strict --audit --json results/LINT.json
 
 # Regenerate every experiment table (and results/BENCH_parallel.json).
 xtable:
@@ -97,6 +99,8 @@ ci:
 	cargo clippy --workspace --all-targets -- -D warnings
 	$(MAKE) lint-strict
 	test -s results/LINT.json
+	grep -q '"audit"' results/LINT.json
+	grep -q '"serve_roots": 0' results/LINT.json
 	cargo test -q --workspace
 	cargo test -q --workspace --doc
 	cargo run --release -p lec-bench --bin xtable x19 > /dev/null

@@ -1,0 +1,221 @@
+//! Concurrency-determinism: concurrent regions in deterministic paths must
+//! mediate all shared mutation and must not use `Ordering::Relaxed` without
+//! a written determinism argument.
+//!
+//! Two shapes are flagged, in non-test functions of deterministic paths
+//! (see [`crate::rules::is_deterministic_path`]):
+//!
+//! 1. **Shared mutable captures** — inside the argument span of a
+//!    `spawn(…)` call (scoped threads, worker pools), an identifier that was
+//!    declared `let mut x = …` earlier in the same function *outside* the
+//!    span, where the declaration shows no mediation type (atomics, locks,
+//!    channels, barriers). Such a capture is either a compile error waiting
+//!    to happen or — via interior mutability — a nondeterminism hazard.
+//! 2. **`Ordering::Relaxed`** — relaxed atomics are fine for monotonic
+//!    counters whose exact value never surfaces, but this workspace asserts
+//!    counter equality across serial/parallel runs and writes counters into
+//!    artifacts, so every `Relaxed` needs a pragma arguing why its value is
+//!    deterministic (RMW exactness + a happens-before edge at the join) or
+//!    must be strengthened.
+//!
+//! The pass is syntactic (no alias analysis); the pragma escape hatch with a
+//! mandatory reason is the designed false-positive valve.
+
+use crate::callgraph::Workspace;
+use crate::diag::Diagnostic;
+use crate::lexer;
+use crate::rules::{is_deterministic_path, CONCURRENCY_DETERMINISM};
+
+use super::{push_finding, PassCounts};
+
+/// Type/constructor names whose presence in a declaration marks the binding
+/// as mediated (safe to share with workers).
+const MEDIATION_TOKENS: [&str; 10] = [
+    "Atomic", "Mutex", "RwLock", "Barrier", "mpsc", "channel", "Sender", "Receiver", "Condvar",
+    "Arc",
+];
+
+/// Run the pass over every non-test function in deterministic paths.
+pub fn run(ws: &Workspace, diagnostics: &mut Vec<Diagnostic>) -> PassCounts {
+    let mut counts = PassCounts::default();
+    for id in ws.find_fns(|path, _| is_deterministic_path(path)) {
+        let loc = ws.fns[id];
+        let file = &ws.files[loc.file];
+        let f = &file.items.fns[loc.item];
+        let (body_start, body_end) = f.body_lines;
+        let code = &file.lex.code_lines;
+
+        // Shape 2: Ordering::Relaxed anywhere in the body.
+        let end = body_end.min(code.len().saturating_sub(1));
+        for (line, code_line) in code.iter().enumerate().take(end + 1).skip(body_start) {
+            if file.lex.in_test.get(line).copied().unwrap_or(false) {
+                continue;
+            }
+            if lexer::contains_word(code_line, "Relaxed") {
+                push_finding(
+                    ws,
+                    diagnostics,
+                    &mut counts,
+                    id,
+                    CONCURRENCY_DETERMINISM,
+                    line,
+                    "`Ordering::Relaxed` in a deterministic path: counters and flags here flow \
+                     into artifacts, OptStats, and equality tests; strengthen the ordering or \
+                     pragma with a determinism argument (RMW exactness + join happens-before)"
+                        .to_string(),
+                );
+            }
+        }
+
+        // Shape 1: unmediated `let mut` bindings captured by a spawn span.
+        let body: Vec<&str> = code[body_start..=body_end.min(code.len() - 1)]
+            .iter()
+            .map(String::as_str)
+            .collect();
+        for span in spawn_spans(&body) {
+            let mut flagged: Vec<String> = Vec::new();
+            for ident in idents_in_span(&body, &span) {
+                if flagged.iter().any(|f| f == ident) {
+                    continue;
+                }
+                if let Some(decl_line) = unmediated_let_mut(&body, span.start_line, ident) {
+                    let _ = decl_line;
+                    flagged.push(ident.to_string());
+                }
+            }
+            for ident in flagged {
+                push_finding(
+                    ws,
+                    diagnostics,
+                    &mut counts,
+                    id,
+                    CONCURRENCY_DETERMINISM,
+                    body_start + span.start_line,
+                    format!(
+                        "`{ident}` is declared `let mut` outside this spawn and captured inside \
+                         it without atomics/locks/channels; route shared mutation through a \
+                         mediated type or a per-worker slot merged after the join"
+                    ),
+                );
+            }
+        }
+    }
+    counts
+}
+
+/// A `spawn(…)` argument span within a function body (line/column bounds,
+/// all zero-based and body-relative).
+struct Span {
+    start_line: usize,
+    start_col: usize,
+    end_line: usize,
+    end_col: usize,
+}
+
+/// Find the argument spans of `spawn(…)` calls in a body.
+fn spawn_spans(body: &[&str]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    for (li, line) in body.iter().enumerate() {
+        let mut from = 0usize;
+        while let Some(pos) = line[from..].find("spawn") {
+            let at = from + pos;
+            from = at + 5;
+            // Word boundary on the left; `(` (after optional spaces) on the right.
+            let left_ok = at == 0 || !is_ident_byte(line.as_bytes()[at - 1]);
+            let rest = line[at + 5..].trim_start();
+            if !left_ok || !rest.starts_with('(') {
+                continue;
+            }
+            let open_col = at + 5 + (line.len() - at - 5 - rest.len());
+            if let Some((el, ec)) = matching_paren(body, li, open_col) {
+                spans.push(Span {
+                    start_line: li,
+                    start_col: open_col,
+                    end_line: el,
+                    end_col: ec,
+                });
+            }
+        }
+    }
+    spans
+}
+
+/// Matching `)` for the `(` at `(line, col)`, scanning across lines.
+fn matching_paren(body: &[&str], line: usize, col: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    for (li, l) in body.iter().enumerate().skip(line) {
+        let start = if li == line { col } else { 0 };
+        for (ci, b) in l.bytes().enumerate().skip(start) {
+            match b {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((li, ci));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Identifiers appearing inside a span, deduped, in first-seen order.
+fn idents_in_span<'a>(body: &[&'a str], span: &Span) -> Vec<&'a str> {
+    let mut out: Vec<&str> = Vec::new();
+    for (li, body_line) in body
+        .iter()
+        .enumerate()
+        .take(span.end_line + 1)
+        .skip(span.start_line)
+    {
+        for (col, tok) in lexer::idents(body_line) {
+            if li == span.start_line && col < span.start_col {
+                continue;
+            }
+            if li == span.end_line && col >= span.end_col {
+                continue;
+            }
+            if !out.contains(&tok) {
+                out.push(tok);
+            }
+        }
+    }
+    out
+}
+
+/// Body-relative line of a `let mut <ident>` declaration before `before_line`
+/// whose declaration text (that line plus the next, for multi-line
+/// initializers) carries no mediation token; `None` when the binding is
+/// mediated or not found.
+fn unmediated_let_mut(body: &[&str], before_line: usize, ident: &str) -> Option<usize> {
+    for (li, line) in body.iter().enumerate().take(before_line) {
+        let Some(pos) = line.find("let mut ") else {
+            continue;
+        };
+        let after = line[pos + 8..].trim_start();
+        if !after.starts_with(ident)
+            || after[ident.len()..]
+                .bytes()
+                .next()
+                .is_some_and(is_ident_byte)
+        {
+            continue;
+        }
+        let decl_text = if li + 1 < body.len() {
+            format!("{line} {}", body[li + 1])
+        } else {
+            (*line).to_string()
+        };
+        if MEDIATION_TOKENS.iter().any(|t| decl_text.contains(t)) {
+            return None;
+        }
+        return Some(li);
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}

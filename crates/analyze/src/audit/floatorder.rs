@@ -1,0 +1,110 @@
+//! Float-order: floating-point reductions must run over order-pinned
+//! iterators.
+//!
+//! Float addition is not associative, so a sum/fold/min-max over an
+//! iterator whose order varies between runs (or between serial and parallel
+//! execution) silently breaks the bit-identity invariants. This is exactly
+//! the bug class behind the PR 2 epsilon-dominance fix and the PR 7
+//! wavefront gather fix.
+//!
+//! The pass flags, per statement in non-test functions of deterministic
+//! paths, a reduction combinator (`.sum(`, `.product(`, `.fold(`,
+//! `.reduce(`, `.min_by(`, `.max_by(`) co-occurring with an unordered
+//! container token (`HashMap`, `HashSet`). The blanket
+//! `no-unordered-iteration` rule already bans those containers wholesale in
+//! deterministic paths; this pass pins the *reduction* diagnosis so the
+//! fixture self-tests (and any future path granted a container exemption)
+//! keep the order-sensitivity argument explicit, and its statement scope
+//! catches chains where the container and the fold sit on different lines —
+//! invisible to the line-local rule.
+
+use crate::callgraph::Workspace;
+use crate::diag::Diagnostic;
+use crate::rules::{is_deterministic_path, FLOAT_ORDER};
+
+use super::{push_finding, PassCounts};
+
+/// Reduction combinators whose result is iteration-order sensitive for
+/// floats.
+const REDUCTIONS: [&str; 7] = [
+    ".sum(",
+    ".sum::",
+    ".product(",
+    ".fold(",
+    ".reduce(",
+    ".min_by(",
+    ".max_by(",
+];
+
+/// Tokens marking an unordered iteration source.
+const UNORDERED: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Run the pass over every non-test function in deterministic paths.
+pub fn run(ws: &Workspace, diagnostics: &mut Vec<Diagnostic>) -> PassCounts {
+    let mut counts = PassCounts::default();
+    for id in ws.find_fns(|path, _| is_deterministic_path(path)) {
+        let loc = ws.fns[id];
+        let file = &ws.files[loc.file];
+        let f = &file.items.fns[loc.item];
+        let code = &file.lex.code_lines;
+        let end = f.body_lines.1.min(code.len().saturating_sub(1));
+
+        // Walk statements: accumulate lines until a `;` at the end of the
+        // chain, then judge the whole statement at once so multi-line
+        // builder chains are seen together.
+        let mut stmt_lines: Vec<usize> = Vec::new();
+        let mut stmt_text = String::new();
+        for (line, code_line) in code.iter().enumerate().take(end + 1).skip(f.body_lines.0) {
+            if file.lex.in_test.get(line).copied().unwrap_or(false) {
+                continue;
+            }
+            stmt_lines.push(line);
+            stmt_text.push_str(code_line);
+            stmt_text.push('\n');
+            if code_line.contains(';') || line == end {
+                judge_statement(ws, diagnostics, &mut counts, id, &stmt_lines, &stmt_text);
+                stmt_lines.clear();
+                stmt_text.clear();
+            }
+        }
+    }
+    counts
+}
+
+fn judge_statement(
+    ws: &Workspace,
+    diagnostics: &mut Vec<Diagnostic>,
+    counts: &mut PassCounts,
+    fn_id: usize,
+    stmt_lines: &[usize],
+    stmt_text: &str,
+) {
+    if !UNORDERED.iter().any(|t| stmt_text.contains(t)) {
+        return;
+    }
+    let Some(red) = REDUCTIONS.iter().find(|r| stmt_text.contains(*r)) else {
+        return;
+    };
+    // Report at the line carrying the reduction.
+    let loc = ws.fns[fn_id];
+    let file = &ws.files[loc.file];
+    let line = stmt_lines
+        .iter()
+        .copied()
+        .find(|&l| file.lex.code_lines[l].contains(red))
+        .unwrap_or(stmt_lines[0]);
+    push_finding(
+        ws,
+        diagnostics,
+        counts,
+        fn_id,
+        FLOAT_ORDER,
+        line,
+        format!(
+            "float reduction `{}` over an unordered container in this statement; float \
+             addition is not associative, so pin the order (sort, BTree, or indexed gather) \
+             before reducing",
+            red.trim_end_matches(&['(', ':'][..])
+        ),
+    );
+}

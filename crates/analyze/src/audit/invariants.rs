@@ -1,0 +1,128 @@
+//! Invariant conformance: call-graph checks replacing textual conventions.
+//!
+//! 1. **BENCH writers route through `artifact_path`** — every non-test
+//!    function in `crates/bench/src` that writes a `results/BENCH_*` file
+//!    must (transitively) call `artifact_path`, the single place that
+//!    suffixes debug-build artifacts so unoptimized runs can never clobber
+//!    checked-in release numbers (the PR 7/8 regression class).
+//! 2. **Optimizer finalizes reach the plan verifier** — every non-test
+//!    `optimize*`/`finalize*` function in `crates/core/src` must
+//!    (transitively) reach `lec_plan::verify` (via the `debug_verify_*`
+//!    wrappers or directly), so no search path can emit an unverified plan.
+//!
+//! Both checks are reachability queries on the same over-approximate call
+//! graph as the panic pass: over-approximation means a conforming function
+//! cannot be flagged for a missing edge only if the edge truly is absent —
+//! i.e. false *negatives* are possible in principle (a call resolved too
+//! widely), but a flagged function genuinely has no resolvable route to the
+//! required sink.
+
+use crate::callgraph::Workspace;
+use crate::diag::Diagnostic;
+use crate::rules::INVARIANT_CONFORMANCE;
+
+use super::{push_finding, PassCounts};
+
+/// Function names that count as the artifact-path sink.
+const ARTIFACT_SINKS: [&str; 1] = ["artifact_path"];
+
+/// Function names that count as the plan-verifier sink.
+const VERIFY_SINKS: [&str; 4] = [
+    "debug_verify_plan",
+    "debug_verify_frontier",
+    "verify_plan",
+    "verify_frontier",
+];
+
+/// Calls that perform a filesystem write.
+const WRITE_CALLS: [&str; 3] = ["write", "write_all", "create"];
+
+/// Run both conformance checks.
+pub fn run(ws: &Workspace, diagnostics: &mut Vec<Diagnostic>) -> PassCounts {
+    let mut counts = PassCounts::default();
+
+    // Check 1: BENCH writers.
+    for id in ws.find_fns(|path, _| path.starts_with("crates/bench/src")) {
+        if !is_bench_writer(ws, id) {
+            continue;
+        }
+        if !reaches(ws, id, &ARTIFACT_SINKS) {
+            let f = ws.item(id);
+            push_finding(
+                ws,
+                diagnostics,
+                &mut counts,
+                id,
+                INVARIANT_CONFORMANCE,
+                f.sig_line,
+                format!(
+                    "`{}` writes a BENCH_* artifact but never reaches `artifact_path`; raw \
+                     paths skip the debug-build suffix and let unoptimized runs clobber \
+                     checked-in release numbers",
+                    ws.qualified_name(id)
+                ),
+            );
+        }
+    }
+
+    // Check 2: optimizer finalizes.
+    for id in ws.find_fns(|path, f| {
+        path.starts_with("crates/core/src")
+            && (f.name.starts_with("optimize") || f.name.starts_with("finalize"))
+    }) {
+        if !reaches(ws, id, &VERIFY_SINKS) {
+            let f = ws.item(id);
+            push_finding(
+                ws,
+                diagnostics,
+                &mut counts,
+                id,
+                INVARIANT_CONFORMANCE,
+                f.sig_line,
+                format!(
+                    "`{}` can finish an optimization without reaching the plan verifier \
+                     (`lec_plan::verify` or its `debug_verify_*` wrappers); every search \
+                     path must emit verified plans",
+                    ws.qualified_name(id)
+                ),
+            );
+        }
+    }
+
+    counts
+}
+
+/// A bench writer: mentions `BENCH_` in its raw body (artifact stem or the
+/// write's expect message) and makes a filesystem-write call.
+fn is_bench_writer(ws: &Workspace, id: usize) -> bool {
+    let loc = ws.fns[id];
+    let file = &ws.files[loc.file];
+    let f = &file.items.fns[loc.item];
+    let mentions_bench = (f.body_lines.0..=f.body_lines.1.min(file.raw_lines.len() - 1))
+        .any(|l| file.raw_lines[l].contains("BENCH_"));
+    mentions_bench
+        && f.calls
+            .iter()
+            .any(|c| WRITE_CALLS.contains(&c.name.as_str()))
+}
+
+/// True when `id` transitively reaches any function named in `sinks`.
+fn reaches(ws: &Workspace, id: usize, sinks: &[&str]) -> bool {
+    // The sink may be external to the analyzed set only in synthetic test
+    // workspaces; on the real workspace all sinks exist. A direct call by
+    // name also counts even when resolution found no definition, so the
+    // fixture tests can express conformance without defining the sink crate.
+    let direct = |fid: usize| {
+        ws.item(fid)
+            .calls
+            .iter()
+            .any(|c| sinks.contains(&c.name.as_str()))
+    };
+    if direct(id) {
+        return true;
+    }
+    let reach = ws.reachable_from(&[id]);
+    reach
+        .keys()
+        .any(|&fid| sinks.contains(&ws.item(fid).name.as_str()) || direct(fid))
+}

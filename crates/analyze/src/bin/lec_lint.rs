@@ -1,7 +1,7 @@
 //! `lec-lint` — run the workspace lint pass.
 //!
 //! ```text
-//! lec-lint [--root <dir>] [--json <out.json>] [--strict] [--update-ratchet] [--quiet]
+//! lec-lint [--root <dir>] [--json <out.json>] [--strict] [--audit] [--update-ratchet] [--quiet]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
@@ -16,6 +16,7 @@ struct Args {
     root: PathBuf,
     json: Option<PathBuf>,
     strict: bool,
+    audit: bool,
     update: bool,
     quiet: bool,
 }
@@ -25,6 +26,7 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         json: None,
         strict: false,
+        audit: false,
         update: false,
         quiet: false,
     };
@@ -38,16 +40,18 @@ fn parse_args() -> Result<Args, String> {
                 args.json = Some(PathBuf::from(it.next().ok_or("--json needs a value")?));
             }
             "--strict" => args.strict = true,
+            "--audit" => args.audit = true,
             "--update-ratchet" => args.update = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
                     "lec-lint: workspace lint pass\n\n\
-                     USAGE: lec-lint [--root <dir>] [--json <out.json>] [--strict] \
+                     USAGE: lec-lint [--root <dir>] [--json <out.json>] [--strict] [--audit] \
                      [--update-ratchet] [--quiet]\n\n\
                      --root           workspace root to scan (default: .)\n\
                      --json           write the JSON diagnostics artifact here\n\
                      --strict         missing ratchet file / stale budgets are violations\n\
+                     --audit          run the call-graph audit passes (lec-audit)\n\
                      --update-ratchet tighten lint-ratchet.toml to current actuals (lower-only)\n\
                      --quiet          suppress per-diagnostic output"
                 );
@@ -69,6 +73,7 @@ fn main() -> ExitCode {
     };
     let opts = RunOptions {
         strict: args.strict,
+        audit: args.audit,
         ..RunOptions::new(&args.root)
     };
 
@@ -128,6 +133,19 @@ fn main() -> ExitCode {
         "lec-lint: {} files, {} violation(s), {} allowed by pragma, {} within ratchet budget",
         report.files_scanned, violations, allowed, ratcheted
     );
+    if let Some(a) = &report.audit {
+        println!(
+            "lec-audit: panic-reachability serve={} optimize={} (allowed {}, ratcheted {}), \
+             concurrency-determinism {}, float-order {}, invariant-conformance {}",
+            a.serve_roots,
+            a.optimize_roots,
+            a.panic_allowed,
+            a.panic_ratcheted,
+            a.concurrency.violations,
+            a.float_order.violations,
+            a.invariants.violations
+        );
+    }
     if violations > 0 {
         ExitCode::FAILURE
     } else {

@@ -93,11 +93,14 @@ fn diag_to_json(d: &Diagnostic) -> String {
     s
 }
 
-/// Render the full report as a deterministic JSON document.
+/// Render the full report as a deterministic JSON document. `audit_json`,
+/// when present, is a pre-rendered object (from `audit::AuditSummary`)
+/// embedded verbatim under the `"audit"` key.
 pub fn report_to_json(
     diagnostics: &[Diagnostic],
     files_scanned: usize,
     ratchet_entries: &[(String, usize, usize)],
+    audit_json: Option<&str>,
 ) -> String {
     let violations = diagnostics
         .iter()
@@ -132,6 +135,9 @@ pub fn report_to_json(
         ));
     }
     out.push_str("  ],\n");
+    if let Some(audit) = audit_json {
+        out.push_str(&format!("  \"audit\": {audit},\n"));
+    }
     out.push_str("  \"diagnostics\": [\n");
     let reportable: Vec<&Diagnostic> = diagnostics
         .iter()
@@ -178,7 +184,7 @@ mod tests {
                 status: Status::Ratcheted,
             },
         ];
-        let json = report_to_json(&diags, 2, &[("a.rs".into(), 1, 3)]);
+        let json = report_to_json(&diags, 2, &[("a.rs".into(), 1, 3)], None);
         assert!(json.contains("\"violations\": 1"));
         assert!(json.contains("\"ratcheted\": 1"));
         assert!(json.contains("\"budget\":3"));

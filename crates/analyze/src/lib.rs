@@ -14,7 +14,10 @@
 //! the *source text*, those check the *emitted plans*.
 
 pub mod artifacts;
+pub mod audit;
+pub mod callgraph;
 pub mod diag;
+pub mod items;
 pub mod lexer;
 pub mod pragma;
 pub mod ratchet;
@@ -36,6 +39,9 @@ pub struct RunOptions {
     /// Strict mode: a missing ratchet file and stale (over-generous) budgets
     /// are violations, not notes. `make lint-strict` runs with this on.
     pub strict: bool,
+    /// Run the call-graph audit passes (`lec-audit`) in addition to the
+    /// token rules. See `audit` for the pass catalog.
+    pub audit: bool,
 }
 
 impl RunOptions {
@@ -47,6 +53,7 @@ impl RunOptions {
             root,
             ratchet_path,
             strict: false,
+            audit: false,
         }
     }
 }
@@ -61,6 +68,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Ratchet table rows: `(file, actual, budget)`.
     pub ratchet_entries: Vec<(String, usize, usize)>,
+    /// Audit pass summary (present when the run had `audit: true`).
+    pub audit: Option<audit::AuditSummary>,
 }
 
 impl Report {
@@ -74,7 +83,13 @@ impl Report {
 
     /// Render as JSON (the `results/LINT.json` artifact).
     pub fn to_json(&self) -> String {
-        diag::report_to_json(&self.diagnostics, self.files_scanned, &self.ratchet_entries)
+        let audit_json = self.audit.as_ref().map(|a| a.to_json());
+        diag::report_to_json(
+            &self.diagnostics,
+            self.files_scanned,
+            &self.ratchet_entries,
+            audit_json.as_deref(),
+        )
     }
 }
 
@@ -124,11 +139,13 @@ pub fn run(opts: &RunOptions) -> Result<Report, String> {
     };
 
     let files = collect_sources(&opts.root).map_err(|e| format!("scan failed: {e}"))?;
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     let mut diagnostics = Vec::new();
     for rel in &files {
         let source =
             std::fs::read_to_string(opts.root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
         diagnostics.extend(rules::lint_source(rel, &source));
+        sources.push((rel.clone(), source));
     }
 
     // Bench artifacts are checked too: a checked-in speedup claim must
@@ -142,11 +159,24 @@ pub fn run(opts: &RunOptions) -> Result<Report, String> {
     }
 
     let ratchet_entries = apply_ratchet(&mut diagnostics, &ratchet, opts.strict);
+
+    // Call-graph audit passes (panic-reachability, concurrency-determinism,
+    // float-order, invariant conformance) over the same source set.
+    let audit_summary = if opts.audit {
+        let ws = callgraph::Workspace::build(&sources);
+        let outcome = audit::run_audit(&ws, &ratchet);
+        diagnostics.extend(outcome.diagnostics);
+        Some(outcome.summary)
+    } else {
+        None
+    };
+
     diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(Report {
         diagnostics,
         files_scanned: files.len(),
         ratchet_entries,
+        audit: audit_summary,
     })
 }
 

@@ -31,13 +31,31 @@ pub const NO_LOSSY_FLOAT_CAST: &str = "no-lossy-float-cast";
 /// Rule: malformed or reasonless `lec-lint: allow` pragma.
 pub const BAD_PRAGMA: &str = "bad-pragma";
 
+/// Audit rule: panic site reachable from a serve/optimize entry point
+/// (see `crate::audit::panic`).
+pub const PANIC_REACHABILITY: &str = "panic-reachability";
+/// Audit rule: shared mutable capture or `Ordering::Relaxed` in concurrent
+/// regions of deterministic paths (see `crate::audit::concurrency`).
+pub const CONCURRENCY_DETERMINISM: &str = "concurrency-determinism";
+/// Audit rule: float reduction over an unordered iterator
+/// (see `crate::audit::floatorder`).
+pub const FLOAT_ORDER: &str = "float-order";
+/// Audit rule: call-graph invariant conformance — BENCH writers must reach
+/// `artifact_path`, optimizer finalizes must reach the plan verifier
+/// (see `crate::audit::invariants`).
+pub const INVARIANT_CONFORMANCE: &str = "invariant-conformance";
+
 /// All real (suppressible) rule names, for pragma validation.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 9] = [
     NO_UNORDERED_ITERATION,
     NO_WALLCLOCK,
     NO_UNWRAP_IN_LIB,
     NO_EPSILON_DOMINANCE,
     NO_LOSSY_FLOAT_CAST,
+    PANIC_REACHABILITY,
+    CONCURRENCY_DETERMINISM,
+    FLOAT_ORDER,
+    INVARIANT_CONFORMANCE,
 ];
 
 /// Source trees whose code must be deterministic (bit-identical replay,
@@ -66,7 +84,9 @@ fn in_tree(path: &str, trees: &[&str]) -> bool {
         .any(|t| path.starts_with(t) && path[t.len()..].starts_with('/'))
 }
 
-fn is_deterministic_path(path: &str) -> bool {
+/// True when `path` lies in a tree (or pinned file) carrying the determinism
+/// contract. Shared with the audit passes in `crate::audit`.
+pub fn is_deterministic_path(path: &str) -> bool {
     in_tree(path, &DETERMINISTIC_PATHS) || DETERMINISTIC_FILES.contains(&path)
 }
 

@@ -120,10 +120,10 @@ fn stream(len: usize) -> Vec<QueryRequest> {
 fn config() -> ServeConfig {
     let mut cfg = ServeConfig::new(
         vec![
-            Distribution::new([(4.0, 0.6), (40.0, 0.4)]).unwrap(),
-            Distribution::new([(16.0, 0.5), (80.0, 0.5)]).unwrap(),
+            Distribution::new([(4.0, 0.6), (40.0, 0.4)]).expect("x20: valid two-point support"),
+            Distribution::new([(16.0, 0.5), (80.0, 0.5)]).expect("x20: valid two-point support"),
         ],
-        Distribution::new([(8.0, 0.5), (48.0, 0.5)]).unwrap(),
+        Distribution::new([(8.0, 0.5), (48.0, 0.5)]).expect("x20: valid two-point support"),
     );
     cfg.drift = DriftConfig {
         error_threshold: 0.5,

@@ -41,7 +41,7 @@ impl Histogram {
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);
-        let (lo, hi) = (sorted[0], *sorted.last().expect("non-empty"));
+        let (lo, hi) = (sorted[0], *sorted.last().expect("non-empty")); // lec-lint: allow(panic-reachability) — `values` emptiness is rejected at fn entry, so `sorted` is non-empty here
 
         let boundaries: Vec<f64> = if depth {
             // Quantile boundaries; duplicates collapse buckets below.
@@ -106,7 +106,7 @@ impl Histogram {
     /// spread uniformly over its distinct values.
     pub fn selectivity_eq(&self, value: f64) -> f64 {
         let lo = self.boundaries[0];
-        let hi = *self.boundaries.last().expect("non-empty");
+        let hi = *self.boundaries.last().expect("non-empty"); // lec-lint: allow(panic-reachability) — `build` always produces at least two boundaries (degenerate case emits `[lo, hi]`)
         if value < lo || value > hi {
             return 0.0;
         }
@@ -211,8 +211,10 @@ impl Histogram {
             return 0.0;
         }
         let mut total = 0.0;
-        for i in 0..self.buckets() {
-            let (bl, bh) = (self.boundaries[i], self.boundaries[i + 1]);
+        // `boundaries` has `buckets() + 1` entries, so each window pairs a
+        // bucket's lower and upper boundary with the matching fraction.
+        for (i, pair) in self.boundaries.windows(2).enumerate() {
+            let (bl, bh) = (pair[0], pair[1]);
             let width = bh - bl;
             let overlap_lo = lo.max(bl);
             let overlap_hi = hi.min(bh);

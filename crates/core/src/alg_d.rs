@@ -267,7 +267,7 @@ impl AccessTable {
                     .into_iter()
                     .map(|m| (expected_access_cost(rel, m, &sizes.rel_sizes[i]), m))
                     .min_by(|a, b| a.0.total_cmp(&b.0))
-                    .expect("at least the full scan")
+                    .expect("at least the full scan") // lec-lint: allow(panic-reachability) — every relation set is seeded with the full-scan access, so the candidate list is non-empty
             })
             .collect();
         AccessTable { best }
@@ -300,6 +300,7 @@ fn validate_inputs<M: CostModel + ?Sized>(
 /// (≤ `size_buckets` ≤ 8 points by default) is emitted inline. The scratch
 /// kernels are bit-identical to `product_with` + `rebucket`, so this is
 /// purely an allocation change.
+// lec-lint: allow(panic-reachability) — callers pass non-empty sets whose subset entries the DP pass has already filled
 fn node_size_dist(
     query: &JoinQuery,
     sizes: &SizeModel,
@@ -334,6 +335,7 @@ fn node_size_dist(
 /// lower-depth tables. Shared verbatim by the serial sweep and the
 /// rank-parallel wavefront, so both produce identical entries.
 #[allow(clippy::too_many_arguments)]
+// lec-lint: allow(panic-reachability) — DP induction: singletons are seeded and subsets priced in rank order before supersets, and every candidate set holds at least the full-scan plan
 fn cost_mask_d<M: CostModel + ?Sized>(
     query: &JoinQuery,
     model: &M,
@@ -652,6 +654,7 @@ fn expected_access_cost(
     }
 }
 
+// lec-lint: allow(panic-reachability) — reconstruction only walks entries the forward DP pass has filled; a singleton decomposes to its only relation
 fn reconstruct(
     query: &JoinQuery,
     access: &AccessTable,

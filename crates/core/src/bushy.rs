@@ -52,6 +52,7 @@ struct Entry {
 /// key. Shared by the serial sweep and the rank-parallel wavefront;
 /// submask order and the strict-`<` winner rule fix the result
 /// independently of scheduling.
+// lec-lint: allow(panic-reachability) — DP induction: both halves of every split are priced in rank order before this set, and the candidate min covers at least one split
 fn cost_mask_bushy<M: CostModel + ?Sized>(
     query: &JoinQuery,
     model: &M,
@@ -121,6 +122,7 @@ fn cost_mask_bushy<M: CostModel + ?Sized>(
 }
 
 /// Plan reconstruction from backpointers.
+// lec-lint: allow(panic-reachability) — plan_for only walks entries the forward pass has filled; singletons decompose to their only relation
 fn plan_for(
     query: &JoinQuery,
     table: &[Option<Entry>],
@@ -195,7 +197,7 @@ fn finalize<M: CostModel + ?Sized>(
                 cost: ord.cost,
             },
             _ => {
-                let key = query.required_order().expect("checked");
+                let key = query.required_order().expect("checked"); // lec-lint: allow(panic-reachability) — this arm only runs when required_order().is_some() held above
                 Optimized {
                     plan: Plan::sort(plan_for(query, table, full, None), key),
                     cost: sorted_cost,

@@ -195,6 +195,7 @@ fn seed_singletons(tabs: &QueryTables, n: usize, table: &[OnceLock<Entry>]) {
 /// pure function of the mask). Iteration order is fixed — members of
 /// `set` ascending, then [`JoinMethod::ALL`] — and the winner is kept
 /// under strict `<`, making the result independent of scheduling.
+// lec-lint: allow(panic-reachability) — DP induction: subsets are priced in rank order before supersets, and the candidate min covers at least the full scan
 fn cost_mask<C: StepCoster>(
     tabs: &QueryTables,
     coster: &C,
@@ -266,7 +267,7 @@ fn finalize<C: StepCoster>(
             },
             _ => {
                 let inner = reconstruct(tabs, table, full, None);
-                let key = query.required_order().expect("checked above");
+                let key = query.required_order().expect("checked above"); // lec-lint: allow(panic-reachability) — this arm only runs when required_order().is_some() held above
                 Optimized {
                     plan: Plan::sort(inner, key),
                     cost: sorted_cost,
@@ -405,6 +406,7 @@ pub fn optimize_left_deep_par_with_tables<C: StepCoster + Sync>(
 }
 
 /// The parallel driver: caller-provided tables, stats returned.
+// lec-lint: allow(panic-reachability, concurrency-determinism) — rank tables index wave + 1 within bounds by construction, and the candidate counter is an exact fetch_add RMW read only after every wave worker has joined (happens-before)
 pub fn optimize_left_deep_par_with_tables_and_stats<C: StepCoster + Sync>(
     query: &JoinQuery,
     tabs: &QueryTables,
@@ -463,6 +465,7 @@ pub fn optimize_left_deep_par_with_tables_and_stats<C: StepCoster + Sync>(
 
 /// Rebuilds the plan tree from backpointers; `override_root` substitutes a
 /// different final-join choice (the ordered alternative).
+// lec-lint: allow(panic-reachability) — reconstruction only walks entries the forward pass has filled; singletons decompose to their only relation
 fn reconstruct(
     tabs: &QueryTables,
     table: &[OnceLock<Entry>],

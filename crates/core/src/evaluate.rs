@@ -188,7 +188,7 @@ pub fn cost_distribution_static<M: CostModel + ?Sized>(
 ) -> Distribution {
     memory
         .map(|m| plan_cost_at(query, model, plan, m))
-        .expect("finite costs from finite memory support")
+        .expect("finite costs from finite memory support") // lec-lint: allow(panic-reachability) — the cost model maps a finite memory support through finite arithmetic, so the min exists
 }
 
 /// Renders a plan as an indented tree with each operator's *expected* step
@@ -352,12 +352,12 @@ pub fn expected_cost_joint<M: CostModel + ?Sized>(
             .enumerate()
             .map(|(p, pred)| {
                 let mut out = *pred;
-                out.selectivity = dims[n + p].values()[idx[n + p]].clamp(1e-300, 1.0);
+                out.selectivity = dims[n + p].values()[idx[n + p]].clamp(1e-300, 1.0); // lec-lint: allow(panic-reachability) — dims holds n relation dims followed by the predicate dims, so n + p is in bounds
                 out
             })
             .collect();
         let instance = JoinQuery::new(relations, predicates, query.required_order())
-            .expect("instance stays valid");
+            .expect("instance stays valid"); // lec-lint: allow(panic-reachability) — rescaling pages and selectivities of a valid query preserves validity
         let e = expected_cost(&instance, model, plan, phases);
         total += prob * e;
 

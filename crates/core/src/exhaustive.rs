@@ -111,6 +111,7 @@ fn enumerate_access_variants(
 /// choice (access cost is additive and independent, so this preserves the
 /// optimum).
 pub fn enumerate_bushy(query: &JoinQuery) -> Vec<Plan> {
+    // lec-lint: allow(panic-reachability) — enumeration recurses only on non-empty sets whose subplans were just generated
     fn plans_for(query: &JoinQuery, set: RelSet) -> Vec<Plan> {
         if set.len() == 1 {
             let rel = set.iter().next().expect("singleton");

@@ -127,6 +127,7 @@ where
 /// arenas through the wavefront — the scratch must only recycle buffers,
 /// never carry state that changes an item's result, or determinism is
 /// lost.
+// lec-lint: allow(panic-reachability, concurrency-determinism) — the chunk cursor is an exact fetch_add RMW handing out disjoint ranges (result order is fixed by index, not schedule), and join re-raising a worker panic is the correct double fault
 pub fn map_indexed_scratch<R, S, MS, F>(
     par: &Parallelism,
     len: usize,
@@ -199,6 +200,7 @@ where
 ///
 /// Returns the wall-clock nanoseconds each wave took (the per-rank
 /// timing the stats layer records).
+// lec-lint: allow(panic-reachability, concurrency-determinism) — fetch_add hands out disjoint chunks, the cursor reset is ordered by the wave barrier (happens-before), and join re-raises worker panics
 pub fn run_waves<F>(par: &Parallelism, waves: &[usize], body: F) -> Vec<u64>
 where
     F: Fn(usize, usize) + Sync,
@@ -312,7 +314,7 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, u64) {
 pub fn ranks(n: usize) -> Vec<Vec<lec_plan::RelSet>> {
     let mut by_rank: Vec<Vec<lec_plan::RelSet>> = vec![Vec::new(); n];
     for set in lec_plan::RelSet::all_subsets(n) {
-        by_rank[set.len() - 1].push(set);
+        by_rank[set.len() - 1].push(set); // lec-lint: allow(panic-reachability) — all_subsets yields only non-empty sets, so len - 1 is in bounds
     }
     by_rank
 }

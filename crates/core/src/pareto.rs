@@ -149,7 +149,7 @@ pub fn optimize_with_stats<M: CostModel + ?Sized>(
                     .zip(e.profile.iter())
                     .map(|(&p, &c)| (c, p)),
             )
-            .expect("profile costs are finite");
+            .expect("profile costs are finite"); // lec-lint: allow(panic-reachability) — profiles are finite mixtures of finite costs, so the min exists
             (e, utility.score(&dist), dist)
         })
         .min_by(|a, b| a.1.total_cmp(&b.1))
@@ -176,6 +176,7 @@ pub fn optimize_with_stats<M: CostModel + ?Sized>(
 /// this — the table build is utility- and rule-independent, so a
 /// different selection rule costs one extra scoring pass, not a second
 /// enumeration.
+// lec-lint: allow(panic-reachability) — every relation set retains at least its full-scan frontier entry
 pub(crate) fn root_frontier_with_stats<M: CostModel + ?Sized>(
     query: &JoinQuery,
     model: &M,
@@ -288,6 +289,7 @@ pub(crate) fn root_frontier_with_stats<M: CostModel + ?Sized>(
 /// The unsound scalar utility DP: keeps, at every dag node, the single
 /// subplan with the best utility score of its own cost distribution.
 /// Exact only for [`Utility::Linear`] (where it *is* Algorithm C).
+// lec-lint: allow(panic-reachability) — DP induction: singletons are seeded, subsets priced in rank order, and every candidate min covers at least the full scan of finite scalar costs
 pub fn scalar_dp<M: CostModel + ?Sized>(
     query: &JoinQuery,
     model: &M,

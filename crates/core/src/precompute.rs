@@ -59,7 +59,7 @@ impl QueryTables {
                         (cost, m, out)
                     })
                     .min_by(|a, b| a.0.total_cmp(&b.0))
-                    .expect("at least the full scan")
+                    .expect("at least the full scan") // lec-lint: allow(panic-reachability) — every relation has a full-scan access path, so the min is over a non-empty set
             })
             .collect();
 
@@ -181,7 +181,7 @@ impl QueryTables {
     /// the first crossing predicate when all crossing predicates agree,
     /// `None` for cross products or multi-key joins.
     pub fn join_key(&self, set: RelSet, j: usize) -> Option<KeyId> {
-        let row = &self.touch_entries[self.touch_offsets[j]..self.touch_offsets[j + 1]];
+        let row = &self.touch_entries[self.touch_offsets[j]..self.touch_offsets[j + 1]]; // lec-lint: allow(panic-reachability) — touch_offsets is a CSR table with n + 1 entries and j < n
         let mut keys = row
             .iter()
             .filter(|(other, _)| set.contains(*other))

@@ -94,7 +94,7 @@ fn merge_mask<M: CostModel + ?Sized>(
             query.relation(j),
             match access[0].plan {
                 Plan::Access { method, .. } => method,
-                _ => unreachable!("depth-1 entries are accesses"),
+                _ => unreachable!("depth-1 entries are accesses"), // lec-lint: allow(panic-reachability) — depth-1 plan-table entries are always access nodes by construction
             },
         )
         .1;

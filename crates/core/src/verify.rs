@@ -19,6 +19,7 @@ use lec_plan::{JoinQuery, Plan};
 /// In debug builds, when the plan violates a plan-IR invariant or the cost
 /// is non-finite/negative — both mean an optimizer bug, never bad input.
 #[inline]
+// lec-lint: allow(panic-reachability) — a verification failure here is a found optimizer bug; debug builds must abort loudly at the emission point
 pub fn debug_verify_plan(query: &JoinQuery, plan: &Plan, cost: f64) {
     #[cfg(debug_assertions)]
     {
@@ -43,6 +44,7 @@ pub fn debug_verify_plan(query: &JoinQuery, plan: &Plan, cost: f64) {
 /// In debug builds, when some entry is dominated by another or carries a
 /// non-finite/negative cost.
 #[inline]
+// lec-lint: allow(panic-reachability) — a verification failure here is a found optimizer bug; debug builds must abort loudly at the emission point
 pub fn debug_verify_frontier(points: &[impl AsRef<[f64]>]) {
     #[cfg(debug_assertions)]
     {

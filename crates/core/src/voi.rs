@@ -69,7 +69,7 @@ fn param(sizes: &SizeModel, k: usize) -> &Distribution {
     if k < n {
         &sizes.rel_sizes[k]
     } else {
-        &sizes.selectivities[k - n]
+        &sizes.selectivities[k - n] // lec-lint: allow(panic-reachability) — k is in n..n_params in this branch, so k - n indexes the selectivities
     }
 }
 
@@ -81,7 +81,7 @@ fn condition(sizes: &SizeModel, k: usize, value: f64) -> Result<SizeModel, CoreE
     if k < n {
         out.rel_sizes[k] = point;
     } else {
-        out.selectivities[k - n] = point;
+        out.selectivities[k - n] = point; // lec-lint: allow(panic-reachability) — k is in n..n_params in this branch, so k - n indexes the selectivities
     }
     Ok(out)
 }

@@ -85,10 +85,7 @@ impl ExecMemoryEnv {
         let m = match self {
             ExecMemoryEnv::Fixed(m) => *m as f64,
             ExecMemoryEnv::DrawOnce { dist, rng, current } => {
-                if current.is_none() {
-                    *current = Some(dist.sample(rng).round().max(0.0) as usize);
-                }
-                current.expect("just set") as f64
+                *current.get_or_insert_with(|| dist.sample(rng).round().max(0.0) as usize) as f64
             }
             ExecMemoryEnv::Iid { dist, rng } => dist.sample(rng),
             ExecMemoryEnv::Markov {

@@ -273,7 +273,7 @@ pub fn canonicalize(query: &JoinQuery) -> Canonical {
         .collect();
     let required = query.required_order().map(|k| key_fwd[&k]);
     let canonical =
-        JoinQuery::new(relations, predicates, required).expect("canonical form of a valid query");
+        JoinQuery::new(relations, predicates, required).expect("canonical form of a valid query"); // lec-lint: allow(panic-reachability) — renaming the relations of a valid query preserves validity
 
     // Exact encoding: statistics and structure, no names, no original
     // labels.

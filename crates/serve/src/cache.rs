@@ -77,6 +77,12 @@ impl<V: Clone> PlanCache<V> {
         }
     }
 
+    // Every shard lock below recovers from poisoning via
+    // `PoisonError::into_inner` instead of panicking: a poisoned shard means
+    // some worker panicked elsewhere, and each critical section here leaves
+    // the map structurally valid between statements, so serving from the
+    // surviving entries is strictly better than cascading that panic into
+    // every later request on the shard.
     fn shard(&self, fp: &Fingerprint) -> &Mutex<Shard<V>> {
         &self.shards[shard_of(fp, self.shards.len())]
     }
@@ -96,7 +102,10 @@ impl<V: Clone> PlanCache<V> {
     /// Batch priming uses this to ask "would this request miss?" without
     /// perturbing the counters or the LRU order the serve itself will see.
     pub fn contains(&self, fp: &Fingerprint) -> bool {
-        let shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let shard = self
+            .shard(fp)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         shard.entries.contains_key(fp.encoding())
     }
 
@@ -106,18 +115,26 @@ impl<V: Clone> PlanCache<V> {
     /// pinned clone keeps later occurrences from re-optimizing — without
     /// perturbing anything the serve itself will observe.
     pub fn peek(&self, fp: &Fingerprint) -> Option<V> {
-        let shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let shard = self
+            .shard(fp)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         shard.entries.get(fp.encoding()).map(|s| s.value.clone())
     }
 
+    // lec-lint: allow(concurrency-determinism) — fetch_add is an exact RMW; ticks only order LRU recency within a shard, and each shard is owned by one worker per window
     fn next_tick(&self) -> u64 {
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Looks up an entry, refreshing its recency. Counts a hit or a miss.
+    // lec-lint: allow(concurrency-determinism) — hit/miss counters are observability-only totals; fetch_add RMWs are exact and addition is order-independent
     pub fn get(&self, fp: &Fingerprint) -> Option<V> {
         let tick = self.next_tick();
-        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let mut shard = self
+            .shard(fp)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match shard.entries.get_mut(fp.encoding()) {
             Some(slot) => {
                 slot.last_used = tick;
@@ -135,7 +152,10 @@ impl<V: Clone> PlanCache<V> {
     /// used entry when the shard is at capacity.
     pub fn insert(&self, fp: &Fingerprint, value: V) {
         let tick = self.next_tick();
-        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let mut shard = self
+            .shard(fp)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !shard.entries.contains_key(fp.encoding())
             && shard.entries.len() >= self.capacity_per_shard
         {
@@ -148,7 +168,7 @@ impl<V: Clone> PlanCache<V> {
                 .map(|(key, _)| key.clone())
             {
                 shard.entries.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed); // lec-lint: allow(concurrency-determinism) — observability counter; exact RMW, total is order-independent
             }
         }
         shard.entries.insert(
@@ -168,7 +188,9 @@ impl<V: Clone> PlanCache<V> {
     pub fn invalidate_collect(&self, pred: impl Fn(&V) -> bool) -> Vec<V> {
         let mut removed = Vec::new();
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("cache shard poisoned");
+            let mut shard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let keys: Vec<Vec<u8>> = shard
                 .entries
                 .iter()
@@ -182,7 +204,7 @@ impl<V: Clone> PlanCache<V> {
             }
         }
         self.invalidations
-            .fetch_add(removed.len() as u64, Ordering::Relaxed);
+            .fetch_add(removed.len() as u64, Ordering::Relaxed); // lec-lint: allow(concurrency-determinism) — observability counter; exact RMW, total is order-independent
         removed
     }
 
@@ -190,7 +212,12 @@ impl<V: Clone> PlanCache<V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .entries
+                    .len()
+            })
             .sum()
     }
 
@@ -205,6 +232,7 @@ impl<V: Clone> PlanCache<V> {
     }
 
     /// Snapshot of the hit/miss/evict/invalidate counters.
+    // lec-lint: allow(concurrency-determinism) — counters are read after the serving scope joins (scope exit is a happens-before edge) and are order-independent totals
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),

@@ -318,18 +318,25 @@ impl<M: CostModel + Clone + Send + Sync> ConcurrentServer<M> {
             vec![run_worker(&mut self.services[0], &worklists[0])]
         } else {
             let run_worker = &run_worker;
-            std::thread::scope(|scope| {
+            // Join *every* handle before the scope closes: `thread::scope`
+            // re-raises panics from unjoined threads at scope exit, so a
+            // short-circuiting collect would panic anyway. Gathering all the
+            // `thread::Result`s first turns a worker panic into a
+            // `ServeError` instead of tearing down the caller.
+            let joined: Vec<std::thread::Result<WorkerRun>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .services
                     .iter_mut()
                     .zip(&worklists)
                     .map(|(svc, list)| scope.spawn(move || run_worker(svc, list)))
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("serve worker panicked"))
-                    .collect()
-            })
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+            joined
+                .into_iter()
+                .enumerate()
+                .map(|(worker, r)| r.map_err(|_| ServeError::WorkerPanicked { worker }))
+                .collect::<Result<Vec<_>, ServeError>>()?
         };
 
         // A failure anywhere fails the stream; report the earliest one by

@@ -19,6 +19,15 @@ pub enum ServeError {
     Build(BuildError),
     /// The service configuration was invalid.
     Config(String),
+    /// A serve worker thread panicked. The stream result is discarded
+    /// rather than re-raising: the panic already aborted that worker's
+    /// batch, and the caller (bench driver or test harness) decides whether
+    /// to retry. The payload itself is not preserved — it need not be
+    /// `Display`able — only the worker index is.
+    WorkerPanicked {
+        /// Index of the worker whose thread died.
+        worker: usize,
+    },
     /// A plan about to be served failed the plan-IR verifier
     /// (`lec_plan::verify`). Unlike the optimizers' debug-only hooks this
     /// check is always on (see `ServeConfig::verify_plans`), because served
@@ -35,6 +44,9 @@ impl fmt::Display for ServeError {
             ServeError::Catalog(e) => write!(f, "catalog: {e}"),
             ServeError::Build(e) => write!(f, "query build: {e}"),
             ServeError::Config(msg) => write!(f, "configuration: {msg}"),
+            ServeError::WorkerPanicked { worker } => {
+                write!(f, "serve worker {worker} panicked; stream result discarded")
+            }
             ServeError::Verification(e) => {
                 write!(f, "served plan failed verification: {e}")
             }
@@ -50,6 +62,7 @@ impl std::error::Error for ServeError {
             ServeError::Catalog(e) => Some(e),
             ServeError::Build(e) => Some(e),
             ServeError::Config(_) => None,
+            ServeError::WorkerPanicked { .. } => None,
             ServeError::Verification(e) => Some(e),
         }
     }

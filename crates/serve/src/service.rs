@@ -1124,15 +1124,18 @@ impl<M: CostModel + Sync> QueryService<M> {
                     filter.table, filter.column
                 ))
             })?;
-        if col.histogram.is_none() {
-            // Seed a uniform prior over the column's span so there is
-            // something to blend the observations into.
-            let span: Vec<f64> = (0..=16)
-                .map(|i| col.min + (col.max - col.min) * i as f64 / 16.0)
-                .collect();
-            col.histogram = Some(Histogram::equi_width(&span, 8)?);
-        }
-        let h = col.histogram.as_mut().expect("just installed");
+        let (col_min, col_max) = (col.min, col.max);
+        let h = match &mut col.histogram {
+            Some(h) => h,
+            slot => {
+                // Seed a uniform prior over the column's span so there is
+                // something to blend the observations into.
+                let span: Vec<f64> = (0..=16)
+                    .map(|i| col_min + (col_max - col_min) * i as f64 / 16.0)
+                    .collect();
+                slot.insert(Histogram::equi_width(&span, 8)?)
+            }
+        };
 
         // Synthesize a sample realizing the observed in-range fraction:
         // spread the in-range mass over points inside [lo, hi] and the
@@ -1143,9 +1146,10 @@ impl<M: CostModel + Sync> QueryService<M> {
         let out_total = SAMPLE - in_total;
         let mut obs: Vec<(f64, u64)> = Vec::new();
         spread(&mut obs, filter.lo, filter.hi, in_total, POINTS);
+        let bounds = h.boundaries();
         let (dom_lo, dom_hi) = (
-            h.boundaries()[0].min(filter.lo),
-            h.boundaries()[h.boundaries().len() - 1].max(filter.hi),
+            bounds.first().copied().unwrap_or(filter.lo).min(filter.lo),
+            bounds.last().copied().unwrap_or(filter.hi).max(filter.hi),
         );
         let left_w = (filter.lo - dom_lo).max(0.0);
         let right_w = (dom_hi - filter.hi).max(0.0);

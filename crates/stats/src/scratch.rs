@@ -326,7 +326,7 @@ impl ConvolveScratch {
 #[inline]
 fn push_merged(vals: &mut Vec<f64>, prbs: &mut Vec<f64>, v: f64, p: f64) {
     if vals.last() == Some(&v) {
-        *prbs.last_mut().expect("non-empty") += p;
+        *prbs.last_mut().expect("non-empty") += p; // lec-lint: allow(panic-reachability) — values and probs grow in lockstep, and the merge guard implies a previous push
     } else {
         vals.push(v);
         prbs.push(p);

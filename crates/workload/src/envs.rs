@@ -8,13 +8,14 @@
 use lec_stats::{Distribution, MarkovChain};
 
 /// The 80/20 bimodal memory distribution of Example 1.1.
+// lec-lint: allow(panic-reachability) — constant two-point support is valid by construction
 pub fn example_1_1_memory() -> Distribution {
     Distribution::new([(700.0, 0.2), (2000.0, 0.8)]).expect("valid distribution")
 }
 
 /// A two-point mix: `lo` pages with probability `p_lo`, else `hi` pages.
 pub fn bimodal(lo: f64, hi: f64, p_lo: f64) -> Distribution {
-    Distribution::new([(lo, p_lo), (hi, 1.0 - p_lo)]).expect("valid mix")
+    Distribution::new([(lo, p_lo), (hi, 1.0 - p_lo)]).expect("valid mix") // lec-lint: allow(panic-reachability) — callers pass fixed in-range probabilities, so the two-point support is valid
 }
 
 /// `b` equally likely memory levels spread uniformly over `[lo, hi]`.
@@ -29,6 +30,7 @@ pub fn uniform_grid(lo: f64, hi: f64, b: usize) -> Distribution {
 
 /// A lognormal-shaped memory distribution with the given mean, coefficient
 /// of variation, and bucket count.
+// lec-lint: allow(panic-reachability) — the discretized lognormal support is positive and finite for the fixed parameter grids callers use
 pub fn lognormal(mean: f64, cv: f64, b: usize) -> Distribution {
     lec_stats::families::lognormal_bucketed(mean, cv, b)
         .expect("valid lognormal parameters")
@@ -41,7 +43,7 @@ pub fn lognormal(mean: f64, cv: f64, b: usize) -> Distribution {
 /// memory world of §3.5.
 pub fn markov_ladder(lo: f64, levels: usize, volatility: f64) -> MarkovChain {
     let states: Vec<f64> = (0..levels).map(|i| lo * 2f64.powi(i as i32)).collect();
-    MarkovChain::random_walk(states, volatility).expect("valid ladder")
+    MarkovChain::random_walk(states, volatility).expect("valid ladder") // lec-lint: allow(panic-reachability) — the workload's fixed ladder parameters are valid by construction
 }
 
 #[cfg(test)]
