@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` is the tier-1 gate the CI driver
 # runs; the others are the fast local loops.
 
-.PHONY: verify test bench-smoke lint lint-strict xtable fault-smoke kernel-smoke serve-concurrent-smoke rules-smoke ci
+.PHONY: verify test bench-smoke lint lint-strict xtable fault-smoke kernel-smoke serve-concurrent-smoke rules-smoke sampling-smoke ci
 
 # Tier-1: release build + full test suite (what must never regress).
 verify:
@@ -88,8 +88,23 @@ rules-smoke:
 	grep -q '"p99_degradation"' results/BENCH_rules.json
 	grep -q '"optimized_build": true' results/BENCH_rules.json
 
+# Sampling/certificate smoke: run X24 at a reduced draw count (X24_DRAWS
+# routes the artifact to the gitignored _smoke file, so the committed
+# full-draw BENCH_sampling.json is never overwritten here) and check the
+# self-assertion markers landed. X24 itself asserts per-env certificate
+# soundness (truth-in-box ⇒ the (ε, δ) bound holds) and per-group
+# validity ≥ 1−δ before writing anything; only the full-draw tightness
+# assert is skipped in smoke mode.
+sampling-smoke:
+	X24_DRAWS=256 cargo run --release -p lec-bench --bin xtable x24 > /dev/null
+	test -s results/BENCH_sampling_smoke.json
+	grep -q '"experiment": "x24_sampling"' results/BENCH_sampling_smoke.json
+	grep -q '"self_asserted": true' results/BENCH_sampling_smoke.json
+	grep -q '"certificate_validity"' results/BENCH_sampling_smoke.json
+	grep -q '"optimized_build": true' results/BENCH_sampling_smoke.json
+
 # Full local CI gate: formatting, lints, the whole test suite (unit +
-# integration + doc-tests), and X18–X23 smoke runs that must leave
+# integration + doc-tests), and X18–X24 smoke runs that must leave
 # well-formed results/BENCH_stats.json, results/BENCH_serve.json, and
 # results/BENCH_faults.json behind (X20 self-asserts the control-run
 # closed forms and the drift-recovery bounds; X21 self-asserts the
@@ -101,6 +116,8 @@ ci:
 	test -s results/LINT.json
 	grep -q '"audit"' results/LINT.json
 	grep -q '"serve_roots": 0' results/LINT.json
+	grep -q '"sample_roots": 0' results/LINT.json
+	grep -q '"certify_roots": 0' results/LINT.json
 	cargo test -q --workspace
 	cargo test -q --workspace --doc
 	cargo run --release -p lec-bench --bin xtable x19 > /dev/null
@@ -113,3 +130,4 @@ ci:
 	$(MAKE) kernel-smoke
 	$(MAKE) serve-concurrent-smoke
 	$(MAKE) rules-smoke
+	$(MAKE) sampling-smoke

@@ -43,6 +43,10 @@ pub struct AuditSummary {
     pub serve_roots: usize,
     /// Panic-reachability violations whose witness starts at an optimize root.
     pub optimize_roots: usize,
+    /// Panic-reachability violations whose witness starts at a sampling root.
+    pub sample_roots: usize,
+    /// Panic-reachability violations whose witness starts at a certify root.
+    pub certify_roots: usize,
     /// Pragma-allowed panic-reachability findings.
     pub panic_allowed: usize,
     /// Within-budget (ratcheted) panic-reachability findings.
@@ -60,12 +64,15 @@ impl AuditSummary {
     pub fn to_json(&self) -> String {
         format!(
             "{{\n    \"panic_reachability\": {{\"serve_roots\": {}, \"optimize_roots\": {}, \
+             \"sample_roots\": {}, \"certify_roots\": {}, \
              \"allowed\": {}, \"ratcheted\": {}}},\n    \
              \"concurrency_determinism\": {{\"violations\": {}, \"allowed\": {}}},\n    \
              \"float_order\": {{\"violations\": {}, \"allowed\": {}}},\n    \
              \"invariant_conformance\": {{\"violations\": {}, \"allowed\": {}}}\n  }}",
             self.serve_roots,
             self.optimize_roots,
+            self.sample_roots,
+            self.certify_roots,
             self.panic_allowed,
             self.panic_ratcheted,
             self.concurrency.violations,

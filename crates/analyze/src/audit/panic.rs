@@ -8,6 +8,14 @@
 //!   `serve_stream_collect`, …). A panic here kills a live request.
 //! - **optimize** — every non-test `optimize*` function in `crates/core/src`.
 //!   A panic here breaks the totality the LEC guarantees assume.
+//! - **sample** — every non-test `sample*` function in `crates/catalog/src`
+//!   (`SampleEstimator::sample_selectivity`, `sample_histogram`,
+//!   `sample_interval_hoeffding`, …). Sampling runs inside the serve loop's
+//!   resample path, so it inherits the same no-panic requirement.
+//! - **certify** — every non-test `certify*` function in `crates/core/src`
+//!   (`certify_plan`, …). Certificates are computed per served request;
+//!   a panic here would take down serving for exactly the plans the
+//!   (ε, δ) machinery is meant to vouch for.
 //!
 //! From each group the pass runs a BFS over the over-approximate call graph
 //! and flags every panic site (`unwrap`, `expect`, panicking macros,
@@ -17,8 +25,9 @@
 //! re-deriving the path by hand.
 //!
 //! Budgets live in `lint-ratchet.toml` under `[panic-reachability]`, keyed by
-//! group name; a missing entry means zero tolerance. The serve group is
-//! pinned at 0 — the serve loop is certified panic-free.
+//! group name; a missing entry means zero tolerance. All four groups are
+//! pinned at 0 — serving, optimizing, sampling, and certifying are
+//! certified panic-free.
 
 use std::collections::BTreeMap;
 
@@ -62,13 +71,24 @@ pub fn run(
         ws.find_fns(|path, f| path.starts_with("crates/serve/src") && f.name.starts_with("serve"));
     let optimize_roots = ws
         .find_fns(|path, f| path.starts_with("crates/core/src") && f.name.starts_with("optimize"));
+    let sample_roots = ws
+        .find_fns(|path, f| path.starts_with("crates/catalog/src") && f.name.starts_with("sample"));
+    let certify_roots =
+        ws.find_fns(|path, f| path.starts_with("crates/core/src") && f.name.starts_with("certify"));
 
-    let groups: [(&str, &[usize]); 2] = [("serve", &serve_roots), ("optimize", &optimize_roots)];
+    let groups: [(&str, &[usize]); 4] = [
+        ("serve", &serve_roots),
+        ("optimize", &optimize_roots),
+        ("sample", &sample_roots),
+        ("certify", &certify_roots),
+    ];
     for (group, roots) in groups {
         let violations = run_group(ws, ratchet, group, roots, diagnostics, summary);
         match group {
             "serve" => summary.serve_roots = violations,
-            _ => summary.optimize_roots = violations,
+            "optimize" => summary.optimize_roots = violations,
+            "sample" => summary.sample_roots = violations,
+            _ => summary.certify_roots = violations,
         }
     }
 }

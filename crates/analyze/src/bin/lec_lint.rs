@@ -135,10 +135,13 @@ fn main() -> ExitCode {
     );
     if let Some(a) = &report.audit {
         println!(
-            "lec-audit: panic-reachability serve={} optimize={} (allowed {}, ratcheted {}), \
+            "lec-audit: panic-reachability serve={} optimize={} sample={} certify={} \
+             (allowed {}, ratcheted {}), \
              concurrency-determinism {}, float-order {}, invariant-conformance {}",
             a.serve_roots,
             a.optimize_roots,
+            a.sample_roots,
+            a.certify_roots,
             a.panic_allowed,
             a.panic_ratcheted,
             a.concurrency.violations,

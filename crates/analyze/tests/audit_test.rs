@@ -111,6 +111,33 @@ fn trait_dispatch_over_approximates_to_every_method_of_that_name() {
 }
 
 #[test]
+fn sample_and_certify_roots_flag_reachable_panics() {
+    let w = ws(&[
+        (
+            "crates/catalog/src/sampling.rs",
+            "pub fn sample_selectivity() {\n    draw();\n}\nfn draw() {\n    \
+             bucket.expect(\"seeded\");\n}\n",
+        ),
+        (
+            "crates/core/src/certificate.rs",
+            "pub fn certify_plan() {\n    bounds.unwrap();\n}\n",
+        ),
+    ]);
+    let out = run_audit(&w, &Ratchet::default());
+    assert_eq!(out.summary.sample_roots, 1);
+    assert_eq!(out.summary.certify_roots, 1);
+    assert_eq!(out.summary.serve_roots, 0);
+    assert_eq!(out.summary.optimize_roots, 0);
+    let v = violations(&out.diagnostics, "panic-reachability");
+    assert!(v
+        .iter()
+        .any(|d| d.message.contains("reachable from `sample` roots")));
+    assert!(v
+        .iter()
+        .any(|d| d.message.contains("reachable from `certify` roots")));
+}
+
+#[test]
 fn call_graph_cycles_terminate() {
     let w = ws(&[(
         "crates/core/src/lib.rs",
@@ -238,6 +265,8 @@ fn real_workspace_certifies_clean_at_budget_zero() {
     let audit = report.audit.as_ref().expect("audit section present");
     assert_eq!(audit.serve_roots, 0, "serve loop must stay panic-free");
     assert_eq!(audit.optimize_roots, 0, "optimizers must stay panic-free");
+    assert_eq!(audit.sample_roots, 0, "sampling must stay panic-free");
+    assert_eq!(audit.certify_roots, 0, "certification must stay panic-free");
     assert_eq!(audit.concurrency.violations, 0);
     assert_eq!(audit.float_order.violations, 0);
     assert_eq!(audit.invariants.violations, 0);
@@ -255,4 +284,6 @@ fn real_workspace_certifies_clean_at_budget_zero() {
     let json = report.to_json();
     assert!(json.contains("\"audit\""));
     assert!(json.contains("\"serve_roots\": 0"));
+    assert!(json.contains("\"sample_roots\": 0"));
+    assert!(json.contains("\"certify_roots\": 0"));
 }

@@ -28,9 +28,29 @@ pub fn artifact_path(stem: &str) -> PathBuf {
         .join(format!("../../results/BENCH_{stem}{suffix}.json"))
 }
 
+/// Resolves `results/<stem>.md` in the workspace, routing debug builds
+/// to the gitignored `results/<stem>_debug.md`. Same policy as the JSON
+/// artifacts: `results/xtable_all.md` used to be a raw stdout redirect,
+/// which is exactly how a debug run clobbers a committed record.
+pub fn markdown_path(stem: &str) -> PathBuf {
+    let suffix = if OPTIMIZED_BUILD { "" } else { "_debug" };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../results/{stem}{suffix}.md"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn markdown_path_routes_on_build_profile() {
+        let p = markdown_path("xtable_all");
+        let name = p.file_name().unwrap().to_str().unwrap();
+        if OPTIMIZED_BUILD {
+            assert_eq!(name, "xtable_all.md");
+        } else {
+            assert_eq!(name, "xtable_all_debug.md");
+        }
+    }
 
     #[test]
     fn path_routes_on_build_profile() {

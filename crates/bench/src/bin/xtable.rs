@@ -3,8 +3,13 @@
 //! ```text
 //! xtable x1          # one experiment
 //! xtable x3 x5       # several
-//! xtable all         # everything, in order (what EXPERIMENTS.md records)
+//! xtable all         # everything, in order; also writes results/xtable_all.md
 //! ```
+//!
+//! `xtable all` writes `results/xtable_all.md` itself through the
+//! artifact-path policy (debug builds route to the gitignored `_debug`
+//! variant), so the committed record can no longer be clobbered by a
+//! stray `xtable all > results/xtable_all.md` from the wrong build.
 
 use std::io::Write;
 
@@ -13,11 +18,12 @@ fn main() {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     if args.is_empty() {
-        eprintln!("usage: xtable <x1..x18|all> ...");
+        eprintln!("usage: xtable <x1..x24|all> ...");
         eprintln!("experiments: {}", lec_bench::ALL_EXPERIMENTS.join(", "));
         std::process::exit(2);
     }
-    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+    let all = args.iter().any(|a| a == "all");
+    let ids: Vec<String> = if all {
         lec_bench::ALL_EXPERIMENTS
             .iter()
             .map(|s| s.to_string())
@@ -25,15 +31,26 @@ fn main() {
     } else {
         args
     };
+    let mut sections = String::new();
     for id in &ids {
         match lec_bench::run_experiment(id) {
             Some(section) => {
                 writeln!(out, "{section}").expect("stdout");
+                sections.push_str(&section);
+                sections.push('\n');
             }
             None => {
                 eprintln!("unknown experiment `{id}`");
                 std::process::exit(2);
             }
         }
+    }
+    if all {
+        let path = lec_bench::artifacts::markdown_path("xtable_all");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("results dir");
+        }
+        std::fs::write(&path, &sections).expect("write xtable_all.md");
+        eprintln!("wrote {}", path.display());
     }
 }

@@ -23,3 +23,4 @@ pub mod x20_serve;
 pub mod x21_faults;
 pub mod x22_serve_concurrent;
 pub mod x23_rules;
+pub mod x24_sampling;

@@ -12,7 +12,7 @@ pub mod experiments;
 pub mod fixtures;
 pub mod table;
 
-/// Runs one experiment by id (`"x1"` … `"x23"`), returning its markdown
+/// Runs one experiment by id (`"x1"` … `"x24"`), returning its markdown
 /// section, or `None` for an unknown id.
 pub fn run_experiment(id: &str) -> Option<String> {
     use experiments::*;
@@ -40,13 +40,14 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "x21" => x21_faults::run(),
         "x22" => x22_serve_concurrent::run(),
         "x23" => x23_rules::run(),
+        "x24" => x24_sampling::run(),
         _ => return None,
     };
     Some(out)
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 23] = [
+pub const ALL_EXPERIMENTS: [&str; 24] = [
     "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14", "x15",
-    "x16", "x17", "x18", "x19", "x20", "x21", "x22", "x23",
+    "x16", "x17", "x18", "x19", "x20", "x21", "x22", "x23", "x24",
 ];

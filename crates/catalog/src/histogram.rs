@@ -102,6 +102,11 @@ impl Histogram {
         self.distinct.iter().sum()
     }
 
+    /// Distinct values recorded in one bucket (0 for an out-of-range index).
+    pub fn distinct_in(&self, bucket: usize) -> u64 {
+        self.distinct.get(bucket).copied().unwrap_or(0)
+    }
+
     /// Estimated selectivity of `column = value`: the bucket's row fraction
     /// spread uniformly over its distinct values.
     pub fn selectivity_eq(&self, value: f64) -> f64 {

@@ -17,10 +17,15 @@
 //!   bucketed uncertainty distribution, the input Algorithm D consumes.
 //! * [`synthetic`] — seed-deterministic generators for schemas and
 //!   statistics used by the experiment harness.
+//! * [`sampling`] — seeded row sampling against a truth catalog:
+//!   sample-backed histograms and per-statistic Hoeffding/Wilson
+//!   confidence intervals ([`sampling::StatInterval`]), the raw material
+//!   for (ε, δ) suboptimality certificates (DESIGN.md §11).
 
 pub mod catalog;
 pub mod error;
 pub mod histogram;
+pub mod sampling;
 pub mod selectivity;
 pub mod synthetic;
 pub mod table;
@@ -28,6 +33,7 @@ pub mod table;
 pub use catalog::Catalog;
 pub use error::CatalogError;
 pub use histogram::Histogram;
+pub use sampling::{BoundKind, SampleConfig, SampleEstimator, StatInterval};
 pub use selectivity::{Predicate, SelectivityBelief};
 pub use table::{ColumnMeta, TableMeta};
 

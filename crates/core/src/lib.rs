@@ -17,6 +17,7 @@
 //! | [`rules`] | \[AHW15\]/PARQO | Rule-parameterized finalize over the frontier outputs: minmax regret, penalty-aware, CVaR — the `lec-rules` subsystem threaded through the optimizer |
 //! | [`bucketing`] | §3.7 | Level-set bucketing: memory buckets placed at the cost formulas' discontinuities |
 //! | [`bushy`] | §4 future work | Bushy-tree LEC dynamic programming (DPsub-style), exact under static memory |
+//! | [`certificate`] | DESIGN.md §11 | (ε, δ) suboptimality certificates: bound a chosen plan against the sampled-interval optimum |
 //! | [`voi`] | §2.3 / \[SBM93\] | Expected value of perfect information: when sampling to reduce uncertainty pays for itself |
 //! | [`parametric`] | §3.2 / \[INSS92\] | Precompute LEC plans per scenario at compile time, re-cost and pick at start-up time |
 //!
@@ -47,6 +48,7 @@ pub mod alg_c;
 pub mod alg_d;
 pub mod bucketing;
 pub mod bushy;
+pub mod certificate;
 pub mod dp;
 pub mod env;
 pub mod error;
@@ -64,6 +66,7 @@ pub mod topc;
 pub mod verify;
 pub mod voi;
 
+pub use certificate::{certify_plan, Certificate, QueryIntervals};
 pub use dp::Optimized;
 pub use env::{MemoryModel, PhaseDists};
 pub use error::CoreError;

@@ -48,8 +48,12 @@ pub use resilience::{
 };
 pub use service::{
     BatchPrimer, PreparedRequest, QueryRequest, QueryService, Recalibration, RecalibrationDecision,
-    ServeConfig, ServedQuery,
+    ResampleConfig, ServeConfig, ServedQuery,
 };
+// Re-exported so callers can inspect certificates and intervals without
+// naming lec-core/lec-catalog directly.
+pub use lec_catalog::sampling::{BoundKind, StatInterval};
+pub use lec_core::certificate::Certificate;
 // Re-exported so serving configs can name selection rules without a direct
 // `lec-rules` dependency.
 pub use lec_rules::{Penalty, PenaltyAware, Rule, RuleAdmission, SelectionRule, TailRisk};

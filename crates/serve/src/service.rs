@@ -36,8 +36,10 @@ use crate::error::ServeError;
 use crate::resilience::{
     CircuitBreaker, FaultInjection, ResiliencePolicy, ResilienceReport, ServeRoute, ShardBreaker,
 };
+use lec_catalog::sampling::{BoundKind, SampleConfig, SampleEstimator, StatInterval};
 use lec_catalog::{Catalog, Histogram, Predicate};
 use lec_core::alg_d::SizeModel;
+use lec_core::certificate::{certify_plan, Certificate, QueryIntervals};
 use lec_core::parametric::ParametricPlans;
 use lec_core::{expected_cost, lsc, voi, MemoryModel, OptStats, Parallelism, ResilienceCounters};
 use lec_cost::CostModel;
@@ -51,7 +53,7 @@ use lec_plan::{canonicalize, JoinQuery};
 use lec_rules::{Rule, SelectionRule};
 use lec_stats::Distribution;
 use lec_workload::from_catalog::{query_from_catalog, FilterSpec, JoinSpec};
-use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::rand_core::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -101,6 +103,48 @@ pub struct ServeConfig {
     /// recalibration, and the resilience ladder all run under whichever
     /// rule is configured.
     pub selection_rule: Rule,
+    /// Sample-backed certification. `None` (the default) keeps the
+    /// legacy blending recalibration path bit-for-bit: no sampler is
+    /// seeded, no interval state is kept, and served queries carry no
+    /// certificate. `Some` switches drift handling from blending to
+    /// *resampling* — a fired drift event draws a fresh row sample from
+    /// the truth catalog, replaces the drifted belief statistic, and
+    /// refreshes its confidence interval — and attaches an (ε, δ)
+    /// suboptimality certificate to every successfully served plan.
+    pub resample: Option<ResampleConfig>,
+}
+
+/// Configuration of the sample-backed certification path
+/// ([`ServeConfig::resample`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResampleConfig {
+    /// Row draws per drift-triggered resample (the expensive, tight pass).
+    pub draws: u64,
+    /// Row draws for the lazy first-touch interval of a statistic that has
+    /// never drifted (cheap, wide — certificates start honest, not tight).
+    pub initial_draws: u64,
+    /// Per-statistic interval failure probability; a query's certificate
+    /// carries the union bound over its interval-backed statistics.
+    pub delta: f64,
+    /// Concentration bound for the intervals.
+    pub bound: BoundKind,
+    /// Bucket count for sample-backed belief histograms.
+    pub buckets: usize,
+    /// Seed for the resampling RNG (independent of `exec_seed`).
+    pub seed: u64,
+}
+
+impl Default for ResampleConfig {
+    fn default() -> Self {
+        ResampleConfig {
+            draws: 4096,
+            initial_draws: 256,
+            delta: 0.05,
+            bound: BoundKind::Hoeffding,
+            buckets: 8,
+            seed: 0x5A17,
+        }
+    }
 }
 
 impl ServeConfig {
@@ -120,6 +164,7 @@ impl ServeConfig {
             resilience: ResiliencePolicy::default(),
             fault_injection: FaultInjection::OFF,
             selection_rule: Rule::LeastExpectedCost,
+            resample: None,
         }
     }
 }
@@ -202,6 +247,11 @@ pub struct ServedQuery {
     pub recalibrations: Vec<Recalibration>,
     /// What the resilience layer did (attempts, faults, serving route).
     pub resilience: ResilienceReport,
+    /// The (ε, δ) suboptimality certificate of the served plan, computed
+    /// from the current sampled statistic intervals. `None` when
+    /// [`ServeConfig::resample`] is off or the serve took a degraded
+    /// breaker route.
+    pub certificate: Option<Certificate>,
 }
 
 /// A request pre-processed off the serving path: its belief-side query and
@@ -335,6 +385,14 @@ pub struct QueryService<M: CostModel + Sync> {
     /// Cache misses answered from a batch primer instead of a fresh
     /// optimizer run.
     primed_consumed: u64,
+    /// Sampled confidence intervals per drifted/certified statistic
+    /// (row-domain for joins). Empty unless `config.resample` is on.
+    intervals: BTreeMap<DriftTarget, StatInterval>,
+    /// RNG behind the sample draws; `None` unless `config.resample` is on,
+    /// so the legacy path consumes no randomness.
+    resample_rng: Option<ChaCha8Rng>,
+    /// Drift-triggered resampling rounds performed so far.
+    resamples: u64,
 }
 
 impl<M: CostModel + Sync> QueryService<M> {
@@ -365,9 +423,26 @@ impl<M: CostModel + Sync> QueryService<M> {
                 config.drift.blend
             )));
         }
+        if let Some(rc) = &config.resample {
+            if rc.draws == 0 || rc.initial_draws == 0 {
+                return Err(ServeError::Config(
+                    "resample draw counts must be positive".into(),
+                ));
+            }
+            if !(rc.delta.is_finite() && rc.delta > 0.0 && rc.delta < 1.0) {
+                return Err(ServeError::Config(format!(
+                    "resample delta {} outside (0, 1)",
+                    rc.delta
+                )));
+            }
+        }
         let store = TableStore::generate(&truth, config.exec_seed);
         let cache = PlanCache::new(config.cache_shards, config.cache_capacity);
         let drift = DriftDetector::new(config.drift);
+        let resample_rng = config
+            .resample
+            .as_ref()
+            .map(|rc| ChaCha8Rng::seed_from_u64(rc.seed));
         Ok(QueryService {
             model,
             beliefs,
@@ -387,6 +462,9 @@ impl<M: CostModel + Sync> QueryService<M> {
             queries_served: 0,
             beliefs_version: 0,
             primed_consumed: 0,
+            intervals: BTreeMap::new(),
+            resample_rng,
+            resamples: 0,
         })
     }
 
@@ -660,6 +738,10 @@ impl<M: CostModel + Sync> QueryService<M> {
                             self.resilience.lsc_fallbacks += 1;
                         }
                     }
+                    // Certify against the intervals the plan was served
+                    // under — before this serve's own feedback can trigger
+                    // a resample and refresh them.
+                    let certificate = self.certify_served(request, &query, &att_plan)?;
                     let recalibrations = self.ingest_feedback(request, &query, &feedback)?;
                     self.queries_served += 1;
                     return Ok(ServedQuery {
@@ -678,6 +760,7 @@ impl<M: CostModel + Sync> QueryService<M> {
                             degraded: route != ServeRoute::Primary,
                             breaker_tripped: false,
                         },
+                        certificate,
                     });
                 }
                 Err(ServeError::Exec(ExecError::InjectedFault { .. })) => {
@@ -775,6 +858,8 @@ impl<M: CostModel + Sync> QueryService<M> {
                 degraded: true,
                 breaker_tripped: true,
             },
+            // Breaker routes are already degraded; no certificate claim.
+            certificate: None,
         })
     }
 
@@ -1035,32 +1120,40 @@ impl<M: CostModel + Sync> QueryService<M> {
         request: &QueryRequest,
         event: DriftEvent,
     ) -> Result<Recalibration, ServeError> {
-        match &event.target {
-            DriftTarget::Selection { table, column } => {
-                let filter = request
-                    .filters
-                    .iter()
-                    .find(|f| f.table == *table && f.column == *column)
-                    .ok_or_else(|| {
-                        ServeError::Config(format!(
-                            "drift on `{table}.{column}` without a matching filter"
-                        ))
-                    })?;
-                self.recalibrate_selection(filter, event.mean_observed)?;
-            }
-            DriftTarget::Join {
-                left_table,
-                left_column,
-                right_table,
-                right_column,
-            } => {
-                self.recalibrate_join(
+        if self.config.resample.is_some() {
+            // Resampling mode: instead of blending observations into the
+            // beliefs, draw a fresh row sample from truth — fresh point
+            // estimate, fresh confidence interval, fresh certificate for
+            // every subsequent serve.
+            self.resample_statistic(request, &event.target)?;
+        } else {
+            match &event.target {
+                DriftTarget::Selection { table, column } => {
+                    let filter = request
+                        .filters
+                        .iter()
+                        .find(|f| f.table == *table && f.column == *column)
+                        .ok_or_else(|| {
+                            ServeError::Config(format!(
+                                "drift on `{table}.{column}` without a matching filter"
+                            ))
+                        })?;
+                    self.recalibrate_selection(filter, event.mean_observed)?;
+                }
+                DriftTarget::Join {
                     left_table,
                     left_column,
                     right_table,
                     right_column,
-                    event.mean_observed,
-                )?;
+                } => {
+                    self.recalibrate_join(
+                        left_table,
+                        left_column,
+                        right_table,
+                        right_column,
+                        event.mean_observed,
+                    )?;
+                }
             }
         }
         self.recalibrations += 1;
@@ -1222,6 +1315,263 @@ impl<M: CostModel + Sync> QueryService<M> {
             })?;
         col.distinct = new;
         Ok(())
+    }
+
+    /// The per-statistic sampling configuration in force, or an error when
+    /// resampling is off (the callers below are all gated on it).
+    fn sample_config(&self, draws: u64) -> Result<SampleConfig, ServeError> {
+        let rc =
+            self.config.resample.as_ref().ok_or_else(|| {
+                ServeError::Config("sampling requested with resampling off".into())
+            })?;
+        Ok(SampleConfig {
+            draws,
+            delta: rc.delta,
+            bound: rc.bound,
+            buckets: rc.buckets,
+        })
+    }
+
+    /// One fresh draw-seed from the resampling RNG (deterministic in the
+    /// request stream).
+    fn next_sample_seed(&mut self) -> Result<u64, ServeError> {
+        self.resample_rng
+            .as_mut()
+            .map(RngCore::next_u64)
+            .ok_or_else(|| ServeError::Config("sampling requested with resampling off".into()))
+    }
+
+    /// Samples `pred` against the truth catalog at the given draw count and
+    /// caches the resulting interval under `target`.
+    fn sample_interval_for(
+        &mut self,
+        target: &DriftTarget,
+        pred: &Predicate,
+        draws: u64,
+    ) -> Result<StatInterval, ServeError> {
+        let cfg = self.sample_config(draws)?;
+        let seed = self.next_sample_seed()?;
+        let interval = SampleEstimator::new(&self.truth, cfg, seed).sample_selectivity(pred)?;
+        self.intervals.insert(target.clone(), interval);
+        Ok(interval)
+    }
+
+    /// Drift-triggered resampling: replaces the drifted belief statistic
+    /// with a fresh sample-backed estimate (full `draws` budget) and
+    /// refreshes its cached confidence interval. The alternative to the
+    /// blending recalibrations, selected by [`ServeConfig::resample`].
+    fn resample_statistic(
+        &mut self,
+        request: &QueryRequest,
+        target: &DriftTarget,
+    ) -> Result<(), ServeError> {
+        let rc = *self.config.resample.as_ref().ok_or_else(|| {
+            ServeError::Config("resample_statistic called with resampling off".into())
+        })?;
+        match target {
+            DriftTarget::Selection { table, column } => {
+                let filter = request
+                    .filters
+                    .iter()
+                    .find(|f| f.table == *table && f.column == *column)
+                    .ok_or_else(|| {
+                        ServeError::Config(format!(
+                            "drift on `{table}.{column}` without a matching filter"
+                        ))
+                    })?
+                    .clone();
+                let pred = Predicate::Range {
+                    table: table.clone(),
+                    column: column.clone(),
+                    lo: filter.lo,
+                    hi: filter.hi,
+                };
+                self.sample_interval_for(target, &pred, rc.draws)?;
+                // The belief column's histogram is rebuilt from the same
+                // fresh sample budget, so subsequent estimates track truth
+                // instead of blending toward it.
+                let cfg = self.sample_config(rc.draws)?;
+                let seed = self.next_sample_seed()?;
+                let hist =
+                    SampleEstimator::new(&self.truth, cfg, seed).sample_histogram(table, column)?;
+                let meta = self.beliefs.table_mut(table)?;
+                let col = meta
+                    .columns
+                    .iter_mut()
+                    .find(|c| c.name == *column)
+                    .ok_or_else(|| {
+                        ServeError::Config(format!(
+                            "filtered column `{table}.{column}` missing from beliefs"
+                        ))
+                    })?;
+                col.histogram = Some(hist);
+            }
+            DriftTarget::Join {
+                left_table,
+                left_column,
+                right_table,
+                right_column,
+            } => {
+                let pred = Predicate::EquiJoin {
+                    left_table: left_table.clone(),
+                    left_column: left_column.clone(),
+                    right_table: right_table.clone(),
+                    right_column: right_column.clone(),
+                };
+                let interval = self.sample_interval_for(target, &pred, rc.draws)?;
+                // The containment estimate reads the larger side's distinct
+                // count; replace it with the count the sampled selectivity
+                // implies (`sel = 1 / max(d_left, d_right)`).
+                let implied = (1.0 / interval.point.max(1e-12)).round().max(1.0) as u64;
+                let d_left = self
+                    .beliefs
+                    .table(left_table)?
+                    .column(left_column)?
+                    .distinct;
+                let d_right = self
+                    .beliefs
+                    .table(right_table)?
+                    .column(right_column)?
+                    .distinct;
+                let (table, column) = if d_left >= d_right {
+                    (left_table, left_column)
+                } else {
+                    (right_table, right_column)
+                };
+                let meta = self.beliefs.table_mut(table)?;
+                let col = meta
+                    .columns
+                    .iter_mut()
+                    .find(|c| c.name == *column)
+                    .ok_or_else(|| {
+                        ServeError::Config(format!(
+                            "join column `{table}.{column}` missing from beliefs"
+                        ))
+                    })?;
+                col.distinct = implied;
+            }
+        }
+        self.resamples += 1;
+        Ok(())
+    }
+
+    /// Builds the interval box for `query` from the cached per-statistic
+    /// intervals (lazily sampling any first-touch statistic at the cheap
+    /// `initial_draws` budget) and certifies the served plan against it.
+    /// Returns `None` when resampling is off — the legacy path computes
+    /// nothing.
+    ///
+    /// Statistics without a drift-target representation (unfiltered
+    /// relations, relations with several filters, non-leaf joins' absent
+    /// observations) are treated as exactly known, like every other
+    /// statistic the paper's model takes as given; each sampled interval is
+    /// widened to include the belief catalog's own point estimate (coverage
+    /// only grows), and join intervals are mapped from the row domain to
+    /// the page domain the query's predicates live in.
+    fn certify_served(
+        &mut self,
+        request: &QueryRequest,
+        query: &JoinQuery,
+        plan: &Plan,
+    ) -> Result<Option<Certificate>, ServeError> {
+        let Some(rc) = self.config.resample else {
+            return Ok(None);
+        };
+        let mut delta_total = 0.0;
+
+        let mut relation_selectivity = Vec::with_capacity(query.n());
+        for (idx, table) in request.tables.iter().enumerate() {
+            let point = query.relation(idx).local_selectivity;
+            let filters: Vec<&FilterSpec> = request
+                .filters
+                .iter()
+                .filter(|f| f.table == *table)
+                .collect();
+            if point >= 1.0 || filters.len() != 1 {
+                relation_selectivity.push((point, point));
+                continue;
+            }
+            let filter = filters[0].clone();
+            let target = DriftTarget::Selection {
+                table: table.clone(),
+                column: filter.column.clone(),
+            };
+            let interval = match self.intervals.get(&target) {
+                Some(iv) => *iv,
+                None => {
+                    let pred = Predicate::Range {
+                        table: table.clone(),
+                        column: filter.column.clone(),
+                        lo: filter.lo,
+                        hi: filter.hi,
+                    };
+                    self.sample_interval_for(&target, &pred, rc.initial_draws)?
+                }
+            };
+            let (lo, hi) = (interval.lo.min(point), interval.hi.max(point));
+            if hi > lo {
+                delta_total += interval.delta;
+            }
+            relation_selectivity.push((lo, hi));
+        }
+
+        let mut predicate_selectivity = Vec::with_capacity(query.predicates().len());
+        for (k, spec) in request.joins.iter().enumerate() {
+            let point = query
+                .predicates()
+                .get(k)
+                .map(|p| p.selectivity)
+                .ok_or_else(|| {
+                    ServeError::Config(format!("join {k} missing from the built query"))
+                })?;
+            let target = DriftTarget::Join {
+                left_table: spec.left_table.clone(),
+                left_column: spec.left_column.clone(),
+                right_table: spec.right_table.clone(),
+                right_column: spec.right_column.clone(),
+            };
+            let interval = match self.intervals.get(&target) {
+                Some(iv) => *iv,
+                None => {
+                    let pred = Predicate::EquiJoin {
+                        left_table: spec.left_table.clone(),
+                        left_column: spec.left_column.clone(),
+                        right_table: spec.right_table.clone(),
+                        right_column: spec.right_column.clone(),
+                    };
+                    self.sample_interval_for(&target, &pred, rc.initial_draws)?
+                }
+            };
+            // Row-domain interval endpoints → the page domain, through the
+            // same monotone conversion `query_from_catalog` applies to the
+            // point estimate.
+            let (lt, rt) = (
+                self.beliefs.table(&spec.left_table)?,
+                self.beliefs.table(&spec.right_table)?,
+            );
+            let tpp_out = lt.tuples_per_page().max(rt.tuples_per_page());
+            let to_pages = |s: f64| {
+                (s * lt.tuples_per_page() * rt.tuples_per_page() / tpp_out).clamp(1e-12, 1.0)
+            };
+            let (lo, hi) = (
+                to_pages(interval.lo).min(point),
+                to_pages(interval.hi).max(point),
+            );
+            if hi > lo {
+                delta_total += interval.delta;
+            }
+            predicate_selectivity.push((lo, hi));
+        }
+
+        let intervals = QueryIntervals {
+            relation_selectivity,
+            predicate_selectivity,
+            delta: delta_total,
+        };
+        let memory = MemoryModel::Static(self.config.observed_memory.clone());
+        let cert = certify_plan(query, &self.model, &memory, plan, &intervals)?;
+        self.stats.certificate = Some(cert.clone());
+        Ok(Some(cert))
     }
 
     /// EVPI-based cache policy: is re-planning under the (now sharper)
@@ -1411,6 +1761,18 @@ impl<M: CostModel + Sync> QueryService<M> {
     /// Live cache size in entries.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Drift-triggered resampling rounds performed so far (always zero
+    /// with [`ServeConfig::resample`] off or on a drift-quiet stream).
+    pub fn resamples(&self) -> u64 {
+        self.resamples
+    }
+
+    /// The cached confidence interval for one statistic, if it has been
+    /// sampled (row-domain for joins).
+    pub fn stat_interval(&self, target: &DriftTarget) -> Option<StatInterval> {
+        self.intervals.get(target).copied()
     }
 }
 

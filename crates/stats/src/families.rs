@@ -42,6 +42,58 @@ pub fn lognormal_bucketed(mean: f64, cv: f64, buckets: usize) -> Result<Distribu
     Distribution::new(factors.into_iter().map(|f| (mean * f, p)))
 }
 
+/// A bucketed distribution supported on the confidence interval `[lo, hi]`
+/// whose mean equals the point estimate `point` exactly.
+///
+/// Construction: `buckets` equal-mass cells spread uniformly over `[lo, hi]`
+/// (cell midpoints), mixed with an anchor mass at whichever endpoint pulls
+/// the uniform mean `(lo + hi) / 2` onto `point`. The result is the
+/// "interval-widened" belief DESIGN.md §11 feeds the LEC machinery: the
+/// statistical uncertainty of a sampled estimate becomes extra spread in the
+/// bucketed distribution rather than a side channel the optimizer ignores.
+pub fn interval_widened(
+    point: f64,
+    lo: f64,
+    hi: f64,
+    buckets: usize,
+) -> Result<Distribution, StatsError> {
+    for v in [point, lo, hi] {
+        if !v.is_finite() {
+            return Err(StatsError::NonFiniteValue(v));
+        }
+    }
+    if buckets == 0 {
+        return Err(StatsError::ZeroBuckets);
+    }
+    if !(lo <= point && point <= hi) {
+        return Err(StatsError::NonFiniteValue(point));
+    }
+    let width = hi - lo;
+    if width <= 0.0 || buckets == 1 || width < 1e-12 * point.abs().max(1.0) {
+        return Distribution::point(point);
+    }
+    let b = buckets as f64;
+    let mids: Vec<f64> = (0..buckets)
+        .map(|i| lo + width * (i as f64 + 0.5) / b)
+        .collect();
+    let mid_mean: f64 = mids.iter().sum::<f64>() / b;
+    let anchor = if point >= mid_mean { hi } else { lo };
+    // Solve (1 - alpha) * mid_mean + alpha * anchor = point.
+    let denom = anchor - mid_mean;
+    let alpha = if denom.abs() < f64::MIN_POSITIVE {
+        0.0
+    } else {
+        ((point - mid_mean) / denom).clamp(0.0, 1.0)
+    };
+    let cell = (1.0 - alpha) / b;
+    let pairs = mids
+        .into_iter()
+        .map(|v| (v, cell))
+        .chain(std::iter::once((anchor, alpha)))
+        .filter(|&(_, p)| p > 0.0);
+    Distribution::from_weights(pairs)
+}
+
 /// Standard normal quantile (inverse CDF): Acklam's rational approximation,
 /// relative error below `1.2e-9` on `(0, 1)`.
 pub fn normal_quantile(p: f64) -> f64 {
@@ -121,6 +173,41 @@ mod tests {
     fn values_are_positive() {
         let d = lognormal_bucketed(1e-6, 3.0, 32).unwrap();
         assert!(d.min() > 0.0);
+    }
+
+    #[test]
+    fn interval_widened_mean_is_exact_and_support_bounded() {
+        for (point, lo, hi, b) in [
+            (0.3, 0.1, 0.9, 8),
+            (0.05, 0.0, 0.011, 6),
+            (0.5, 0.5, 0.5, 4),
+            (120.0, 80.0, 400.0, 16),
+        ] {
+            let point = f64::clamp(point, lo, hi);
+            let d = interval_widened(point, lo, hi, b).unwrap();
+            assert!(
+                (d.mean() - point).abs() <= 1e-12 * point.abs().max(1.0),
+                "mean {} vs point {point}",
+                d.mean()
+            );
+            assert!(d.min() >= lo - 1e-12 && d.max() <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn interval_widened_degenerate_and_invalid() {
+        assert!(interval_widened(0.5, 0.5, 0.5, 8).unwrap().is_point());
+        assert!(interval_widened(0.5, 0.2, 0.8, 1).unwrap().is_point());
+        assert!(interval_widened(0.5, 0.6, 0.8, 8).is_err());
+        assert!(interval_widened(0.9, 0.2, 0.8, 8).is_err());
+        assert!(interval_widened(0.5, 0.2, 0.8, 0).is_err());
+        assert!(interval_widened(f64::NAN, 0.0, 1.0, 8).is_err());
+    }
+
+    #[test]
+    fn interval_widened_has_spread_when_interval_is_wide() {
+        let d = interval_widened(0.4, 0.1, 0.9, 8).unwrap();
+        assert!(d.std_dev() > 0.05, "std dev {}", d.std_dev());
     }
 
     #[test]
